@@ -1,0 +1,43 @@
+//! Criterion benchmarks for the Fig. 6(b)/Table 1 kernel: k-means
+//! under the tuned iteration policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_benchmarks::clustering::ITERATION_NAMES;
+use pb_benchmarks::Clustering;
+use pb_config::{DecisionTree, Value};
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_policies(c: &mut Criterion) {
+    let t = Clustering;
+    let schema = t.schema();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let input = t.generate_input(512, &mut rng);
+
+    let mut group = c.benchmark_group("kmeans_n512_k22");
+    group.sample_size(10);
+    for (policy, name) in ITERATION_NAMES.iter().enumerate() {
+        let mut config = schema.default_config();
+        config.set_by_name(&schema, "k", Value::Int(22)).unwrap();
+        config
+            .set_by_name(&schema, "init", Value::Tree(DecisionTree::single(1)))
+            .unwrap();
+        config
+            .set_by_name(&schema, "iteration", Value::Tree(DecisionTree::single(policy)))
+            .unwrap();
+        config
+            .set_by_name(&schema, "max_iters", Value::Int(100))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut ctx = ExecCtx::new(&schema, cfg, 512, 0);
+                std::hint::black_box(t.execute(&input, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the Fig. 6(d) kernel: the three
+//! eigensolver backends of the SVD, full spectrum versus top-k
+//! bisection — the crossover the image-compression benchmark's
+//! autotuner exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_linalg::svd::{svd_top_k, SvdMethod};
+use pb_linalg::Matrix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let a = Matrix::random_uniform(64, 64, &mut rng);
+
+    let mut group = c.benchmark_group("svd_full_rank_n64");
+    group.sample_size(10);
+    for (method, name) in [
+        (SvdMethod::Qr, "qr"),
+        (SvdMethod::DivideAndConquer, "divide_and_conquer"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &method, |b, &m| {
+            b.iter(|| std::hint::black_box(svd_top_k(&a, 64, m).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("svd_top_k_bisection_n64");
+    group.sample_size(10);
+    for k in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| std::hint::black_box(svd_top_k(&a, k, SvdMethod::Bisection).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benchmarks for the language front-end: lexing, parsing,
+//! checking, schema extraction, and interpretation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pb_lang::{check_program, extract_schema, parse_program};
+use pb_runtime::ExecCtx;
+use std::collections::HashMap;
+
+const SOURCE: &str = r#"
+    transform kmeans
+    accuracy_metric kmeansaccuracy
+    accuracy_variable k 1 4096
+    from Points[2, n]
+    through Centroids[2, k]
+    to Assignments[n]
+    {
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = floor(rand(0, cols(p)));
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = i * cols(p) / cols(c);
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Assignments a) from (Points p, Centroids c) {
+            for_enough {
+                for (i in 0 .. len(a)) { a[i] = i % cols(c); }
+            }
+        }
+    }
+    transform kmeansaccuracy
+    from Assignments[n], Points[2, n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Assignments a, Points p) { acc = 1; }
+    }
+"#;
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang_frontend");
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(parse_program(SOURCE).unwrap()))
+    });
+    let program = parse_program(SOURCE).unwrap();
+    group.bench_function("check", |b| {
+        b.iter(|| {
+            check_program(&program).unwrap();
+            std::hint::black_box(())
+        })
+    });
+    group.bench_function("extract_schema", |b| {
+        b.iter(|| std::hint::black_box(extract_schema(&program, "kmeans")))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("lang_interp");
+    group.sample_size(10);
+    let schema = extract_schema(&program, "kmeans");
+    let mut config = schema.default_config();
+    config
+        .set_by_name(&schema, "k", pb_config::Value::Int(8))
+        .unwrap();
+    let interp = pb_lang::Interpreter::new(program);
+    let n = 256usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "Points".to_string(),
+        pb_lang::Value::Arr2 {
+            rows: 2,
+            cols: n,
+            data: (0..2 * n).map(|i| i as f64).collect(),
+        },
+    );
+    group.bench_function("kmeans_n256", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&schema, &config, n as u64, 1);
+            std::hint::black_box(interp.run("kmeans", &inputs, &mut ctx).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

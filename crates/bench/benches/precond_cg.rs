@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the Fig. 6(f) kernel: conjugate gradients
+//! with the three preconditioner choices at a fixed iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_benchmarks::precond::METHOD_NAMES;
+use pb_benchmarks::Preconditioner;
+use pb_config::{DecisionTree, Value};
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_methods(c: &mut Criterion) {
+    let t = Preconditioner;
+    let schema = t.schema();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let input = t.generate_input(24, &mut rng);
+
+    let mut group = c.benchmark_group("pcg_24x24_50iters");
+    group.sample_size(10);
+    for (method, name) in METHOD_NAMES.iter().enumerate() {
+        let mut config = schema.default_config();
+        config
+            .set_by_name(&schema, "method", Value::Tree(DecisionTree::single(method)))
+            .unwrap();
+        config
+            .set_by_name(&schema, "iterations", Value::Int(50))
+            .unwrap();
+        config
+            .set_by_name(&schema, "poly_degree", Value::Int(3))
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut ctx = ExecCtx::new(&schema, cfg, 24, 0);
+                std::hint::black_box(t.execute(&input, &mut ctx))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

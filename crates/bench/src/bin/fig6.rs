@@ -1,0 +1,113 @@
+//! Regenerates Fig. 6(a)–(f): speedups for each accuracy level and
+//! input size, compared to the highest accuracy level.
+//!
+//! Usage: `fig6 [binpacking|clustering|helmholtz|imagecompression|poisson|preconditioner|all]`
+
+use bench::{format_speedups, speedup_series, train};
+use pb_benchmarks::binpacking::ratio_to_accuracy;
+use pb_benchmarks::{
+    BinPacking, Clustering, Helmholtz3d, ImageCompression, Poisson2d, Preconditioner,
+};
+use pb_config::AccuracyBins;
+use pb_runtime::{CostModel, Transform, TransformRunner};
+
+fn panel<T>(title: &str, transform: T, bins: AccuracyBins, train_size: u64, sizes: &[u64])
+where
+    T: Transform + Send + Sync,
+{
+    let runner = TransformRunner::new(transform, CostModel::Virtual);
+    let tuned = train(&runner, &bins, train_size, 0xF16);
+    let points = speedup_series(&runner, &tuned, sizes);
+    print!("{}", format_speedups(title, &points));
+    println!();
+}
+
+fn run(which: &str) -> bool {
+    match which {
+        "binpacking" => {
+            // Paper levels are bins/OPT ratios 1.01–1.4; convert to the
+            // larger-is-better metric.
+            let ratios = [1.4, 1.3, 1.2, 1.1, 1.01];
+            let bins = AccuracyBins::new(ratios.iter().map(|&r| ratio_to_accuracy(r)).collect());
+            panel(
+                "Fig 6(a) Bin Packing (accuracy = 2 - bins/OPT)",
+                BinPacking,
+                bins,
+                1 << 10,
+                &[8, 64, 512, 4096, 16384],
+            );
+        }
+        "clustering" => {
+            let bins = AccuracyBins::new(vec![0.05, 0.10, 0.20, 0.50, 0.75, 0.95]);
+            panel(
+                "Fig 6(b) Clustering",
+                Clustering,
+                bins,
+                256,
+                &[16, 64, 256, 1024],
+            );
+        }
+        "helmholtz" => {
+            let bins = AccuracyBins::new(vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+            panel(
+                "Fig 6(c) Helmholtz (accuracy = orders of magnitude)",
+                Helmholtz3d,
+                bins,
+                7,
+                &[3, 7, 15],
+            );
+        }
+        "imagecompression" => {
+            let bins = AccuracyBins::new(vec![0.3, 0.6, 0.8, 1.0, 1.5, 2.0]);
+            panel(
+                "Fig 6(d) Image Compression (accuracy = log10 RMS ratio)",
+                ImageCompression,
+                bins,
+                48,
+                &[8, 16, 32, 64],
+            );
+        }
+        "poisson" => {
+            let bins = AccuracyBins::new(vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+            panel(
+                "Fig 6(e) Poisson (accuracy = orders of magnitude)",
+                Poisson2d,
+                bins,
+                31,
+                &[7, 15, 31, 63],
+            );
+        }
+        "preconditioner" => {
+            let bins = AccuracyBins::new(vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0]);
+            panel(
+                "Fig 6(f) Preconditioner (accuracy = orders of magnitude)",
+                Preconditioner,
+                bins,
+                24,
+                &[8, 16, 32, 64],
+            );
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = [
+        "binpacking",
+        "clustering",
+        "helmholtz",
+        "imagecompression",
+        "poisson",
+        "preconditioner",
+    ];
+    if arg == "all" {
+        for b in all {
+            assert!(run(b));
+        }
+    } else if !run(&arg) {
+        eprintln!("unknown benchmark `{arg}`; expected one of {all:?} or `all`");
+        std::process::exit(1);
+    }
+}

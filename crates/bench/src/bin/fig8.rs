@@ -1,0 +1,54 @@
+//! Regenerates Fig. 8: tuned multigrid cycle shapes for the Helmholtz
+//! benchmark, per (required accuracy, input size).
+//!
+//! The execution trace of the tuned configuration is printed as an
+//! indented tree: each `n<size>` scope is one recursion level, `relax`
+//! marks SOR relaxations (the dots and dashed arrows of the paper's
+//! diagrams), `direct` marks a bottom direct solve (the solid arrows),
+//! and `estimate` marks the full-multigrid estimation phase.
+
+use bench::train;
+use pb_benchmarks::Helmholtz3d;
+use pb_config::AccuracyBins;
+use pb_runtime::{CostModel, TraceNode, TransformRunner, TrialRunner};
+
+fn render(node: &TraceNode, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    if !node.label.is_empty() {
+        let mut marks = String::new();
+        let relax = node.points.iter().filter(|p| *p == "relax").count();
+        for _ in 0..relax {
+            marks.push('•');
+        }
+        if node.points.iter().any(|p| p == "direct") {
+            marks.push_str(" direct");
+        }
+        let _ = writeln!(out, "{}{} {}", "  ".repeat(depth), node.label, marks);
+    }
+    for child in &node.children {
+        render(child, depth + usize::from(!node.label.is_empty()), out);
+    }
+}
+
+fn main() {
+    let sizes: &[u64] = &[3, 7, 15];
+    let accuracies = [1.0, 3.0, 5.0, 7.0, 9.0];
+    let runner = TransformRunner::new(Helmholtz3d, CostModel::Virtual);
+    let bins = AccuracyBins::new(accuracies.to_vec());
+    let tuned = train(&runner, &bins, 7, 0xF18);
+
+    println!("# Fig 8: tuned Helmholtz cycle shapes");
+    println!("# (• = one SOR relaxation at that level; `direct` = bottom direct solve)");
+    for entry in tuned.entries() {
+        for &n in sizes {
+            let (outcome, trace) = runner.run_traced(&entry.config, n, 0x5EED);
+            let mut shape = String::new();
+            render(&trace, 0, &mut shape);
+            println!(
+                "\n== required 10^{:.0} residual reduction, size {n} (achieved {:.2} orders, cost {:.2e}) ==",
+                entry.target, outcome.accuracy, outcome.virtual_cost
+            );
+            print!("{shape}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! §6.5 programmability: code-size comparison with and without the
+//! variable-accuracy language extensions.
+//!
+//! The paper reports that rewriting the 2D Poisson benchmark with the
+//! new constructs shrank it 15.6×, because the extensions subsume the
+//! hand-written training harness, per-level accuracy bookkeeping, and
+//! duplicated variants. We reproduce the comparison qualitatively: the
+//! same k-means benchmark written (a) in the DSL with the extensions
+//! and (b) with the extensions manually erased — every `accuracy_*`
+//! header expanded into explicit parameters, the `for_enough` loop
+//! into a hand-managed counter scheme, and each algorithmic choice
+//! into a separately maintained variant plus hand-rolled driver code.
+
+/// The kmeans program with the variable-accuracy extensions (Fig. 3).
+const WITH_EXTENSIONS: &str = r#"
+transform kmeans
+accuracy_metric kmeansaccuracy
+accuracy_variable k 1 4096
+from Points[2, n]
+through Centroids[2, k]
+to Assignments[n]
+{
+    to (Centroids c) from (Points p) {
+        for (i in 0 .. cols(c)) {
+            let src = floor(rand(0, cols(p)));
+            c[0, i] = p[0, src];
+            c[1, i] = p[1, src];
+        }
+    }
+    to (Centroids c) from (Points p) {
+        CenterPlus(c, p);
+    }
+    to (Assignments a) from (Points p, Centroids c) {
+        for_enough {
+            let change = AssignClusters(a, p, c);
+            if (change == 0) { return; }
+            NewClusterLocations(c, p, a);
+        }
+    }
+}
+transform kmeansaccuracy
+from Assignments[n], Points[2, n]
+to Accuracy
+{
+    to (Accuracy acc) from (Assignments a, Points p) {
+        acc = sqrt(2 * len(a) / SumClusterDistanceSquared(a, p));
+    }
+}
+"#;
+
+/// The same program with the extensions manually erased, in the style
+/// the paper describes for the pre-extension Poisson benchmark:
+/// specialized training transforms, explicit parameter plumbing, one
+/// copy of the pipeline per (init × iteration-policy) combination, and
+/// a hand-written accuracy search driver.
+const WITHOUT_EXTENSIONS: &str = r#"
+transform kmeans_rand_once from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        InitRandom(a, p, k);
+        AssignClusters(a, p, a);
+    }
+}
+transform kmeans_rand_iter from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        let iters = ReadParamFile(p, 1);
+        InitRandom(a, p, k);
+        let i = 0;
+        while (i < iters) {
+            let change = AssignClusters(a, p, a);
+            if (change == 0) { return; }
+            NewClusterLocations(a, p, a);
+            i = i + 1;
+        }
+    }
+}
+transform kmeans_rand_fixpoint from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        InitRandom(a, p, k);
+        while (1) {
+            let change = AssignClusters(a, p, a);
+            if (change == 0) { return; }
+            NewClusterLocations(a, p, a);
+        }
+    }
+}
+transform kmeans_pp_once from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        InitCenterPlus(a, p, k);
+        AssignClusters(a, p, a);
+    }
+}
+transform kmeans_pp_iter from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        let iters = ReadParamFile(p, 1);
+        InitCenterPlus(a, p, k);
+        let i = 0;
+        while (i < iters) {
+            let change = AssignClusters(a, p, a);
+            if (change == 0) { return; }
+            NewClusterLocations(a, p, a);
+            i = i + 1;
+        }
+    }
+}
+transform kmeans_pp_fixpoint from Points[2, n] to Assignments[n] {
+    to (Assignments a) from (Points p) {
+        let k = ReadParamFile(p, 0);
+        InitCenterPlus(a, p, k);
+        while (1) {
+            let change = AssignClusters(a, p, a);
+            if (change == 0) { return; }
+            NewClusterLocations(a, p, a);
+        }
+    }
+}
+transform kmeans_train_k from Points[2, n] to BestK {
+    to (BestK best) from (Points p) {
+        let k = 1;
+        let bestacc = 0;
+        while (k < 4096) {
+            WriteParamFile(p, 0, k);
+            let acc = RunCandidateAndMeasure(p, k);
+            if (acc > bestacc) { bestacc = acc; best = k; }
+            k = k * 2;
+        }
+        WriteParamFile(p, 0, best);
+    }
+}
+transform kmeans_train_iters from Points[2, n] to BestIters {
+    to (BestIters best) from (Points p) {
+        let i = 1;
+        let bestacc = 0;
+        while (i < 500) {
+            WriteParamFile(p, 1, i);
+            let acc = RunCandidateAndMeasure(p, i);
+            if (acc > bestacc) { bestacc = acc; best = i; }
+            i = i * 2;
+        }
+        WriteParamFile(p, 1, best);
+    }
+}
+transform kmeans_train_variant from Points[2, n] to BestVariant {
+    to (BestVariant best) from (Points p) {
+        let v = 0;
+        let bestacc = 0;
+        while (v < 6) {
+            let acc = RunVariantAndMeasure(p, v);
+            if (acc > bestacc) { bestacc = acc; best = v; }
+            v = v + 1;
+        }
+        WriteParamFile(p, 2, best);
+    }
+}
+transform kmeansaccuracy
+from Assignments[n], Points[2, n]
+to Accuracy
+{
+    to (Accuracy acc) from (Assignments a, Points p) {
+        acc = sqrt(2 * len(a) / SumClusterDistanceSquared(a, p));
+    }
+}
+"#;
+
+fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//")
+        })
+        .count()
+}
+
+fn main() {
+    // Both versions must actually be valid programs in our language.
+    let with_ext = pb_lang::parse_program(WITH_EXTENSIONS).expect("extended program parses");
+    let without_ext =
+        pb_lang::parse_program(WITHOUT_EXTENSIONS).expect("manual program parses");
+    pb_lang::check_program(&with_ext).expect("extended program is well-formed");
+    pb_lang::check_program(&without_ext).expect("manual program is well-formed");
+
+    let a = loc(WITH_EXTENSIONS);
+    let b = loc(WITHOUT_EXTENSIONS);
+    println!("# §6.5 programmability (qualitative reproduction)");
+    println!("k-means with variable-accuracy extensions:    {a:>4} LoC");
+    println!("k-means with extensions manually erased:      {b:>4} LoC");
+    println!("code-size ratio:                              {:.1}x", b as f64 / a as f64);
+    println!();
+    println!(
+        "(The paper reports 15.6x for its 2D Poisson benchmark, whose manual \
+         version also duplicated per-level multigrid accuracy plumbing; the \
+         manual k-means above still under-counts the real burden since \
+         ReadParamFile/RunCandidateAndMeasure hide a hand-written tuner.)"
+    );
+}

@@ -1,0 +1,47 @@
+//! Regenerates Table 1: algorithm selection and initial `k` for the
+//! autotuned k-means benchmark at various accuracy levels (n = 2048 in
+//! the paper; configurable below).
+
+use bench::train;
+use pb_benchmarks::clustering::{INIT_NAMES, ITERATION_NAMES};
+use pb_benchmarks::Clustering;
+use pb_config::AccuracyBins;
+use pb_runtime::{CostModel, TransformRunner};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(512);
+    let runner = TransformRunner::new(Clustering, CostModel::Virtual);
+    let bins = AccuracyBins::new(vec![0.10, 0.20, 0.50, 0.75, 0.95]);
+    let tuned = train(&runner, &bins, n, 0x7AB1);
+    let schema = runner.schema();
+
+    println!("# Table 1: autotuned k-means choices (n = {n}, k_optimal ~ sqrt(n) = {})",
+        (n as f64).sqrt().round() as u64);
+    println!(
+        "{:>9} {:>6} {:>10} {:>16} {:>10}",
+        "accuracy", "k", "init", "iteration", "observed"
+    );
+    for entry in tuned.entries() {
+        let k = entry.config.int(schema, "k").unwrap().min(n as i64);
+        let init = entry.config.choice(schema, "init", n).unwrap();
+        let policy = entry.config.choice(schema, "iteration", n).unwrap();
+        let policy_name = match policy {
+            1 => {
+                let pct = entry.config.int(schema, "stabilize_pct").unwrap();
+                format!("{}% stabilize", pct)
+            }
+            other => ITERATION_NAMES[other.min(2)].to_string(),
+        };
+        println!(
+            "{:>9.2} {:>6} {:>10} {:>16} {:>10.3}",
+            entry.target,
+            k,
+            INIT_NAMES[init.min(1)],
+            policy_name,
+            entry.observed_accuracy
+        );
+    }
+}

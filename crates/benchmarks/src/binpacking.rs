@@ -1,0 +1,565 @@
+//! Bin Packing benchmark (§6.1.1).
+//!
+//! Thirteen polynomial-time approximation algorithms for the NP-hard
+//! BINPACKING problem, from `NextFit` (2×OPT worst case, `O(n)`) to
+//! `ModifiedFirstFitDecreasing` (71/60×OPT). The training generator
+//! "divides up full bins into a number of items", so OPT is known at
+//! training time "without the need for an exponential search".
+//!
+//! The paper reports accuracy as `bins / OPT` (lower = better, range
+//! 1.0–1.5 in Fig. 7). The tuner's convention is larger-is-better, so
+//! the accuracy metric is `2 − bins/OPT` (see [`ratio_to_accuracy`]).
+
+use pb_config::Schema;
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The 13 packing heuristics, in the paper's order.
+pub const ALGORITHM_NAMES: [&str; 13] = [
+    "FirstFit",
+    "FirstFitDecreasing",
+    "ModifiedFirstFitDecreasing",
+    "BestFit",
+    "BestFitDecreasing",
+    "LastFit",
+    "LastFitDecreasing",
+    "NextFit",
+    "NextFitDecreasing",
+    "WorstFit",
+    "WorstFitDecreasing",
+    "AlmostWorstFit",
+    "AlmostWorstFitDecreasing",
+];
+
+/// A training instance: item sizes plus the number of bins the
+/// generator unpacked them from (an upper bound on — and in practice
+/// equal to — OPT).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinPackingInput {
+    /// Item sizes in `(0, 1]`, in generator order.
+    pub items: Vec<f64>,
+    /// The number of full bins the generator split.
+    pub opt_bins: usize,
+}
+
+/// Generates `n` items by splitting full bins with stick-breaking into
+/// 2–5 pieces each, so the optimal packing uses exactly the generated
+/// bins.
+pub fn generate_input(n: u64, rng: &mut SmallRng) -> BinPackingInput {
+    let n = n.max(1) as usize;
+    let mut items = Vec::with_capacity(n);
+    let mut opt_bins = 0;
+    while items.len() < n {
+        opt_bins += 1;
+        let pieces = rng.gen_range(2..=5usize).min(n - items.len()).max(1);
+        // Stick-breaking: cut [0, 1] at `pieces − 1` sorted points.
+        let mut cuts: Vec<f64> = (0..pieces - 1).map(|_| rng.gen::<f64>()).collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut last = 0.0;
+        for &c in &cuts {
+            items.push((c - last).max(f64::MIN_POSITIVE));
+            last = c;
+        }
+        items.push((1.0 - last).max(f64::MIN_POSITIVE));
+    }
+    items.truncate(n);
+    // Shuffle so arrival order carries no information about the source
+    // bins (the generator controls the size *distribution* only).
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+    BinPackingInput { items, opt_bins }
+}
+
+/// A packing: the residual capacity of each open bin.
+#[derive(Debug, Clone, Default)]
+pub struct Packing {
+    residuals: Vec<f64>,
+}
+
+impl Packing {
+    /// Number of bins used.
+    pub fn bins(&self) -> usize {
+        self.residuals.len()
+    }
+
+    /// Residual capacities.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Whether no bin is over capacity (beyond rounding).
+    pub fn is_valid(&self) -> bool {
+        self.residuals.iter().all(|&r| r >= -1e-12)
+    }
+
+    fn place(&mut self, bin: usize, item: f64) {
+        self.residuals[bin] -= item;
+    }
+
+    fn open(&mut self, item: f64) {
+        self.residuals.push(1.0 - item);
+    }
+}
+
+/// Cost charged per bin probed, so virtual cost tracks the real
+/// `O(n·bins)` vs `O(n)` asymptotics that drive Fig. 6(a).
+const PROBE_COST: f64 = 1.0;
+
+fn pack_first_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        let mut placed = false;
+        for b in 0..p.bins() {
+            ctx.charge(PROBE_COST);
+            if p.residuals[b] >= item - 1e-15 {
+                p.place(b, item);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            p.open(item);
+        }
+    }
+    p
+}
+
+fn pack_best_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        let mut best: Option<(usize, f64)> = None;
+        for b in 0..p.bins() {
+            ctx.charge(PROBE_COST);
+            let r = p.residuals[b];
+            if r >= item - 1e-15 && best.map(|(_, br)| r < br).unwrap_or(true) {
+                best = Some((b, r));
+            }
+        }
+        match best {
+            Some((b, _)) => p.place(b, item),
+            None => p.open(item),
+        }
+    }
+    p
+}
+
+fn pack_worst_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        let mut worst: Option<(usize, f64)> = None;
+        for b in 0..p.bins() {
+            ctx.charge(PROBE_COST);
+            let r = p.residuals[b];
+            if r >= item - 1e-15 && worst.map(|(_, wr)| r > wr).unwrap_or(true) {
+                worst = Some((b, r));
+            }
+        }
+        match worst {
+            Some((b, _)) => p.place(b, item),
+            None => p.open(item),
+        }
+    }
+    p
+}
+
+/// `AlmostWorstFit`: place in the k-th least-full bin with capacity
+/// (`k = 2` by the textbook definition; generalized per the paper,
+/// "our implementation generalizes it and supports a variable
+/// compiler-set k").
+fn pack_almost_worst_fit(items: &[f64], k: usize, ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        // Collect bins with capacity, sorted by descending residual.
+        let mut fits: Vec<(usize, f64)> = Vec::new();
+        for b in 0..p.bins() {
+            ctx.charge(PROBE_COST);
+            if p.residuals[b] >= item - 1e-15 {
+                fits.push((b, p.residuals[b]));
+            }
+        }
+        if fits.is_empty() {
+            p.open(item);
+        } else {
+            fits.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+            let idx = (k.max(1) - 1).min(fits.len() - 1);
+            p.place(fits[idx].0, item);
+        }
+    }
+    p
+}
+
+fn pack_last_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        let mut placed = false;
+        for b in (0..p.bins()).rev() {
+            ctx.charge(PROBE_COST);
+            if p.residuals[b] >= item - 1e-15 {
+                p.place(b, item);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            p.open(item);
+        }
+    }
+    p
+}
+
+fn pack_next_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        ctx.charge(PROBE_COST);
+        let last = p.bins();
+        if last > 0 && p.residuals[last - 1] >= item - 1e-15 {
+            p.place(last - 1, item);
+        } else {
+            p.open(item);
+        }
+    }
+    p
+}
+
+/// `ModifiedFirstFitDecreasing` (Johnson & Garey): classify items into
+/// large (> 1/2), medium (> 1/3], small (> 1/6], and tiny; give every
+/// large item its own bin; walk those bins from most-full to
+/// least-full trying to add one medium item (or the two smallest small
+/// items that fit); finish with FFD on whatever remains.
+fn pack_mffd(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut sorted = items.to_vec();
+    charge_sort(ctx, sorted.len());
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+
+    let mut large: Vec<f64> = Vec::new();
+    let mut medium: Vec<f64> = Vec::new();
+    let mut rest: Vec<f64> = Vec::new();
+    for &x in &sorted {
+        if x > 0.5 {
+            large.push(x);
+        } else if x > 1.0 / 3.0 {
+            medium.push(x);
+        } else {
+            rest.push(x);
+        }
+    }
+
+    let mut p = Packing::default();
+    for &x in &large {
+        p.open(x);
+    }
+    // Bins of large items, most-full first (they are already in
+    // descending item order, so ascending residual order = original).
+    let mut medium_used = vec![false; medium.len()];
+    for b in 0..p.bins() {
+        ctx.charge(PROBE_COST);
+        // Try the largest unused medium item that fits.
+        let mut chosen: Option<usize> = None;
+        for (mi, &m) in medium.iter().enumerate() {
+            ctx.charge(PROBE_COST);
+            if !medium_used[mi] && p.residuals[b] >= m - 1e-15 {
+                chosen = Some(mi);
+                break;
+            }
+        }
+        if let Some(mi) = chosen {
+            medium_used[mi] = true;
+            let m = medium[mi];
+            p.place(b, m);
+        } else {
+            // Try the two smallest remaining small items.
+            if rest.len() >= 2 {
+                let a = rest[rest.len() - 1];
+                let c = rest[rest.len() - 2];
+                if p.residuals[b] >= a + c - 1e-15 {
+                    rest.pop();
+                    rest.pop();
+                    p.place(b, a + c);
+                }
+            }
+        }
+    }
+    // FFD on the leftovers (medium unused + rest, already descending).
+    let mut leftovers: Vec<f64> = medium
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !medium_used[*i])
+        .map(|(_, &m)| m)
+        .collect();
+    leftovers.extend(rest);
+    for &item in &leftovers {
+        let mut placed = false;
+        for b in 0..p.bins() {
+            ctx.charge(PROBE_COST);
+            if p.residuals[b] >= item - 1e-15 {
+                p.place(b, item);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            p.open(item);
+        }
+    }
+    p
+}
+
+fn charge_sort(ctx: &mut ExecCtx<'_>, n: usize) {
+    let n = n.max(2) as f64;
+    ctx.charge(n * n.log2());
+}
+
+fn decreasing(items: &[f64], ctx: &mut ExecCtx<'_>) -> Vec<f64> {
+    charge_sort(ctx, items.len());
+    let mut sorted = items.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    sorted
+}
+
+/// Runs one named algorithm (index into [`ALGORITHM_NAMES`]).
+///
+/// # Panics
+///
+/// Panics if `algorithm >= 13`.
+pub fn pack_with(
+    algorithm: usize,
+    items: &[f64],
+    awf_k: usize,
+    ctx: &mut ExecCtx<'_>,
+) -> Packing {
+    match algorithm {
+        0 => pack_first_fit(items, ctx),
+        1 => {
+            let s = decreasing(items, ctx);
+            pack_first_fit(&s, ctx)
+        }
+        2 => pack_mffd(items, ctx),
+        3 => pack_best_fit(items, ctx),
+        4 => {
+            let s = decreasing(items, ctx);
+            pack_best_fit(&s, ctx)
+        }
+        5 => pack_last_fit(items, ctx),
+        6 => {
+            let s = decreasing(items, ctx);
+            pack_last_fit(&s, ctx)
+        }
+        7 => pack_next_fit(items, ctx),
+        8 => {
+            let s = decreasing(items, ctx);
+            pack_next_fit(&s, ctx)
+        }
+        9 => pack_worst_fit(items, ctx),
+        10 => {
+            let s = decreasing(items, ctx);
+            pack_worst_fit(&s, ctx)
+        }
+        11 => pack_almost_worst_fit(items, awf_k, ctx),
+        12 => {
+            let s = decreasing(items, ctx);
+            pack_almost_worst_fit(&s, awf_k, ctx)
+        }
+        other => panic!("unknown bin-packing algorithm index {other}"),
+    }
+}
+
+/// Converts the paper's `bins/OPT` ratio (lower = better) into the
+/// tuner's larger-is-better accuracy: `2 − ratio`.
+pub fn ratio_to_accuracy(ratio: f64) -> f64 {
+    2.0 - ratio
+}
+
+/// Inverse of [`ratio_to_accuracy`].
+pub fn accuracy_to_ratio(accuracy: f64) -> f64 {
+    2.0 - accuracy
+}
+
+/// The Bin Packing variable-accuracy transform.
+///
+/// Tunables: the 13-way `algorithm` choice site (a decision tree over
+/// input size, so different sizes may pack differently — exactly the
+/// structure of Fig. 7) and the `almost_worst_k` parameter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinPacking;
+
+impl Transform for BinPacking {
+    type Input = BinPackingInput;
+    type Output = Packing;
+
+    fn name(&self) -> &str {
+        "binpacking"
+    }
+
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("binpacking");
+        s.add_choice_site("algorithm", ALGORITHM_NAMES.len());
+        s.add_user_param("almost_worst_k", 2, 8);
+        s
+    }
+
+    fn generate_input(&self, n: u64, rng: &mut SmallRng) -> BinPackingInput {
+        generate_input(n, rng)
+    }
+
+    fn execute(&self, input: &BinPackingInput, ctx: &mut ExecCtx<'_>) -> Packing {
+        let algorithm = ctx.choice("algorithm").expect("schema declares algorithm");
+        let k = ctx.param("almost_worst_k").expect("schema declares k") as usize;
+        ctx.event(ALGORITHM_NAMES[algorithm]);
+        pack_with(algorithm, &input.items, k, ctx)
+    }
+
+    fn accuracy(&self, input: &BinPackingInput, output: &Packing) -> f64 {
+        let ratio = output.bins() as f64 / input.opt_bins.max(1) as f64;
+        ratio_to_accuracy(ratio)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::Config;
+    use rand::SeedableRng;
+
+    fn ctx_for<'a>(schema: &'a Schema, config: &'a Config, n: u64) -> ExecCtx<'a> {
+        ExecCtx::new(schema, config, n, 0)
+    }
+
+    fn run_all(items: &[f64]) -> Vec<Packing> {
+        let t = BinPacking;
+        let schema = t.schema();
+        let config = schema.default_config();
+        (0..13)
+            .map(|alg| {
+                let mut ctx = ctx_for(&schema, &config, items.len() as u64);
+                pack_with(alg, items, 2, &mut ctx)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generator_splits_full_bins() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let input = generate_input(100, &mut rng);
+        assert_eq!(input.items.len(), 100);
+        assert!(input.items.iter().all(|&x| x > 0.0 && x <= 1.0));
+        // Total volume can't exceed the generated bins.
+        let total: f64 = input.items.iter().sum();
+        assert!(total <= input.opt_bins as f64 + 1e-9);
+        assert!(input.opt_bins >= 20, "2–5 items per bin over 100 items");
+    }
+
+    #[test]
+    fn all_algorithms_produce_valid_packings() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let input = generate_input(200, &mut rng);
+        for (alg, p) in run_all(&input.items).into_iter().enumerate() {
+            assert!(p.is_valid(), "{} overfilled a bin", ALGORITHM_NAMES[alg]);
+            // Volume lower bound: bins >= ceil(total volume).
+            let total: f64 = input.items.iter().sum();
+            assert!(
+                p.bins() as f64 >= total - 1e-9,
+                "{} lost items",
+                ALGORITHM_NAMES[alg]
+            );
+        }
+    }
+
+    #[test]
+    fn worst_case_bounds_hold_on_random_instances() {
+        // NextFit ≤ 2·OPT; FirstFit ≤ 1.7·OPT + 1; FFD ≤ 4/3·OPT + 1.
+        // Our generator knows OPT.
+        let rng = SmallRng::seed_from_u64(3);
+        for seed in 0..5u64 {
+            let mut r = SmallRng::seed_from_u64(seed);
+            let input = generate_input(150 + 10 * seed, &mut r);
+            let packs = run_all(&input.items);
+            let opt = input.opt_bins as f64;
+            assert!(packs[7].bins() as f64 <= 2.0 * opt + 1.0, "NextFit bound");
+            assert!(packs[0].bins() as f64 <= 1.7 * opt + 1.0, "FirstFit bound");
+            assert!(
+                packs[1].bins() as f64 <= 4.0 / 3.0 * opt + 1.0,
+                "FFD bound"
+            );
+            assert!(
+                packs[2].bins() as f64 <= 71.0 / 60.0 * opt + 1.0,
+                "MFFD bound (got {} vs opt {})",
+                packs[2].bins(),
+                opt
+            );
+            let _ = rng;
+        }
+    }
+
+    #[test]
+    fn decreasing_variants_do_no_worse_on_average() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut ff = 0usize;
+        let mut ffd = 0usize;
+        for _ in 0..10 {
+            let input = generate_input(120, &mut rng);
+            let packs = run_all(&input.items);
+            ff += packs[0].bins();
+            ffd += packs[1].bins();
+        }
+        assert!(ffd <= ff, "FFD ({ffd}) should beat FF ({ff}) in aggregate");
+    }
+
+    #[test]
+    fn next_fit_charges_linear_cost() {
+        let t = BinPacking;
+        let schema = t.schema();
+        let mut config = schema.default_config();
+        // Select NextFit (index 7) everywhere.
+        config
+            .set_by_name(
+                &schema,
+                "algorithm",
+                pb_config::Value::Tree(pb_config::DecisionTree::single(7)),
+            )
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let input = generate_input(500, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, 500, 0);
+        let _ = t.execute(&input, &mut ctx);
+        let nf_cost = ctx.virtual_cost();
+        assert!((nf_cost - 500.0).abs() < 1.0, "NextFit probes once per item");
+
+        // FirstFit on the same input is superlinear.
+        config
+            .set_by_name(
+                &schema,
+                "algorithm",
+                pb_config::Value::Tree(pb_config::DecisionTree::single(0)),
+            )
+            .unwrap();
+        let mut ctx = ExecCtx::new(&schema, &config, 500, 0);
+        let _ = t.execute(&input, &mut ctx);
+        assert!(ctx.virtual_cost() > 4.0 * nf_cost);
+    }
+
+    #[test]
+    fn accuracy_conversion_round_trips() {
+        for r in [1.0, 1.1, 1.5] {
+            assert!((accuracy_to_ratio(ratio_to_accuracy(r)) - r).abs() < 1e-12);
+        }
+        // Perfect packing has accuracy 1.0.
+        assert_eq!(ratio_to_accuracy(1.0), 1.0);
+    }
+
+    #[test]
+    fn transform_end_to_end() {
+        let t = BinPacking;
+        let schema = t.schema();
+        let config = schema.default_config();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let input = t.generate_input(64, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, 64, 0);
+        let out = t.execute(&input, &mut ctx);
+        let acc = t.accuracy(&input, &out);
+        assert!(acc <= 1.0 + 1e-12, "cannot beat OPT");
+        assert!(acc > 0.0, "first fit is within 2x of OPT here");
+    }
+}

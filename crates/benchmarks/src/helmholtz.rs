@@ -1,0 +1,314 @@
+//! 3D variable-coefficient Helmholtz benchmark (§6.1.3).
+//!
+//! The most complex benchmark in the suite: a multigrid solver over
+//! the operator `α·a·φ − β·∇·(b·∇φ)` where *every recursion level*
+//! carries its own tuned action (recurse / SOR / direct) and
+//! relaxation counts, plus an optional *estimation phase* — a full
+//! multigrid start that computes an initial guess on coarser grids
+//! ("work is done to converge towards the solution at smaller problem
+//! sizes before work is expended at the largest problem size", §6.4).
+//! The execution trace of a tuned configuration *is* the cycle shape
+//! drawn in Fig. 8.
+
+use pb_config::Schema;
+use pb_multigrid::helmholtz3d::{add_correction, prolong, restrict};
+use pb_multigrid::{Grid3d, HelmholtzProblem};
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+
+/// Maximum recursion depth with dedicated tunables.
+pub const MAX_LEVELS: usize = 6;
+
+/// Per-level action choices.
+pub const ACTION_NAMES: [&str; 3] = ["recurse", "sor_solve", "direct"];
+
+/// One Helmholtz instance: the operator and its right-hand side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelmholtzInput {
+    /// The discretized variable-coefficient operator.
+    pub problem: HelmholtzProblem,
+    /// Right-hand side.
+    pub f: Grid3d,
+}
+
+/// The 3D Helmholtz variable-accuracy transform. The tuner's input
+/// size `n` is the per-dimension grid size (rounded up to `2^k − 1`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Helmholtz3d;
+
+impl Helmholtz3d {
+    /// Solves `A·e = f` on (a coarsening of) the problem, recursively,
+    /// honouring the per-level tuned actions.
+    fn solve_level(
+        &self,
+        problem: &HelmholtzProblem,
+        f: &Grid3d,
+        depth: usize,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Grid3d {
+        let n = problem.n();
+        let d = depth.min(MAX_LEVELS - 1);
+        let omega = ctx.float_param("omega").expect("schema declares omega");
+        let points = (n * n * n) as f64;
+        ctx.enter(format!("n{n}"));
+
+        let action = if n <= 3 {
+            2
+        } else {
+            ctx.with_size(n as u64, |ctx| {
+                ctx.choice(&format!("level{d}_action")).expect("schema")
+            })
+        };
+
+        let out = match action {
+            2 => {
+                // Dense Cholesky on n³ unknowns: O(n⁹) — the "ideal
+                // direct solver" that only pays off on tiny grids.
+                ctx.charge(points.powi(3) / 3.0 + points * points);
+                ctx.event("direct");
+                problem.direct_solve(f)
+            }
+            1 => {
+                let iters = ctx
+                    .for_enough(&format!("level{d}_sor_iters"))
+                    .expect("schema");
+                let mut phi = Grid3d::zeros(n);
+                for _ in 0..iters {
+                    problem.sor_sweep(&mut phi, f, omega);
+                    ctx.charge(points * 8.0);
+                    ctx.event("relax");
+                }
+                phi
+            }
+            _ => {
+                let pre = ctx.for_enough(&format!("level{d}_pre")).expect("schema");
+                let post = ctx.for_enough(&format!("level{d}_post")).expect("schema");
+                let mut phi = Grid3d::zeros(n);
+                for _ in 0..pre {
+                    problem.sor_sweep(&mut phi, f, omega);
+                    ctx.charge(points * 8.0);
+                    ctx.event("relax");
+                }
+                let r = problem.residual(&phi, f);
+                ctx.charge(points * 8.0);
+                let rc = restrict(&r);
+                let coarse = problem.coarsen();
+                let ec = self.solve_level(&coarse, &rc, depth + 1, ctx);
+                let ef = prolong(&ec);
+                ctx.charge(points * 2.0);
+                add_correction(&mut phi, &ef);
+                for _ in 0..post {
+                    problem.sor_sweep(&mut phi, f, omega);
+                    ctx.charge(points * 8.0);
+                    ctx.event("relax");
+                }
+                phi
+            }
+        };
+        ctx.exit();
+        out
+    }
+
+    /// The estimation phase: solve a coarsened problem and prolong the
+    /// result as the initial guess (full multigrid).
+    fn estimate(
+        &self,
+        problem: &HelmholtzProblem,
+        f: &Grid3d,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Grid3d {
+        let n = problem.n();
+        if n <= 3 {
+            return Grid3d::zeros(n);
+        }
+        ctx.enter("estimate");
+        let fc = restrict(f);
+        let coarse = problem.coarsen();
+        let phi_c = self.solve_level(&coarse, &fc, 1, ctx);
+        let guess = prolong(&phi_c);
+        ctx.charge((n * n * n) as f64 * 2.0);
+        ctx.exit();
+        guess
+    }
+}
+
+impl Transform for Helmholtz3d {
+    type Input = HelmholtzInput;
+    type Output = Grid3d;
+
+    fn name(&self) -> &str {
+        "helmholtz3d"
+    }
+
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("helmholtz3d");
+        for d in 0..MAX_LEVELS {
+            s.add_choice_site(format!("level{d}_action"), ACTION_NAMES.len());
+            s.add_accuracy_variable_with_default(format!("level{d}_pre"), 0, 6, 2);
+            s.add_accuracy_variable_with_default(format!("level{d}_post"), 0, 6, 2);
+            s.add_accuracy_variable_with_default(format!("level{d}_sor_iters"), 1, 200, 10);
+        }
+        s.add_accuracy_variable_with_default("cycles", 1, 48, 2);
+        s.add_switch("estimate", 2);
+        s.add_float_param("omega", 0.8, 1.9);
+        s
+    }
+
+    fn generate_input(&self, n: u64, rng: &mut SmallRng) -> HelmholtzInput {
+        let size = round_up_size(n.max(1) as usize);
+        HelmholtzInput {
+            problem: HelmholtzProblem::random(size, 1.0, 1.0, rng),
+            f: Grid3d::random_uniform(size, -1.0, 1.0, rng),
+        }
+    }
+
+    fn execute(&self, input: &HelmholtzInput, ctx: &mut ExecCtx<'_>) -> Grid3d {
+        let cycles = ctx.for_enough("cycles").expect("schema declares cycles");
+        let estimate = ctx.switch("estimate").expect("schema declares estimate");
+        let problem = &input.problem;
+        let n = problem.n();
+        let mut phi = if estimate == 1 {
+            self.estimate(problem, &input.f, ctx)
+        } else {
+            Grid3d::zeros(n)
+        };
+        for _ in 0..cycles {
+            let r = problem.residual(&phi, &input.f);
+            ctx.charge((n * n * n) as f64 * 8.0);
+            let e = self.solve_level(problem, &r, 0, ctx);
+            add_correction(&mut phi, &e);
+        }
+        phi
+    }
+
+    fn accuracy(&self, input: &HelmholtzInput, output: &Grid3d) -> f64 {
+        let initial = input.f.rms().max(f64::MIN_POSITIVE);
+        let after = input.problem.residual(output, &input.f).rms();
+        if after <= 0.0 {
+            return 16.0;
+        }
+        (initial / after).log10()
+    }
+}
+
+/// Rounds up to the next `2^k − 1`.
+fn round_up_size(n: usize) -> usize {
+    let mut s = 1;
+    while s < n {
+        s = 2 * s + 1;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::{Config, DecisionTree, Value};
+    use rand::SeedableRng;
+
+    fn accuracy_of(config: &Config, schema: &Schema, n: u64, seed: u64) -> f64 {
+        let t = Helmholtz3d;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input = t.generate_input(n, &mut rng);
+        let mut ctx = ExecCtx::new(schema, config, n, seed);
+        let out = t.execute(&input, &mut ctx);
+        t.accuracy(&input, &out)
+    }
+
+    #[test]
+    fn direct_solve_at_small_size_is_machine_precision() {
+        let t = Helmholtz3d;
+        let schema = t.schema();
+        let config = schema.default_config();
+        // n = 3 forces the direct path regardless of configuration.
+        let acc = accuracy_of(&config, &schema, 3, 1);
+        assert!(acc > 9.0, "direct solve accuracy {acc}");
+    }
+
+    #[test]
+    fn cycles_increase_accuracy() {
+        let t = Helmholtz3d;
+        let schema = t.schema();
+        let mut base = schema.default_config();
+        for d in 0..MAX_LEVELS {
+            base.set_by_name(&schema, &format!("level{d}_pre"), Value::Int(2))
+                .unwrap();
+            base.set_by_name(&schema, &format!("level{d}_post"), Value::Int(2))
+                .unwrap();
+        }
+        let mut one = base.clone();
+        one.set_by_name(&schema, "cycles", Value::Int(1)).unwrap();
+        let mut four = base.clone();
+        four.set_by_name(&schema, "cycles", Value::Int(4)).unwrap();
+        let a1 = accuracy_of(&one, &schema, 7, 2);
+        let a4 = accuracy_of(&four, &schema, 7, 2);
+        assert!(a4 > a1 + 0.5, "4 cycles ({a4}) ≫ 1 cycle ({a1})");
+    }
+
+    #[test]
+    fn estimation_phase_helps_a_single_cycle() {
+        let t = Helmholtz3d;
+        let schema = t.schema();
+        let mut base = schema.default_config();
+        for d in 0..MAX_LEVELS {
+            base.set_by_name(&schema, &format!("level{d}_pre"), Value::Int(1))
+                .unwrap();
+            base.set_by_name(&schema, &format!("level{d}_post"), Value::Int(1))
+                .unwrap();
+        }
+        base.set_by_name(&schema, "cycles", Value::Int(1)).unwrap();
+        let mut with_est = base.clone();
+        with_est
+            .set_by_name(&schema, "estimate", Value::Switch(1))
+            .unwrap();
+        let plain = accuracy_of(&base, &schema, 15, 3);
+        let est = accuracy_of(&with_est, &schema, 15, 3);
+        assert!(
+            est > plain,
+            "estimation phase ({est}) should beat a cold start ({plain})"
+        );
+    }
+
+    #[test]
+    fn sor_bottom_truncates_the_cycle() {
+        // Configure level 1 to SOR-solve instead of recursing: the
+        // trace must show depth 2 (plus the root), not the full
+        // hierarchy.
+        let t = Helmholtz3d;
+        let schema = t.schema();
+        let mut config = schema.default_config();
+        for d in 0..MAX_LEVELS {
+            config
+                .set_by_name(&schema, &format!("level{d}_pre"), Value::Int(1))
+                .unwrap();
+        }
+        config
+            .set_by_name(
+                &schema,
+                "level1_action",
+                Value::Tree(DecisionTree::single(1)),
+            )
+            .unwrap();
+        config
+            .set_by_name(&schema, "level1_sor_iters", Value::Int(5))
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let input = t.generate_input(15, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, 15, 0);
+        ctx.enable_trace();
+        let _ = t.execute(&input, &mut ctx);
+        let tree = ctx.trace_tree();
+        assert_eq!(tree.depth(), 2, "level 1 bottoms out with SOR");
+        assert!(tree.count_points("relax") >= 5);
+        assert_eq!(tree.count_points("direct"), 0);
+    }
+
+    #[test]
+    fn operator_coefficients_vary_per_input() {
+        let t = Helmholtz3d;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let a = t.generate_input(7, &mut rng);
+        let b = t.generate_input(7, &mut rng);
+        assert_ne!(a.problem.a, b.problem.a, "coefficient fields are random");
+    }
+}

@@ -1,0 +1,155 @@
+//! Image compression benchmark (§6.1.4).
+//!
+//! Compresses an `n × n` "image" (entries `U(0, 1)` as in the paper)
+//! by storing its best rank-`k` approximation from the SVD. The number
+//! of singular values `k` is the accuracy variable; the algorithmic
+//! choice is the eigensolver: the full-spectrum hybrid (QR iteration
+//! or divide-and-conquer) versus "Bisection method for only k
+//! eigenvalues and eigenvectors".
+//!
+//! Accuracy metric: "the ratio between the RMS error of the initial
+//! guess (the zero matrix) to the RMS error of the output compared
+//! with the input matrix A, converted to log-scale" —
+//! `log₁₀(rms(A) / rms(A − A_k))`.
+
+use pb_config::Schema;
+use pb_linalg::svd::{svd_top_k, SvdMethod};
+use pb_linalg::{Matrix, Svd};
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+
+/// Eigensolver choice indices.
+pub const SOLVER_NAMES: [&str; 3] = ["qr", "divide_and_conquer", "bisection_k"];
+
+/// The image-compression variable-accuracy transform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ImageCompression;
+
+impl Transform for ImageCompression {
+    type Input = Matrix;
+    type Output = Svd;
+
+    fn name(&self) -> &str {
+        "imagecompression"
+    }
+
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("imagecompression");
+        s.add_accuracy_variable("rank_k", 1, 2048);
+        s.add_choice_site("eigensolver", SOLVER_NAMES.len());
+        s
+    }
+
+    fn generate_input(&self, n: u64, rng: &mut SmallRng) -> Matrix {
+        let n = n.max(2) as usize;
+        Matrix::random_uniform(n, n, rng)
+    }
+
+    fn execute(&self, input: &Matrix, ctx: &mut ExecCtx<'_>) -> Svd {
+        let n = input.rows();
+        let k = (ctx.param("rank_k").expect("schema declares rank_k") as usize).clamp(1, n);
+        let solver = ctx.choice("eigensolver").expect("schema declares eigensolver");
+        ctx.event(SOLVER_NAMES[solver.min(2)]);
+
+        let n3 = (n * n * n) as f64;
+        let method = match solver {
+            0 => {
+                // Tridiagonalization + full QL with vector accumulation.
+                ctx.charge(n3 + 6.0 * n3);
+                SvdMethod::Qr
+            }
+            1 => {
+                // D&C deflation typically saves a large constant.
+                ctx.charge(n3 + 2.0 * n3);
+                SvdMethod::DivideAndConquer
+            }
+            _ => {
+                // Tridiagonalization + k bisections + k inverse
+                // iterations.
+                ctx.charge(n3 + (k * n * n) as f64);
+                SvdMethod::Bisection
+            }
+        };
+        // Forming u_i = A·vᵢ/σᵢ and later reconstruction are O(k·n²).
+        ctx.charge((k * n * n) as f64);
+        svd_top_k(input, k, method).expect("QL iteration converges on Gram matrices")
+    }
+
+    fn accuracy(&self, input: &Matrix, output: &Svd) -> f64 {
+        let initial = input.rms().max(f64::MIN_POSITIVE);
+        let err = input.sub(&output.reconstruct()).rms();
+        if err <= 0.0 {
+            return 16.0;
+        }
+        (initial / err).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::{Config, DecisionTree, Value};
+    use rand::SeedableRng;
+
+    fn run(k: i64, solver: usize, n: u64) -> (f64, f64) {
+        let t = ImageCompression;
+        let schema = t.schema();
+        let mut config: Config = schema.default_config();
+        config.set_by_name(&schema, "rank_k", Value::Int(k)).unwrap();
+        config
+            .set_by_name(
+                &schema,
+                "eigensolver",
+                Value::Tree(DecisionTree::single(solver)),
+            )
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let input = t.generate_input(n, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, n, 0);
+        let out = t.execute(&input, &mut ctx);
+        (t.accuracy(&input, &out), ctx.virtual_cost())
+    }
+
+    #[test]
+    fn accuracy_grows_with_rank() {
+        let (a1, _) = run(1, 0, 24);
+        let (a8, _) = run(8, 0, 24);
+        let (a24, _) = run(24, 0, 24);
+        assert!(a1 < a8 && a8 < a24, "{a1} {a8} {a24}");
+        assert!(a24 > 9.0, "full rank is near-exact: {a24}");
+    }
+
+    #[test]
+    fn solvers_agree_on_accuracy() {
+        let (qr, _) = run(6, 0, 20);
+        let (dc, _) = run(6, 1, 20);
+        let (bi, _) = run(6, 2, 20);
+        assert!((qr - dc).abs() < 0.05, "qr {qr} vs dc {dc}");
+        assert!((qr - bi).abs() < 0.05, "qr {qr} vs bisect {bi}");
+    }
+
+    #[test]
+    fn bisection_is_cheaper_for_small_k() {
+        let (_, qr_cost) = run(2, 0, 32);
+        let (_, bi_cost) = run(2, 2, 32);
+        assert!(
+            bi_cost < qr_cost,
+            "bisection ({bi_cost}) should undercut QR ({qr_cost}) at k=2"
+        );
+    }
+
+    #[test]
+    fn rank_is_clamped_to_dimension() {
+        let t = ImageCompression;
+        let schema = t.schema();
+        let mut config = schema.default_config();
+        config
+            .set_by_name(&schema, "rank_k", Value::Int(2048))
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let input = t.generate_input(8, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, 8, 0);
+        let out = t.execute(&input, &mut ctx);
+        assert_eq!(out.rank(), 8);
+    }
+}

@@ -1,0 +1,294 @@
+//! 2D Poisson multigrid benchmark (§6.1.5).
+//!
+//! Three building blocks — direct (band Cholesky), iterative
+//! (Red-Black SOR), and recursive (multigrid) — with the autotuner
+//! choosing, *at every recursion level*, whether to recurse further,
+//! iterate, or solve directly, and how many relaxations to apply before
+//! and after the coarse-grid correction. "It is this kind of trade-offs
+//! that our variable accuracy auto-tuner excels at exploring."
+//!
+//! Accuracy metric: `log₁₀` of the ratio between the RMS residual of
+//! the initial guess and of the final guess (the paper's accuracy
+//! levels 10¹…10⁹ are these orders of magnitude).
+
+use pb_config::Schema;
+use pb_multigrid::{poisson2d, Grid2d};
+use pb_runtime::{ExecCtx, Transform};
+use rand::rngs::SmallRng;
+
+/// Maximum recursion depth with dedicated tunables; deeper levels
+/// reuse the deepest set.
+pub const MAX_LEVELS: usize = 8;
+
+/// Per-level action choices.
+pub const ACTION_NAMES: [&str; 3] = ["recurse", "sor_solve", "direct"];
+
+/// The Poisson right-hand side (the unknown starts at zero).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonInput {
+    /// Right-hand side grid (size `2^k − 1`).
+    pub b: Grid2d,
+}
+
+/// Builds the per-level tunable schema shared by this benchmark and
+/// the Helmholtz one.
+fn add_level_tunables(s: &mut Schema) {
+    for d in 0..MAX_LEVELS {
+        s.add_choice_site(format!("level{d}_action"), ACTION_NAMES.len());
+        s.add_accuracy_variable_with_default(format!("level{d}_pre"), 0, 6, 2);
+        s.add_accuracy_variable_with_default(format!("level{d}_post"), 0, 6, 2);
+        s.add_accuracy_variable_with_default(format!("level{d}_sor_iters"), 1, 200, 10);
+    }
+    s.add_accuracy_variable_with_default("cycles", 1, 64, 2);
+    s.add_float_param("omega", 0.8, 1.95);
+}
+
+/// The 2D Poisson variable-accuracy transform.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Poisson2d;
+
+impl Poisson2d {
+    fn solve_level(&self, b: &Grid2d, depth: usize, ctx: &mut ExecCtx<'_>) -> Grid2d {
+        let n = b.n();
+        let d = depth.min(MAX_LEVELS - 1);
+        let omega = ctx.float_param("omega").expect("schema declares omega");
+        ctx.enter(format!("n{n}"));
+
+        // Tiny grids always go direct; grids that cannot be coarsened
+        // cannot recurse.
+        let action = if n <= 3 {
+            2
+        } else {
+            ctx.with_size(n as u64, |ctx| {
+                ctx.choice(&format!("level{d}_action")).expect("schema")
+            })
+        };
+
+        let out = match action {
+            2 => {
+                // Direct band Cholesky: O(n² · bandwidth²) = O(n⁴).
+                ctx.charge((n as f64).powi(4));
+                ctx.event("direct");
+                poisson2d::direct_solve(b)
+            }
+            1 => {
+                let iters = ctx
+                    .for_enough(&format!("level{d}_sor_iters"))
+                    .expect("schema");
+                let mut u = Grid2d::zeros(n);
+                for _ in 0..iters {
+                    poisson2d::sor_sweep(&mut u, b, omega);
+                    ctx.charge((n * n) as f64 * 5.0);
+                    ctx.event("relax");
+                }
+                u
+            }
+            _ => {
+                let pre = ctx.for_enough(&format!("level{d}_pre")).expect("schema");
+                let post = ctx.for_enough(&format!("level{d}_post")).expect("schema");
+                let mut u = Grid2d::zeros(n);
+                for _ in 0..pre {
+                    poisson2d::sor_sweep(&mut u, b, omega);
+                    ctx.charge((n * n) as f64 * 5.0);
+                    ctx.event("relax");
+                }
+                let r = poisson2d::residual(&u, b);
+                ctx.charge((n * n) as f64 * 6.0);
+                let mut rc = poisson2d::restrict(&r);
+                for v in rc.as_mut_slice() {
+                    *v *= 4.0; // coarse-grid h² rescaling
+                }
+                let ec = self.solve_level(&rc, depth + 1, ctx);
+                let ef = poisson2d::prolong(&ec);
+                ctx.charge((n * n) as f64 * 2.0);
+                poisson2d::add_correction(&mut u, &ef);
+                for _ in 0..post {
+                    poisson2d::sor_sweep(&mut u, b, omega);
+                    ctx.charge((n * n) as f64 * 5.0);
+                    ctx.event("relax");
+                }
+                u
+            }
+        };
+        ctx.exit();
+        out
+    }
+}
+
+impl Transform for Poisson2d {
+    type Input = PoissonInput;
+    type Output = Grid2d;
+
+    fn name(&self) -> &str {
+        "poisson2d"
+    }
+
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("poisson2d");
+        add_level_tunables(&mut s);
+        s
+    }
+
+    fn generate_input(&self, n: u64, rng: &mut SmallRng) -> PoissonInput {
+        let size = Grid2d::round_up_size(n.max(1) as usize);
+        PoissonInput {
+            b: Grid2d::random_uniform(size, -1.0, 1.0, rng),
+        }
+    }
+
+    fn execute(&self, input: &PoissonInput, ctx: &mut ExecCtx<'_>) -> Grid2d {
+        let cycles = ctx.for_enough("cycles").expect("schema declares cycles");
+        let n = input.b.n();
+        let mut u = Grid2d::zeros(n);
+        for _ in 0..cycles {
+            // Each "cycle" solves the residual equation and corrects,
+            // so repeated cycles compound the per-cycle reduction.
+            let r = poisson2d::residual(&u, &input.b);
+            ctx.charge((n * n) as f64 * 6.0);
+            let e = self.solve_level(&r, 0, ctx);
+            poisson2d::add_correction(&mut u, &e);
+        }
+        u
+    }
+
+    fn accuracy(&self, input: &PoissonInput, output: &Grid2d) -> f64 {
+        let initial = input.b.rms().max(f64::MIN_POSITIVE);
+        let after = poisson2d::residual(output, &input.b).rms();
+        if after <= 0.0 {
+            return 16.0; // solved to the bits: better than any bin
+        }
+        (initial / after).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::{Config, DecisionTree, Value};
+
+    fn config_with(
+        schema: &Schema,
+        edits: &[(&str, Value)],
+    ) -> Config {
+        let mut c = schema.default_config();
+        for (name, v) in edits {
+            c.set_by_name(schema, name, v.clone()).unwrap();
+        }
+        c
+    }
+
+    fn accuracy_of(config: &Config, schema: &Schema, n: u64, seed: u64) -> f64 {
+        let t = Poisson2d;
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(seed)
+        };
+        let input = t.generate_input(n, &mut rng);
+        let mut ctx = ExecCtx::new(schema, config, n, seed);
+        let out = t.execute(&input, &mut ctx);
+        t.accuracy(&input, &out)
+    }
+
+    #[test]
+    fn direct_everywhere_solves_exactly() {
+        let t = Poisson2d;
+        let schema = t.schema();
+        let mut edits: Vec<(String, Value)> = Vec::new();
+        for d in 0..MAX_LEVELS {
+            edits.push((format!("level{d}_action"), Value::Tree(DecisionTree::single(2))));
+        }
+        let edits_ref: Vec<(&str, Value)> =
+            edits.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let config = config_with(&schema, &edits_ref);
+        let acc = accuracy_of(&config, &schema, 15, 1);
+        assert!(acc > 9.0, "direct solve reaches machine precision: {acc}");
+    }
+
+    #[test]
+    fn more_cycles_give_more_accuracy() {
+        let t = Poisson2d;
+        let schema = t.schema();
+        let mut base: Vec<(String, Value)> = Vec::new();
+        for d in 0..MAX_LEVELS {
+            base.push((format!("level{d}_pre"), Value::Int(2)));
+            base.push((format!("level{d}_post"), Value::Int(2)));
+        }
+        for (cycles, min_acc) in [(1, 0.5), (4, 2.0)] {
+            let mut edits = base.clone();
+            edits.push(("cycles".to_string(), Value::Int(cycles)));
+            let edits_ref: Vec<(&str, Value)> =
+                edits.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+            let config = config_with(&schema, &edits_ref);
+            let acc = accuracy_of(&config, &schema, 31, 2);
+            assert!(acc > min_acc, "cycles={cycles}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn sor_only_is_weaker_than_multigrid_for_same_budget() {
+        let t = Poisson2d;
+        let schema = t.schema();
+        // SOR-only at the top level: 30 sweeps.
+        let sor = config_with(
+            &schema,
+            &[
+                ("level0_action", Value::Tree(DecisionTree::single(1))),
+                ("level0_sor_iters", Value::Int(30)),
+            ],
+        );
+        // One V-cycle with 2+2 sweeps per level.
+        let mut edits: Vec<(String, Value)> = Vec::new();
+        for d in 0..MAX_LEVELS {
+            edits.push((format!("level{d}_pre"), Value::Int(2)));
+            edits.push((format!("level{d}_post"), Value::Int(2)));
+        }
+        let edits_ref: Vec<(&str, Value)> =
+            edits.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let mg = config_with(&schema, &edits_ref);
+        let acc_sor = accuracy_of(&sor, &schema, 31, 3);
+        let acc_mg = accuracy_of(&mg, &schema, 31, 3);
+        assert!(
+            acc_mg > acc_sor,
+            "multigrid ({acc_mg}) should beat plain SOR ({acc_sor})"
+        );
+    }
+
+    #[test]
+    fn trace_records_cycle_shape() {
+        let t = Poisson2d;
+        let schema = t.schema();
+        let mut edits: Vec<(String, Value)> = vec![("cycles".to_string(), Value::Int(1))];
+        for d in 0..MAX_LEVELS {
+            edits.push((format!("level{d}_pre"), Value::Int(1)));
+            edits.push((format!("level{d}_post"), Value::Int(1)));
+        }
+        let edits_ref: Vec<(&str, Value)> =
+            edits.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        let config = config_with(&schema, &edits_ref);
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(4)
+        };
+        let input = t.generate_input(15, &mut rng);
+        let mut ctx = ExecCtx::new(&schema, &config, 15, 0);
+        ctx.enable_trace();
+        let _ = t.execute(&input, &mut ctx);
+        let tree = ctx.trace_tree();
+        // Levels n15 -> n7 -> n3 (direct).
+        assert_eq!(tree.depth(), 3);
+        assert!(tree.count_points("relax") >= 4);
+        assert_eq!(tree.count_points("direct"), 1);
+    }
+
+    #[test]
+    fn input_sizes_round_up_to_multigrid_sizes() {
+        let t = Poisson2d;
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(5)
+        };
+        assert_eq!(t.generate_input(9, &mut rng).b.n(), 15);
+        assert_eq!(t.generate_input(15, &mut rng).b.n(), 15);
+        assert_eq!(t.generate_input(1, &mut rng).b.n(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! The choice dependency graph (§4.1).
+//!
+//! "The main transform level representation is the choice dependency
+//! graph … data dependencies are represented by vertices, while rules
+//! are represented by graph hyperedges." The compiler uses it to manage
+//! code choices and to synthesize the outer control flow — here, the
+//! execution schedule: a topological order over non-input data in
+//! which each datum's producing rule can run.
+
+use crate::ast::Transform;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A cycle (or other scheduling failure) in the dependency graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleError {
+    /// The data involved in the unschedulable remainder.
+    pub data: Vec<String>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency cycle among data: {}",
+            self.data.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// The choice dependency graph of one transform.
+#[derive(Debug, Clone)]
+pub struct ChoiceDependencyGraph {
+    /// All data names, inputs first.
+    data: Vec<String>,
+    /// Which data are transform inputs.
+    inputs: HashSet<String>,
+    /// `producers[d]` = indices of rules that can produce datum `d`.
+    producers: HashMap<String, Vec<usize>>,
+    /// `dependencies[d]` = union of the input data of every rule that
+    /// can produce `d` (conservative: any choice must be schedulable).
+    dependencies: HashMap<String, HashSet<String>>,
+}
+
+impl ChoiceDependencyGraph {
+    /// Builds the graph for a transform.
+    pub fn build(t: &Transform) -> Self {
+        let data: Vec<String> = t.all_data().map(|p| p.name.clone()).collect();
+        let inputs: HashSet<String> = t.inputs.iter().map(|p| p.name.clone()).collect();
+        let mut producers: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut dependencies: HashMap<String, HashSet<String>> = HashMap::new();
+        for (i, rule) in t.rules.iter().enumerate() {
+            for out in &rule.outputs {
+                producers.entry(out.data.clone()).or_default().push(i);
+                let deps = dependencies.entry(out.data.clone()).or_default();
+                for input in &rule.inputs {
+                    // A rule that reads and writes the same datum (the
+                    // kmeans iterative rule reads Assignments while
+                    // writing it) is not a scheduling dependency.
+                    if rule.outputs.iter().all(|o| o.data != input.data) {
+                        deps.insert(input.data.clone());
+                    }
+                }
+            }
+        }
+        ChoiceDependencyGraph {
+            data,
+            inputs,
+            producers,
+            dependencies,
+        }
+    }
+
+    /// The rules that can produce `data` (empty for inputs).
+    pub fn producers(&self, data: &str) -> &[usize] {
+        self.producers.get(data).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Data with more than one producing rule — the algorithmic choice
+    /// sites of the transform.
+    pub fn choice_sites(&self) -> Vec<&str> {
+        self.data
+            .iter()
+            .filter(|d| self.producers(d).len() > 1)
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// A topological execution order over the non-input data: running
+    /// each datum's producing rule in this order satisfies every
+    /// dependency regardless of which rules the tuner chooses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the dependencies are cyclic.
+    pub fn schedule(&self) -> Result<Vec<String>, CycleError> {
+        let mut done: HashSet<String> = self.inputs.clone();
+        let mut order = Vec::new();
+        let pending: Vec<String> = self
+            .data
+            .iter()
+            .filter(|d| !self.inputs.contains(*d))
+            .cloned()
+            .collect();
+        let mut remaining: Vec<String> = pending;
+        while !remaining.is_empty() {
+            let ready: Vec<String> = remaining
+                .iter()
+                .filter(|d| {
+                    self.dependencies
+                        .get(*d)
+                        .map(|deps| deps.iter().all(|x| done.contains(x)))
+                        .unwrap_or(true)
+                })
+                .cloned()
+                .collect();
+            if ready.is_empty() {
+                return Err(CycleError { data: remaining });
+            }
+            for d in &ready {
+                done.insert(d.clone());
+                order.push(d.clone());
+            }
+            remaining.retain(|d| !done.contains(d));
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn kmeans_graph_matches_figure_2() {
+        let program = parse_program(crate::parser::tests::KMEANS).unwrap();
+        let t = program.transform("kmeans").unwrap();
+        let g = ChoiceDependencyGraph::build(t);
+        // Centroids has two producers (rules 1 and 2), Assignments one.
+        assert_eq!(g.producers("Centroids"), &[0, 1]);
+        assert_eq!(g.producers("Assignments"), &[2]);
+        assert_eq!(g.choice_sites(), vec!["Centroids"]);
+        // Schedule: Centroids before Assignments.
+        let order = g.schedule().unwrap();
+        assert_eq!(order, vec!["Centroids".to_string(), "Assignments".to_string()]);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let src = r#"
+            transform t from A[n] through X[n], Y[n] to B[n] {
+                to (X x) from (Y y) { x[0] = y[0]; }
+                to (Y y) from (X x) { y[0] = x[0]; }
+                to (B b) from (X x) { b[0] = x[0]; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let g = ChoiceDependencyGraph::build(&program.transforms[0]);
+        let err = g.schedule().unwrap_err();
+        assert!(err.data.contains(&"X".to_string()));
+        assert!(err.data.contains(&"Y".to_string()));
+    }
+
+    #[test]
+    fn self_reading_rule_is_not_a_cycle() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a, B bprev) { b[0] = a[0] + bprev[0]; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let g = ChoiceDependencyGraph::build(&program.transforms[0]);
+        assert_eq!(g.schedule().unwrap(), vec!["B".to_string()]);
+    }
+
+    #[test]
+    fn independent_data_schedule_together() {
+        let src = r#"
+            transform t from A[n] to B[n], C[n] {
+                to (B b) from (A a) { b[0] = 1; }
+                to (C c) from (A a) { c[0] = 2; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let g = ChoiceDependencyGraph::build(&program.transforms[0]);
+        let order = g.schedule().unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(g.choice_sites().is_empty());
+    }
+}

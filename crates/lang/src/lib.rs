@@ -1,0 +1,66 @@
+//! PetaBricks-style language front-end with the variable-accuracy
+//! extensions of §3.
+//!
+//! This crate is the "language and compiler support" of the paper's
+//! title: a small transform language in which the programmer declares
+//! *what* may vary — algorithmic choices (multiple rules producing the
+//! same data, `either…or` statements), accuracy variables,
+//! `for_enough` loops, an `accuracy_metric` — and the compiler turns
+//! those degrees of freedom into a tunable schema for the genetic
+//! autotuner.
+//!
+//! Pipeline:
+//!
+//! ```text
+//! source ──lexer──▶ tokens ──parser──▶ AST ──sema──▶ checked AST
+//!        ──cdg──▶ choice dependency graph (execution order, choice sites)
+//!        ──traininfo──▶ pb_config::Schema  (the "training information file")
+//!        ──interp──▶ executable transform (pb_runtime::Transform adapter)
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pb_lang::parse_program;
+//!
+//! let source = r#"
+//!     transform double
+//!     accuracy_metric doubleacc
+//!     from In[n]
+//!     to Out[n]
+//!     {
+//!         to (Out o) from (In a) {
+//!             for (i in 0 .. len(a)) { o[i] = 2 * a[i]; }
+//!         }
+//!     }
+//!
+//!     transform doubleacc
+//!     from Out[n], In[n]
+//!     to Accuracy
+//!     {
+//!         to (Accuracy acc) from (Out o, In a) {
+//!             acc = 1;
+//!         }
+//!     }
+//! "#;
+//! let program = parse_program(source).unwrap();
+//! assert_eq!(program.transforms.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod cdg;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+pub mod traininfo;
+pub mod transform;
+
+pub use ast::Program;
+pub use interp::{Interpreter, Value};
+pub use parser::{parse_program, ParseError};
+pub use sema::{check_program, SemaError};
+pub use traininfo::extract_schema;
+pub use transform::DslTransform;

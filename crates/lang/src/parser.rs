@@ -1,0 +1,817 @@
+//! Recursive-descent parser for the transform language.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use std::fmt;
+
+/// A syntax error with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = lex(source).map_err(|e| ParseError {
+        message: e.message,
+        span: e.span,
+    })?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    for_enough_counter: usize,
+    either_counter: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            for_enough_counter: 0,
+            either_counter: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self, ahead: usize) -> &TokenKind {
+        let i = (self.pos + ahead).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        std::mem::discriminant(&self.peek().kind) == std::mem::discriminant(kind)
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            span: self.peek().span,
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<(f64, Span), ParseError> {
+        // A leading minus sign is allowed in header positions.
+        let neg = self.eat(&TokenKind::Minus);
+        match self.peek().kind {
+            TokenKind::Number(value) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok((if neg { -value } else { value }, span))
+            }
+            ref other => Err(self.error(format!("expected number, found {other}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut transforms = Vec::new();
+        while !self.at(&TokenKind::Eof) {
+            transforms.push(self.transform()?);
+        }
+        if transforms.is_empty() {
+            return Err(self.error("a program needs at least one transform".into()));
+        }
+        Ok(Program { transforms })
+    }
+
+    fn transform(&mut self) -> Result<Transform, ParseError> {
+        self.for_enough_counter = 0;
+        self.either_counter = 0;
+        let start = self.expect(&TokenKind::Transform)?.span;
+        let (name, _) = self.ident()?;
+        let mut t = Transform {
+            name,
+            accuracy_metric: None,
+            accuracy_variables: Vec::new(),
+            accuracy_bins: Vec::new(),
+            inputs: Vec::new(),
+            intermediates: Vec::new(),
+            outputs: Vec::new(),
+            rules: Vec::new(),
+            span: start,
+        };
+        // Headers, in any order, until the body brace.
+        loop {
+            match self.peek().kind {
+                TokenKind::AccuracyMetric => {
+                    self.bump();
+                    let (metric, _) = self.ident()?;
+                    t.accuracy_metric = Some(metric);
+                }
+                TokenKind::AccuracyVariable => {
+                    self.bump();
+                    let (vname, vspan) = self.ident()?;
+                    // Optional `min max` range.
+                    let (min, max) = if matches!(self.peek().kind, TokenKind::Number(_))
+                        || self.at(&TokenKind::Minus)
+                    {
+                        let (lo, _) = self.number()?;
+                        let (hi, _) = self.number()?;
+                        (lo as i64, hi as i64)
+                    } else {
+                        (1, 1_000_000)
+                    };
+                    t.accuracy_variables.push(AccuracyVariable {
+                        name: vname,
+                        min,
+                        max,
+                        span: vspan,
+                    });
+                }
+                TokenKind::AccuracyBins => {
+                    self.bump();
+                    while matches!(self.peek().kind, TokenKind::Number(_))
+                        || self.at(&TokenKind::Minus)
+                    {
+                        let (v, _) = self.number()?;
+                        t.accuracy_bins.push(v);
+                    }
+                    if t.accuracy_bins.is_empty() {
+                        return Err(self.error("accuracy_bins needs at least one value".into()));
+                    }
+                }
+                TokenKind::From => {
+                    self.bump();
+                    t.inputs = self.param_list()?;
+                }
+                TokenKind::Through => {
+                    self.bump();
+                    t.intermediates = self.param_list()?;
+                }
+                TokenKind::To => {
+                    self.bump();
+                    t.outputs = self.param_list()?;
+                }
+                TokenKind::LBrace => break,
+                ref other => {
+                    return Err(self.error(format!(
+                        "expected a transform header or `{{`, found {other}"
+                    )))
+                }
+            }
+        }
+        self.expect(&TokenKind::LBrace)?;
+        while !self.at(&TokenKind::RBrace) {
+            t.rules.push(self.rule()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(t)
+    }
+
+    fn param_list(&mut self) -> Result<Vec<Param>, ParseError> {
+        let mut params = vec![self.param()?];
+        while self.eat(&TokenKind::Comma) {
+            params.push(self.param()?);
+        }
+        Ok(params)
+    }
+
+    fn param(&mut self) -> Result<Param, ParseError> {
+        let (name, span) = self.ident()?;
+        let mut dims = Vec::new();
+        if self.eat(&TokenKind::LBracket) {
+            dims.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                dims.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RBracket)?;
+        }
+        let scaled_by = if self.eat(&TokenKind::ScaledBy) {
+            Some(self.ident()?.0)
+        } else {
+            None
+        };
+        Ok(Param {
+            name,
+            dims,
+            scaled_by,
+            span,
+        })
+    }
+
+    fn rule(&mut self) -> Result<Rule, ParseError> {
+        let start = self.expect(&TokenKind::To)?.span;
+        self.expect(&TokenKind::LParen)?;
+        let outputs = self.binding_list()?;
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::From)?;
+        self.expect(&TokenKind::LParen)?;
+        let inputs = if self.at(&TokenKind::RParen) {
+            Vec::new()
+        } else {
+            self.binding_list()?
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Rule {
+            outputs,
+            inputs,
+            body,
+            span: start,
+        })
+    }
+
+    fn binding_list(&mut self) -> Result<Vec<Binding>, ParseError> {
+        let mut bindings = vec![self.binding()?];
+        while self.eat(&TokenKind::Comma) {
+            bindings.push(self.binding()?);
+        }
+        Ok(bindings)
+    }
+
+    fn binding(&mut self) -> Result<Binding, ParseError> {
+        let (data, span) = self.ident()?;
+        let (alias, _) = self.ident()?;
+        Ok(Binding { data, alias, span })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+        match self.peek().kind {
+            TokenKind::Let => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Let { name, value, span })
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_block = self.block()?;
+                let else_block = if self.eat(&TokenKind::Else) {
+                    Some(self.block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let (var, _) = self.ident()?;
+                self.expect(&TokenKind::In)?;
+                let lo = self.expr()?;
+                self.expect(&TokenKind::DotDot)?;
+                let hi = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::ForEnough => {
+                self.bump();
+                let id = self.for_enough_counter;
+                self.for_enough_counter += 1;
+                let body = self.block()?;
+                Ok(Stmt::ForEnough { id, body, span })
+            }
+            TokenKind::Either => {
+                self.bump();
+                let id = self.either_counter;
+                self.either_counter += 1;
+                let mut branches = vec![self.block()?];
+                while self.eat(&TokenKind::Or) {
+                    branches.push(self.block()?);
+                }
+                if branches.len() < 2 {
+                    return Err(self.error("`either` needs at least one `or` branch".into()));
+                }
+                Ok(Stmt::Either { id, branches, span })
+            }
+            TokenKind::VerifyAccuracy => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::VerifyAccuracy { span })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            _ => {
+                // Assignment or expression statement. Try lvalue `=`.
+                if let TokenKind::Ident(_) = self.peek().kind {
+                    if let Some(stmt) = self.try_assignment(span)? {
+                        return Ok(stmt);
+                    }
+                }
+                let expr = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Expr { expr, span })
+            }
+        }
+    }
+
+    /// Parses `ident [indices] = expr ;` if the lookahead matches,
+    /// without consuming anything on failure.
+    fn try_assignment(&mut self, span: Span) -> Result<Option<Stmt>, ParseError> {
+        let save = self.pos;
+        let (name, _) = self.ident()?;
+        let target = if self.eat(&TokenKind::LBracket) {
+            let mut indices = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                indices.push(self.expr()?);
+            }
+            if !self.eat(&TokenKind::RBracket) {
+                self.pos = save;
+                return Ok(None);
+            }
+            LValue::Index { name, indices }
+        } else {
+            LValue::Var(name)
+        };
+        if !self.eat(&TokenKind::Assign) {
+            self.pos = save;
+            return Ok(None);
+        }
+        let value = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Some(Stmt::Assign {
+            target,
+            value,
+            span,
+        }))
+    }
+
+    // Precedence climbing: || < && < comparisons < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.at(&TokenKind::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at(&TokenKind::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+            span,
+        })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary_expr()?;
+            let span = span.to(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary_expr()?;
+            let span = span.to(operand.span());
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        let span = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Number(value) => {
+                self.bump();
+                Ok(Expr::Number(value, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // Sub-accuracy call: `Foo<2.5>(args)` — three-token
+                // lookahead distinguishes it from a comparison.
+                if self.at(&TokenKind::Lt)
+                    && matches!(self.peek_kind(1), TokenKind::Number(_))
+                    && matches!(self.peek_kind(2), TokenKind::Gt)
+                    && matches!(self.peek_kind(3), TokenKind::LParen)
+                {
+                    self.bump(); // <
+                    let accuracy = match self.bump().kind {
+                        TokenKind::Number(v) => v,
+                        _ => unreachable!("lookahead checked"),
+                    };
+                    self.bump(); // >
+                    self.expect(&TokenKind::LParen)?;
+                    let args = self.arg_list()?;
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    return Ok(Expr::Call {
+                        name,
+                        accuracy: Some(accuracy),
+                        args,
+                        span: span.to(end),
+                    });
+                }
+                if self.eat(&TokenKind::LParen) {
+                    let args = self.arg_list()?;
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    return Ok(Expr::Call {
+                        name,
+                        accuracy: None,
+                        args,
+                        span: span.to(end),
+                    });
+                }
+                if self.eat(&TokenKind::LBracket) {
+                    let mut indices = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        indices.push(self.expr()?);
+                    }
+                    let end = self.expect(&TokenKind::RBracket)?.span;
+                    return Ok(Expr::Index {
+                        name,
+                        indices,
+                        span: span.to(end),
+                    });
+                }
+                Ok(Expr::Var(name, span))
+            }
+            other => Err(self.error(format!("expected an expression, found {other}"))),
+        }
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.at(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        args.push(self.expr()?);
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.expr()?);
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The paper's Figure 3 kmeans example, adapted to this grammar.
+    pub(crate) const KMEANS: &str = r#"
+        transform kmeans
+        accuracy_metric kmeansaccuracy
+        accuracy_variable k 1 4096
+        from Points[n, 2]
+        through Centroids[k, 2]
+        to Assignments[n]
+        {
+            // Rule 1: random initial centroids.
+            to (Centroids c) from (Points p) {
+                for (i in 0 .. cols(c)) {
+                    let src = floor(rand(0, cols(p)));
+                    c[0, i] = p[0, src];
+                    c[1, i] = p[1, src];
+                }
+            }
+
+            // Rule 2: kmeans++ style initial centroids.
+            to (Centroids c) from (Points p) {
+                CenterPlus(c, p);
+            }
+
+            // Rule 3: the iterative solve.
+            to (Assignments a) from (Points p, Centroids c) {
+                for_enough {
+                    let change = AssignClusters(a, p, c);
+                    if (change == 0) { return; }
+                    NewClusterLocations(c, p, a);
+                }
+            }
+        }
+
+        transform kmeansaccuracy
+        from Assignments[n], Points[n, 2]
+        to Accuracy
+        {
+            to (Accuracy acc) from (Assignments a, Points p) {
+                acc = sqrt(2 * len(a) / SumClusterDistanceSquared(a, p));
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_the_kmeans_example() {
+        let program = parse_program(KMEANS).unwrap();
+        assert_eq!(program.transforms.len(), 2);
+        let kmeans = program.transform("kmeans").unwrap();
+        assert_eq!(kmeans.accuracy_metric.as_deref(), Some("kmeansaccuracy"));
+        assert_eq!(kmeans.accuracy_variables[0].name, "k");
+        assert_eq!(kmeans.rules.len(), 3);
+        assert_eq!(kmeans.intermediates[0].name, "Centroids");
+        // Two rules produce Centroids: the compiler sees a choice.
+        let producers = kmeans
+            .rules
+            .iter()
+            .filter(|r| r.outputs.iter().any(|b| b.data == "Centroids"))
+            .count();
+        assert_eq!(producers, 2);
+    }
+
+    #[test]
+    fn for_enough_gets_sequential_ids() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) {
+                    for_enough { b[0] = 1; }
+                    for_enough { b[0] = 2; }
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let rule = &program.transforms[0].rules[0];
+        let ids: Vec<usize> = rule
+            .body
+            .stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::ForEnough { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn either_or_parses() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) {
+                    either { b[0] = 1; } or { b[0] = 2; } or { b[0] = 3; }
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        match &program.transforms[0].rules[0].body.stmts[0] {
+            Stmt::Either { branches, .. } => assert_eq!(branches.len(), 3),
+            other => panic!("expected either, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_accuracy_call_vs_comparison() {
+        let src = r#"
+            transform t accuracy_variable v from A[n] to B[n] {
+                to (B b) from (A a) {
+                    let x = Solve<2.5>(a);
+                    let y = v < 3;
+                    b[0] = x + y;
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let rule = &program.transforms[0].rules[0];
+        match &rule.body.stmts[0] {
+            Stmt::Let { value: Expr::Call { accuracy, .. }, .. } => {
+                assert_eq!(*accuracy, Some(2.5));
+            }
+            other => panic!("expected sub-accuracy call, got {other:?}"),
+        }
+        match &rule.body.stmts[1] {
+            Stmt::Let { value: Expr::Binary { op, .. }, .. } => {
+                assert_eq!(*op, BinOp::Lt);
+            }
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1 + 2 * 3; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        match &program.transforms[0].rules[0].body.stmts[0] {
+            Stmt::Assign { value: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1 }
+            }
+        "#;
+        let err = parse_program(src).unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn verify_accuracy_and_bins() {
+        let src = r#"
+            transform t
+            accuracy_bins 0.1 0.5 0.9
+            from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; verify_accuracy; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        assert_eq!(program.transforms[0].accuracy_bins, vec![0.1, 0.5, 0.9]);
+        assert!(matches!(
+            program.transforms[0].rules[0].body.stmts[1],
+            Stmt::VerifyAccuracy { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("   // just a comment").is_err());
+    }
+}

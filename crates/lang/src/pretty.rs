@@ -1,0 +1,322 @@
+//! Pretty-printer: AST → canonical source text.
+//!
+//! The printer's output re-parses to an identical AST (modulo spans),
+//! which the test suite exercises as a round-trip property.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Pretty-prints a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for (i, t) in program.transforms.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_transform(t, &mut out);
+    }
+    out
+}
+
+fn print_transform(t: &Transform, out: &mut String) {
+    let _ = writeln!(out, "transform {}", t.name);
+    if let Some(m) = &t.accuracy_metric {
+        let _ = writeln!(out, "accuracy_metric {m}");
+    }
+    for av in &t.accuracy_variables {
+        let _ = writeln!(out, "accuracy_variable {} {} {}", av.name, av.min, av.max);
+    }
+    if !t.accuracy_bins.is_empty() {
+        let bins: Vec<String> = t.accuracy_bins.iter().map(|b| format_num(*b)).collect();
+        let _ = writeln!(out, "accuracy_bins {}", bins.join(" "));
+    }
+    print_params("from", &t.inputs, out);
+    print_params("through", &t.intermediates, out);
+    print_params("to", &t.outputs, out);
+    out.push_str("{\n");
+    for rule in &t.rules {
+        print_rule(rule, out);
+    }
+    out.push_str("}\n");
+}
+
+fn print_params(keyword: &str, params: &[Param], out: &mut String) {
+    if params.is_empty() {
+        return;
+    }
+    let rendered: Vec<String> = params
+        .iter()
+        .map(|p| {
+            let mut rendered = if p.dims.is_empty() {
+                p.name.clone()
+            } else {
+                let dims: Vec<String> = p.dims.iter().map(print_expr).collect();
+                format!("{}[{}]", p.name, dims.join(", "))
+            };
+            if let Some(resampler) = &p.scaled_by {
+                rendered.push_str(&format!(" scaled_by {resampler}"));
+            }
+            rendered
+        })
+        .collect();
+    let _ = writeln!(out, "{keyword} {}", rendered.join(", "));
+}
+
+fn print_rule(rule: &Rule, out: &mut String) {
+    let outs: Vec<String> = rule
+        .outputs
+        .iter()
+        .map(|b| format!("{} {}", b.data, b.alias))
+        .collect();
+    let ins: Vec<String> = rule
+        .inputs
+        .iter()
+        .map(|b| format!("{} {}", b.data, b.alias))
+        .collect();
+    let _ = writeln!(out, "    to ({}) from ({}) {{", outs.join(", "), ins.join(", "));
+    print_block(&rule.body, 2, out);
+    out.push_str("    }\n");
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    for stmt in &block.stmts {
+        print_stmt(stmt, level, out);
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Let { name, value, .. } => {
+            let _ = writeln!(out, "let {name} = {};", print_expr(value));
+        }
+        Stmt::Assign { target, value, .. } => {
+            let t = match target {
+                LValue::Var(n) => n.clone(),
+                LValue::Index { name, indices } => {
+                    let idx: Vec<String> = indices.iter().map(print_expr).collect();
+                    format!("{name}[{}]", idx.join(", "))
+                }
+            };
+            let _ = writeln!(out, "{t} = {};", print_expr(value));
+        }
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            ..
+        } => {
+            let _ = writeln!(out, "if ({}) {{", print_expr(cond));
+            print_block(then_block, level + 1, out);
+            indent(level, out);
+            match else_block {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    print_block(e, level + 1, out);
+                    indent(level, out);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", print_expr(cond));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::For { var, lo, hi, body, .. } => {
+            let _ = writeln!(out, "for ({var} in {} .. {}) {{", print_expr(lo), print_expr(hi));
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::ForEnough { body, .. } => {
+            out.push_str("for_enough {\n");
+            print_block(body, level + 1, out);
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Either { branches, .. } => {
+            out.push_str("either {\n");
+            print_block(&branches[0], level + 1, out);
+            indent(level, out);
+            out.push('}');
+            for b in &branches[1..] {
+                out.push_str(" or {\n");
+                print_block(b, level + 1, out);
+                indent(level, out);
+                out.push('}');
+            }
+            out.push('\n');
+        }
+        Stmt::VerifyAccuracy { .. } => out.push_str("verify_accuracy;\n"),
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "return {};", print_expr(v));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::Expr { expr, .. } => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one expression (fully parenthesized where precedence could
+/// bite).
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Number(v, _) => format_num(*v),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Index { name, indices, .. } => {
+            let idx: Vec<String> = indices.iter().map(print_expr).collect();
+            format!("{name}[{}]", idx.join(", "))
+        }
+        Expr::Call {
+            name,
+            accuracy,
+            args,
+            ..
+        } => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            match accuracy {
+                Some(acc) => format!("{name}<{}>({})", format_num(*acc), a.join(", ")),
+                None => format!("{name}({})", a.join(", ")),
+            }
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {o} {})", print_expr(lhs), print_expr(rhs))
+        }
+        Expr::Unary { op, operand, .. } => {
+            let o = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("({o}{})", print_expr(operand))
+        }
+    }
+}
+
+/// Structural equality that ignores spans (used by round-trip tests).
+pub fn ast_eq(a: &Program, b: &Program) -> bool {
+    print_program(a) == print_program(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn kmeans_round_trips() {
+        let program = parse_program(crate::parser::tests::KMEANS).unwrap();
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        assert!(ast_eq(&program, &reparsed));
+    }
+
+    #[test]
+    fn parenthesization_preserves_structure() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) {
+                    b[0] = 1 + 2 * 3 - -4 / (5 + 6);
+                    b[1] = a[0] < 3 && !(a[1] == 2);
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        assert!(ast_eq(&program, &reparsed), "{printed}");
+    }
+
+    #[test]
+    fn all_statement_forms_round_trip() {
+        let src = r#"
+            transform t
+            accuracy_variable v 1 10
+            accuracy_bins 0.5 1
+            from A[n] to B[n] {
+                to (B b) from (A a) {
+                    let x = 1;
+                    x = x + 1;
+                    if (x > 0) { b[0] = 1; } else { b[0] = 2; }
+                    while (x < 5) { x = x + 1; }
+                    for (i in 0 .. 3) { b[i] = i; }
+                    for_enough { x = x + 1; }
+                    either { b[0] = 1; } or { b[0] = 2; }
+                    verify_accuracy;
+                    Helper(b, x);
+                    return;
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let printed = print_program(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        assert!(ast_eq(&program, &reparsed), "{printed}");
+    }
+
+    #[test]
+    fn scaled_by_round_trips() {
+        let src = r#"
+            transform t from A[n] scaled_by linear to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let printed = print_program(&program);
+        assert!(printed.contains("A[n] scaled_by linear"));
+        let reparsed = parse_program(&printed).unwrap();
+        assert!(ast_eq(&program, &reparsed));
+    }
+
+    #[test]
+    fn sub_accuracy_call_round_trips() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = t2<1.5>(a); }
+            }
+            transform t2 from X[n] to R {
+                to (R r) from (X x) { r = 1; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let printed = print_program(&program);
+        assert!(printed.contains("t2<1.5>(a)"));
+        let reparsed = parse_program(&printed).unwrap();
+        assert!(ast_eq(&program, &reparsed));
+    }
+}

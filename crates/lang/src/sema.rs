@@ -1,0 +1,403 @@
+//! Semantic analysis: name resolution and well-formedness checks.
+
+use crate::ast::{Expr, Program, Stmt, Transform};
+use crate::token::Span;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A semantic error with its location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemaError {
+    /// Human-readable message.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "semantic error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SemaError {}
+
+/// Checks the whole program, returning every violation found.
+///
+/// # Errors
+///
+/// Returns the list of semantic errors (empty never — `Ok(())` means
+/// the program is well-formed).
+pub fn check_program(program: &Program) -> Result<(), Vec<SemaError>> {
+    let mut errors = Vec::new();
+    let mut names: HashSet<&str> = HashSet::new();
+    for t in &program.transforms {
+        if !names.insert(&t.name) {
+            errors.push(SemaError {
+                message: format!("duplicate transform name `{}`", t.name),
+                span: t.span,
+            });
+        }
+    }
+    for t in &program.transforms {
+        check_transform(program, t, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_transform(program: &Program, t: &Transform, errors: &mut Vec<SemaError>) {
+    // Data names unique.
+    let mut data_names: HashSet<&str> = HashSet::new();
+    for p in t.all_data() {
+        if !data_names.insert(&p.name) {
+            errors.push(SemaError {
+                message: format!(
+                    "data `{}` declared more than once in transform `{}`",
+                    p.name, t.name
+                ),
+                span: p.span,
+            });
+        }
+    }
+
+    // Accuracy variables: sane ranges, no clash with data names.
+    let mut av_names: HashSet<&str> = HashSet::new();
+    for av in &t.accuracy_variables {
+        if av.min > av.max {
+            errors.push(SemaError {
+                message: format!(
+                    "accuracy variable `{}` has an empty range {}..{}",
+                    av.name, av.min, av.max
+                ),
+                span: av.span,
+            });
+        }
+        if !av_names.insert(&av.name) {
+            errors.push(SemaError {
+                message: format!("duplicate accuracy variable `{}`", av.name),
+                span: av.span,
+            });
+        }
+        if data_names.contains(av.name.as_str()) {
+            errors.push(SemaError {
+                message: format!(
+                    "accuracy variable `{}` shadows a data declaration",
+                    av.name
+                ),
+                span: av.span,
+            });
+        }
+    }
+
+    // The accuracy metric must exist and produce a single scalar.
+    if let Some(metric) = &t.accuracy_metric {
+        match program.transform(metric) {
+            None => errors.push(SemaError {
+                message: format!(
+                    "accuracy metric `{metric}` of transform `{}` is not defined",
+                    t.name
+                ),
+                span: t.span,
+            }),
+            Some(m) => {
+                if m.outputs.len() != 1 || !m.outputs[0].dims.is_empty() {
+                    errors.push(SemaError {
+                        message: format!(
+                            "accuracy metric `{metric}` must produce exactly one scalar output"
+                        ),
+                        span: m.span,
+                    });
+                }
+            }
+        }
+    }
+
+    // `scaled_by` (§3.2): supported on inputs, with the built-in
+    // `linear` resampler.
+    for p in t.intermediates.iter().chain(&t.outputs) {
+        if p.scaled_by.is_some() {
+            errors.push(SemaError {
+                message: format!(
+                    "`scaled_by` on `{}` is only supported on transform inputs",
+                    p.name
+                ),
+                span: p.span,
+            });
+        }
+    }
+    for p in &t.inputs {
+        if let Some(resampler) = &p.scaled_by {
+            if resampler != "linear" {
+                errors.push(SemaError {
+                    message: format!(
+                        "unknown resampler `{resampler}` for `{}` (only the built-in `linear` is available)",
+                        p.name
+                    ),
+                    span: p.span,
+                });
+            }
+            if p.dims.len() != 1 {
+                errors.push(SemaError {
+                    message: format!(
+                        "`scaled_by` input `{}` must be one-dimensional",
+                        p.name
+                    ),
+                    span: p.span,
+                });
+            }
+        }
+    }
+
+    // Rules: bindings reference declared data; outputs are writable.
+    let input_names: HashSet<&str> = t.inputs.iter().map(|p| p.name.as_str()).collect();
+    for rule in &t.rules {
+        for b in &rule.outputs {
+            if !data_names.contains(b.data.as_str()) {
+                errors.push(SemaError {
+                    message: format!("rule writes undeclared data `{}`", b.data),
+                    span: b.span,
+                });
+            } else if input_names.contains(b.data.as_str()) {
+                errors.push(SemaError {
+                    message: format!("rule writes transform input `{}`", b.data),
+                    span: b.span,
+                });
+            }
+        }
+        for b in &rule.inputs {
+            if !data_names.contains(b.data.as_str()) {
+                errors.push(SemaError {
+                    message: format!("rule reads undeclared data `{}`", b.data),
+                    span: b.span,
+                });
+            }
+        }
+        check_block_calls(program, &rule.body, errors);
+    }
+
+    // Every non-input datum needs at least one producing rule.
+    for p in t.intermediates.iter().chain(&t.outputs) {
+        let produced = t
+            .rules
+            .iter()
+            .any(|r| r.outputs.iter().any(|b| b.data == p.name));
+        if !produced {
+            errors.push(SemaError {
+                message: format!(
+                    "data `{}` in transform `{}` has no producing rule",
+                    p.name, t.name
+                ),
+                span: p.span,
+            });
+        }
+    }
+}
+
+/// Explicit sub-accuracy calls must target declared transforms.
+fn check_block_calls(program: &Program, block: &crate::ast::Block, errors: &mut Vec<SemaError>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { value, .. } | Stmt::Expr { expr: value, .. } => {
+                check_expr_calls(program, value, errors)
+            }
+            Stmt::Assign { value, .. } => check_expr_calls(program, value, errors),
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                check_expr_calls(program, cond, errors);
+                check_block_calls(program, then_block, errors);
+                if let Some(e) = else_block {
+                    check_block_calls(program, e, errors);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                check_expr_calls(program, cond, errors);
+                check_block_calls(program, body, errors);
+            }
+            Stmt::For { lo, hi, body, .. } => {
+                check_expr_calls(program, lo, errors);
+                check_expr_calls(program, hi, errors);
+                check_block_calls(program, body, errors);
+            }
+            Stmt::ForEnough { body, .. } => check_block_calls(program, body, errors),
+            Stmt::Either { branches, .. } => {
+                for b in branches {
+                    check_block_calls(program, b, errors);
+                }
+            }
+            Stmt::Return { value: Some(v), .. } => check_expr_calls(program, v, errors),
+            Stmt::Return { value: None, .. } | Stmt::VerifyAccuracy { .. } => {}
+        }
+    }
+}
+
+fn check_expr_calls(program: &Program, expr: &Expr, errors: &mut Vec<SemaError>) {
+    match expr {
+        Expr::Call {
+            name,
+            accuracy,
+            args,
+            span,
+        } => {
+            if accuracy.is_some() && program.transform(name).is_none() {
+                errors.push(SemaError {
+                    message: format!(
+                        "sub-accuracy call targets undeclared transform `{name}`"
+                    ),
+                    span: *span,
+                });
+            }
+            for a in args {
+                check_expr_calls(program, a, errors);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            check_expr_calls(program, lhs, errors);
+            check_expr_calls(program, rhs, errors);
+        }
+        Expr::Unary { operand, .. } => check_expr_calls(program, operand, errors),
+        Expr::Index { indices, .. } => {
+            for i in indices {
+                check_expr_calls(program, i, errors);
+            }
+        }
+        Expr::Number(..) | Expr::Var(..) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn errors_of(src: &str) -> Vec<String> {
+        match check_program(&parse_program(src).unwrap()) {
+            Ok(()) => Vec::new(),
+            Err(es) => es.into_iter().map(|e| e.message).collect(),
+        }
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let src = r#"
+            transform t
+            accuracy_metric m
+            accuracy_variable k 1 10
+            from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = a[0]; }
+            }
+            transform m from B[n], A[n] to Accuracy {
+                to (Accuracy acc) from (B b, A a) { acc = 1; }
+            }
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn missing_metric_reported() {
+        let src = r#"
+            transform t accuracy_metric nope from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("nope")), "{errs:?}");
+    }
+
+    #[test]
+    fn metric_must_be_scalar() {
+        let src = r#"
+            transform t accuracy_metric m from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+            transform m from B[n] to Acc[n] {
+                to (Acc acc) from (B b) { acc[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("scalar")), "{errs:?}");
+    }
+
+    #[test]
+    fn unproduced_output_reported() {
+        let src = r#"
+            transform t from A[n] through C[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("no producing rule")), "{errs:?}");
+    }
+
+    #[test]
+    fn writing_an_input_reported() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (A a, B b) from () { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("writes transform input")), "{errs:?}");
+    }
+
+    #[test]
+    fn undeclared_rule_data_reported() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (Z z) { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("undeclared data `Z`")), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_transform_and_variable_names() {
+        let src = r#"
+            transform t accuracy_variable v accuracy_variable v from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("duplicate transform")));
+        assert!(errs.iter().any(|e| e.contains("duplicate accuracy variable")));
+    }
+
+    #[test]
+    fn bad_sub_accuracy_target_reported() {
+        let src = r#"
+            transform t from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = Ghost<1.5>(a); }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("Ghost")), "{errs:?}");
+    }
+
+    #[test]
+    fn empty_accuracy_variable_range_reported() {
+        let src = r#"
+            transform t accuracy_variable v 5 2 from A[n] to B[n] {
+                to (B b) from (A a) { b[0] = 1; }
+            }
+        "#;
+        let errs = errors_of(src);
+        assert!(errs.iter().any(|e| e.contains("empty range")), "{errs:?}");
+    }
+
+    #[test]
+    fn kmeans_example_is_well_formed() {
+        let program = parse_program(crate::parser::tests::KMEANS).unwrap();
+        assert!(check_program(&program).is_ok());
+    }
+}

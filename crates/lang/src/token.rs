@@ -1,0 +1,255 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start byte offset.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based line and column of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// Token kinds of the transform language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    // Keywords.
+    /// `transform`
+    Transform,
+    /// `accuracy_metric`
+    AccuracyMetric,
+    /// `accuracy_variable`
+    AccuracyVariable,
+    /// `accuracy_bins`
+    AccuracyBins,
+    /// `from`
+    From,
+    /// `through`
+    Through,
+    /// `to`
+    To,
+    /// `either`
+    Either,
+    /// `or`
+    Or,
+    /// `for_enough`
+    ForEnough,
+    /// `verify_accuracy`
+    VerifyAccuracy,
+    /// `scaled_by`
+    ScaledBy,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `let`
+    Let,
+    /// `return`
+    Return,
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `..`
+    DotDot,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(v) => write!(f, "number `{v}`"),
+            TokenKind::Transform => write!(f, "`transform`"),
+            TokenKind::AccuracyMetric => write!(f, "`accuracy_metric`"),
+            TokenKind::AccuracyVariable => write!(f, "`accuracy_variable`"),
+            TokenKind::AccuracyBins => write!(f, "`accuracy_bins`"),
+            TokenKind::From => write!(f, "`from`"),
+            TokenKind::Through => write!(f, "`through`"),
+            TokenKind::To => write!(f, "`to`"),
+            TokenKind::Either => write!(f, "`either`"),
+            TokenKind::Or => write!(f, "`or`"),
+            TokenKind::ForEnough => write!(f, "`for_enough`"),
+            TokenKind::VerifyAccuracy => write!(f, "`verify_accuracy`"),
+            TokenKind::ScaledBy => write!(f, "`scaled_by`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::While => write!(f, "`while`"),
+            TokenKind::For => write!(f, "`for`"),
+            TokenKind::In => write!(f, "`in`"),
+            TokenKind::Let => write!(f, "`let`"),
+            TokenKind::Return => write!(f, "`return`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Assign => write!(f, "`=`"),
+            TokenKind::Eq => write!(f, "`==`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Percent => write!(f, "`%`"),
+            TokenKind::AndAnd => write!(f, "`&&`"),
+            TokenKind::OrOr => write!(f, "`||`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// Maps an identifier to its keyword kind, if it is one.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "transform" => TokenKind::Transform,
+        "accuracy_metric" => TokenKind::AccuracyMetric,
+        "accuracy_variable" => TokenKind::AccuracyVariable,
+        "accuracy_bins" => TokenKind::AccuracyBins,
+        "from" => TokenKind::From,
+        "through" => TokenKind::Through,
+        "to" => TokenKind::To,
+        "either" => TokenKind::Either,
+        "or" => TokenKind::Or,
+        "for_enough" => TokenKind::ForEnough,
+        "verify_accuracy" => TokenKind::VerifyAccuracy,
+        "scaled_by" => TokenKind::ScaledBy,
+        "if" => TokenKind::If,
+        "else" => TokenKind::Else,
+        "while" => TokenKind::While,
+        "for" => TokenKind::For,
+        "in" => TokenKind::In,
+        "let" => TokenKind::Let,
+        "return" => TokenKind::Return,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_line_col() {
+        let a = Span::new(2, 5);
+        let b = Span::new(8, 10);
+        assert_eq!(a.to(b), Span::new(2, 10));
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(3, 4).line_col(src), (2, 1));
+        assert_eq!(Span::new(7, 8).line_col(src), (3, 2));
+    }
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(keyword("transform"), Some(TokenKind::Transform));
+        assert_eq!(keyword("for_enough"), Some(TokenKind::ForEnough));
+        assert_eq!(keyword("banana"), None);
+    }
+}

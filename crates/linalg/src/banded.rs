@@ -1,0 +1,351 @@
+//! Symmetric banded matrices and band Cholesky — the `DPBSV`
+//! equivalent.
+//!
+//! The paper's Poisson benchmark uses "one direct (band Cholesky
+//! factorization through LAPACK's DPBSV routine)" building block
+//! (§6.1.5). The discretized 2D Laplacian on an `n × n` grid is
+//! symmetric positive definite with bandwidth `n`, so band Cholesky
+//! solves it in `O(n² · bandwidth²)` — asymptotically better than dense
+//! factorization but worse than multigrid, which is exactly the
+//! trade-off the autotuner explores.
+
+use crate::matrix::Matrix;
+
+/// A symmetric banded matrix stored by diagonals (lower part).
+///
+/// `band(d)[i]` holds `A[i + d][i]` for `d = 0..=bandwidth`.
+///
+/// # Examples
+///
+/// ```
+/// use pb_linalg::SymmetricBanded;
+///
+/// // The 1D Poisson operator tridiag(-1, 2, -1) of size 4.
+/// let a = SymmetricBanded::poisson_1d(4);
+/// let chol = a.cholesky().unwrap();
+/// let x = chol.solve(&[1.0, 0.0, 0.0, 1.0]);
+/// let ax = a.matvec(&x);
+/// for (got, want) in ax.iter().zip([1.0, 0.0, 0.0, 1.0]) {
+///     assert!((got - want).abs() < 1e-10);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricBanded {
+    n: usize,
+    bandwidth: usize,
+    /// `bands[d][i] = A[i + d][i]`, `d` in `0..=bandwidth`,
+    /// `i` in `0..n - d`.
+    bands: Vec<Vec<f64>>,
+}
+
+impl SymmetricBanded {
+    /// A zero matrix of size `n` with the given (lower) bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth >= n` and `n > 0` (such a matrix should be
+    /// dense instead) — except that `n == 0` is rejected outright.
+    pub fn zeros(n: usize, bandwidth: usize) -> Self {
+        assert!(n > 0, "empty banded matrix");
+        assert!(bandwidth < n, "bandwidth must be below the dimension");
+        SymmetricBanded {
+            n,
+            bandwidth,
+            bands: (0..=bandwidth).map(|d| vec![0.0; n - d]).collect(),
+        }
+    }
+
+    /// The 1D Poisson operator `tridiag(-1, 2, -1)` of size `n`.
+    pub fn poisson_1d(n: usize) -> Self {
+        let mut a = SymmetricBanded::zeros(n, 1.min(n - 1));
+        for i in 0..n {
+            a.set(i, i, 2.0);
+        }
+        for i in 0..n.saturating_sub(1) {
+            a.set(i + 1, i, -1.0);
+        }
+        a
+    }
+
+    /// The 2D Poisson 5-point operator on an `m × m` interior grid
+    /// (dimension `m²`, bandwidth `m`) — the system the paper's Poisson
+    /// and preconditioner benchmarks solve (§6.1.5, §6.1.6).
+    pub fn poisson_2d(m: usize) -> Self {
+        assert!(m > 0, "grid must be non-empty");
+        let n = m * m;
+        let bw = if n == 1 { 0 } else { m };
+        let mut a = SymmetricBanded::zeros(n, bw);
+        for row in 0..m {
+            for col in 0..m {
+                let idx = row * m + col;
+                a.set(idx, idx, 4.0);
+                if col + 1 < m {
+                    a.set(idx + 1, idx, -1.0);
+                }
+                if row + 1 < m {
+                    a.set(idx + m, idx, -1.0);
+                }
+            }
+        }
+        a
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The (lower) bandwidth.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// Entry `A[i][j]` (0 outside the band).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        let d = hi - lo;
+        if d > self.bandwidth {
+            0.0
+        } else {
+            self.bands[d][lo]
+        }
+    }
+
+    /// Sets `A[i][j]` (and its mirror).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry lies outside the band or out of range.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (hi, lo) = if i >= j { (i, j) } else { (j, i) };
+        let d = hi - lo;
+        assert!(d <= self.bandwidth, "entry outside the band");
+        self.bands[d][lo] = value;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "vector length mismatch");
+        let mut y = vec![0.0; self.n];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let lo = i.saturating_sub(self.bandwidth);
+            let hi = (i + self.bandwidth + 1).min(self.n);
+            let mut acc = 0.0;
+            for j in lo..hi {
+                acc += self.get(i, j) * x[j];
+            }
+            *yi = acc;
+        }
+        y
+    }
+
+    /// Densifies (for tests and small direct solves).
+    pub fn to_dense(&self) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| self.get(i, j))
+    }
+
+    /// Band Cholesky factorization (`DPBTRF` equivalent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::cholesky::NotPositiveDefinite`] on a
+    /// non-positive pivot.
+    pub fn cholesky(&self) -> Result<BandedCholesky, crate::cholesky::NotPositiveDefinite> {
+        let n = self.n;
+        let kd = self.bandwidth;
+        let mut l = self.bands.clone();
+        for j in 0..n {
+            // Diagonal pivot.
+            let mut sum = l[0][j];
+            let kmin = j.saturating_sub(kd);
+            for k in kmin..j {
+                let v = l[j - k][k];
+                sum -= v * v;
+            }
+            if sum <= 0.0 {
+                return Err(crate::cholesky::NotPositiveDefinite);
+            }
+            let pivot = sum.sqrt();
+            l[0][j] = pivot;
+            // Column below the pivot.
+            for i in j + 1..(j + kd + 1).min(n) {
+                let mut sum = l[i - j][j];
+                let kmin = i.saturating_sub(kd);
+                for k in kmin..j {
+                    // L[i][k] and L[j][k] both exist only within band.
+                    if i - k <= kd && j - k <= kd {
+                        sum -= l[i - k][k] * l[j - k][k];
+                    }
+                }
+                l[i - j][j] = sum / pivot;
+            }
+        }
+        Ok(BandedCholesky {
+            n,
+            bandwidth: kd,
+            l,
+        })
+    }
+
+    /// Factor-and-solve in one call — the `DPBSV` entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::cholesky::NotPositiveDefinite`] if the matrix is
+    /// not SPD.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, crate::cholesky::NotPositiveDefinite> {
+        Ok(self.cholesky()?.solve(b))
+    }
+}
+
+/// The banded Cholesky factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandedCholesky {
+    n: usize,
+    bandwidth: usize,
+    /// Lower factor in band storage: `l[d][j] = L[j + d][j]`.
+    l: Vec<Vec<f64>>,
+}
+
+impl BandedCholesky {
+    /// Solves `A·x = b` with the factored matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` mismatches the dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let kd = self.bandwidth;
+        assert_eq!(b.len(), n, "right-hand side has wrong length");
+        // Forward: L·y = b.
+        let mut y = b.to_vec();
+        for j in 0..n {
+            y[j] /= self.l[0][j];
+            let yj = y[j];
+            for i in j + 1..(j + kd + 1).min(n) {
+                y[i] -= self.l[i - j][j] * yj;
+            }
+        }
+        // Back: Lᵀ·x = y.
+        let mut x = y;
+        for j in (0..n).rev() {
+            let mut sum = x[j];
+            for i in j + 1..(j + kd + 1).min(n) {
+                sum -= self.l[i - j][j] * x[i];
+            }
+            x[j] = sum / self.l[0][j];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::Cholesky;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_spd_banded(n: usize, kd: usize, rng: &mut SmallRng) -> SymmetricBanded {
+        let mut a = SymmetricBanded::zeros(n, kd);
+        for d in 1..=kd {
+            for i in 0..n - d {
+                a.bands[d][i] = rng.gen_range(-1.0..1.0);
+            }
+        }
+        // Diagonal dominance guarantees positive definiteness.
+        for i in 0..n {
+            a.bands[0][i] = 2.0 * (kd as f64 + 1.0) + rng.gen_range(0.0..1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn get_set_respects_symmetry_and_band() {
+        let mut a = SymmetricBanded::zeros(5, 2);
+        a.set(3, 1, 7.0);
+        assert_eq!(a.get(3, 1), 7.0);
+        assert_eq!(a.get(1, 3), 7.0);
+        assert_eq!(a.get(0, 4), 0.0, "outside band reads zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the band")]
+    fn set_outside_band_panics() {
+        let mut a = SymmetricBanded::zeros(5, 1);
+        a.set(0, 4, 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let a = random_spd_banded(9, 3, &mut rng);
+        let x: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let banded = a.matvec(&x);
+        let dense = a.to_dense().matvec(&x);
+        for (b, d) in banded.iter().zip(&dense) {
+            assert!((b - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn band_cholesky_matches_dense_cholesky_solve() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for (n, kd) in [(4, 1), (8, 2), (16, 5), (25, 5)] {
+            let a = random_spd_banded(n, kd, &mut rng);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) * 0.3 - 1.0).collect();
+            let x_band = a.solve(&b).unwrap();
+            let x_dense = Cholesky::factor(&a.to_dense()).unwrap().solve(&b);
+            for (xb, xd) in x_band.iter().zip(&x_dense) {
+                assert!((xb - xd).abs() < 1e-8, "n={n} kd={kd}");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_1d_solution_is_linear_for_constant_rhs_ends() {
+        // tridiag(-1,2,-1)·x = e_1 has known solution x_i = (n-i)/(n+1).
+        let n = 10;
+        let a = SymmetricBanded::poisson_1d(n);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        let x = a.solve(&b).unwrap();
+        for (i, xi) in x.iter().enumerate() {
+            let expect = (n - i) as f64 / (n + 1) as f64;
+            assert!((xi - expect).abs() < 1e-10, "i={i}");
+        }
+    }
+
+    #[test]
+    fn poisson_2d_is_spd_and_solvable() {
+        let a = SymmetricBanded::poisson_2d(6);
+        assert_eq!(a.dim(), 36);
+        assert_eq!(a.bandwidth(), 6);
+        let b = vec![1.0; 36];
+        let x = a.solve(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-8);
+        }
+        // Solution of -Δu = 1 with zero boundary is positive inside.
+        assert!(x.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn poisson_2d_size_one() {
+        let a = SymmetricBanded::poisson_2d(1);
+        assert_eq!(a.dim(), 1);
+        let x = a.solve(&[2.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,339 @@
+//! Bisection eigensolver: selected eigenvalues via Sturm sequences,
+//! eigenvectors via inverse iteration.
+//!
+//! When only `k` of `n` eigenpairs are needed — the image-compression
+//! benchmark's "Bisection method for only k eigenvalues and
+//! eigenvectors" choice (§6.1.4) — bisection costs `O(k·n)` per
+//! bisection step instead of the `O(n³)` full QR decomposition. The
+//! autotuner discovers the crossover between the two.
+
+use crate::eigen_qr::SymmetricEigen;
+use crate::matrix::{norm2, Matrix};
+use crate::tridiag::SymmetricTridiagonal;
+
+/// Number of eigenvalues of `t` strictly less than `x`, computed with
+/// the Sturm sequence of leading principal minors.
+///
+/// # Examples
+///
+/// ```
+/// use pb_linalg::eigen_bisect::sturm_count;
+/// use pb_linalg::SymmetricTridiagonal;
+///
+/// // diag(1, 2, 3): one eigenvalue below 1.5, two below 2.5.
+/// let t = SymmetricTridiagonal::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0]);
+/// assert_eq!(sturm_count(&t, 1.5), 1);
+/// assert_eq!(sturm_count(&t, 2.5), 2);
+/// ```
+pub fn sturm_count(t: &SymmetricTridiagonal, x: f64) -> usize {
+    let n = t.dim();
+    let mut count = 0;
+    let mut q = t.diag[0] - x;
+    if q < 0.0 {
+        count += 1;
+    }
+    for i in 1..n {
+        let e2 = t.offdiag[i - 1] * t.offdiag[i - 1];
+        let denom = if q != 0.0 {
+            q
+        } else {
+            // Standard guard: treat an exactly zero pivot as a tiny
+            // value of the sign convention that keeps counts correct.
+            f64::EPSILON * (t.offdiag[i - 1].abs() + f64::MIN_POSITIVE)
+        };
+        q = t.diag[i] - x - e2 / denom;
+        if q < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The `k`-th smallest eigenvalue (0-based) by bisection to absolute
+/// tolerance `tol`.
+///
+/// # Panics
+///
+/// Panics if `k >= t.dim()` or `tol <= 0`.
+pub fn eigenvalue_k(t: &SymmetricTridiagonal, k: usize, tol: f64) -> f64 {
+    assert!(k < t.dim(), "eigenvalue index out of range");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let (mut lo, mut hi) = t.gershgorin_bounds();
+    // Widen marginally so strict comparisons behave at the endpoints.
+    let pad = (hi - lo).abs().max(1.0) * 1e-12;
+    lo -= pad;
+    hi += pad;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if sturm_count(t, mid) <= k {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Solves `(T - λI)·x = b` by Gaussian elimination with partial
+/// pivoting on the tridiagonal band (the inner step of inverse
+/// iteration). Singular pivots are perturbed, which is the standard
+/// trick since inverse iteration *wants* a nearly singular system.
+fn solve_shifted(t: &SymmetricTridiagonal, lambda: f64, b: &[f64]) -> Vec<f64> {
+    let n = t.dim();
+    // Band storage after elimination: d (diagonal), du (first super),
+    // du2 (second super, created by row swaps). For the symmetric input
+    // the sub- and super-diagonals start out equal.
+    let mut d: Vec<f64> = t.diag.iter().map(|&v| v - lambda).collect();
+    let mut du: Vec<f64> = t.offdiag.clone();
+    du.push(0.0);
+    let mut du2 = vec![0.0; n];
+    let mut x = b.to_vec();
+
+    let tiny = f64::EPSILON
+        * t.diag
+            .iter()
+            .chain(t.offdiag.iter())
+            .fold(1.0f64, |m, v| m.max(v.abs()))
+        + f64::MIN_POSITIVE;
+
+    for i in 0..n.saturating_sub(1) {
+        let dl = t.offdiag[i]; // subdiagonal entry coupling rows i, i+1
+        if d[i].abs() >= dl.abs() {
+            // No swap. Eliminate the subdiagonal with row i.
+            let pivot = if d[i].abs() < tiny { tiny } else { d[i] };
+            let fact = dl / pivot;
+            d[i + 1] -= fact * du[i];
+            x[i + 1] -= fact * x[i];
+        } else {
+            // Swap rows i and i+1, then eliminate.
+            let fact = d[i] / dl;
+            let old_d1 = d[i + 1];
+            let old_du1 = du[i + 1]; // zero when i + 2 == n
+            d[i] = dl;
+            d[i + 1] = du[i] - fact * old_d1;
+            du[i] = old_d1;
+            du2[i] = old_du1;
+            du[i + 1] = -fact * old_du1;
+            let old_xi = x[i];
+            x[i] = x[i + 1];
+            x[i + 1] = old_xi - fact * x[i];
+        }
+    }
+    // Back substitution over (d, du, du2).
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        if i + 1 < n {
+            sum -= du[i] * x[i + 1];
+        }
+        if i + 2 < n {
+            sum -= du2[i] * x[i + 2];
+        }
+        let pivot = if d[i].abs() < tiny { tiny } else { d[i] };
+        x[i] = sum / pivot;
+    }
+    x
+}
+
+/// Eigenvector for an approximate eigenvalue by inverse iteration,
+/// orthogonalized against `previous` vectors (needed for clustered
+/// eigenvalues).
+fn inverse_iteration(
+    t: &SymmetricTridiagonal,
+    lambda: f64,
+    previous: &[Vec<f64>],
+) -> Vec<f64> {
+    let n = t.dim();
+    // Deterministic, non-degenerate starting vector.
+    let mut v: Vec<f64> = (0..n)
+        .map(|i| 1.0 + 0.5 * ((i * 2654435761usize) % 1000) as f64 / 1000.0)
+        .collect();
+    normalize(&mut v);
+    for _ in 0..4 {
+        let mut w = solve_shifted(t, lambda, &v);
+        // Orthogonalize against already-found vectors of the cluster.
+        for p in previous {
+            let proj = crate::matrix::dot(&w, p);
+            for (wi, pi) in w.iter_mut().zip(p) {
+                *wi -= proj * pi;
+            }
+        }
+        if normalize(&mut w) == 0.0 {
+            break;
+        }
+        v = w;
+    }
+    v
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = norm2(v);
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+/// The `k` smallest eigenpairs of a symmetric tridiagonal matrix by
+/// bisection + inverse iteration.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > t.dim()`.
+///
+/// # Examples
+///
+/// ```
+/// use pb_linalg::eigen_bisect::smallest_eigenpairs;
+/// use pb_linalg::SymmetricTridiagonal;
+///
+/// let t = SymmetricTridiagonal::new(vec![2.0; 6], vec![-1.0; 5]);
+/// let eig = smallest_eigenpairs(&t, 2);
+/// assert_eq!(eig.values.len(), 2);
+/// assert!(eig.values[0] < eig.values[1]);
+/// ```
+pub fn smallest_eigenpairs(t: &SymmetricTridiagonal, k: usize) -> SymmetricEigen {
+    selected_eigenpairs(t, 0, k)
+}
+
+/// The `k` largest eigenpairs (ascending order within the result).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > t.dim()`.
+pub fn largest_eigenpairs(t: &SymmetricTridiagonal, k: usize) -> SymmetricEigen {
+    selected_eigenpairs(t, t.dim() - k, k)
+}
+
+/// Eigenpairs `first..first + count` (by ascending eigenvalue index).
+///
+/// # Panics
+///
+/// Panics if the range is empty or exceeds the dimension.
+pub fn selected_eigenpairs(
+    t: &SymmetricTridiagonal,
+    first: usize,
+    count: usize,
+) -> SymmetricEigen {
+    let n = t.dim();
+    assert!(count > 0, "must request at least one eigenpair");
+    assert!(first + count <= n, "eigenpair range out of bounds");
+    let (lo, hi) = t.gershgorin_bounds();
+    let tol = (hi - lo).abs().max(1.0) * 1e-13;
+
+    let values: Vec<f64> = (first..first + count)
+        .map(|k| eigenvalue_k(t, k, tol))
+        .collect();
+
+    let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(count);
+    for (i, &lambda) in values.iter().enumerate() {
+        // Vectors already computed for eigenvalues within a cluster
+        // must be orthogonalized away.
+        let cluster_tol = tol.max(1e-10 * lambda.abs().max(1.0));
+        let cluster: Vec<Vec<f64>> = values[..i]
+            .iter()
+            .zip(&vectors)
+            .filter(|(&prev, _)| (prev - lambda).abs() < cluster_tol * 1e3)
+            .map(|(_, v)| v.clone())
+            .collect();
+        vectors.push(inverse_iteration(t, lambda, &cluster));
+    }
+
+    let vmat = Matrix::from_fn(n, count, |r, c| vectors[c][r]);
+    SymmetricEigen {
+        values,
+        vectors: vmat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eigen_qr::eigen_tridiagonal;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn poisson_t(n: usize) -> SymmetricTridiagonal {
+        SymmetricTridiagonal::new(vec![2.0; n], vec![-1.0; n - 1])
+    }
+
+    #[test]
+    fn sturm_count_diagonal_matrix() {
+        let t = SymmetricTridiagonal::new(vec![1.0, 5.0, 9.0], vec![0.0, 0.0]);
+        assert_eq!(sturm_count(&t, 0.0), 0);
+        assert_eq!(sturm_count(&t, 2.0), 1);
+        assert_eq!(sturm_count(&t, 6.0), 2);
+        assert_eq!(sturm_count(&t, 100.0), 3);
+    }
+
+    #[test]
+    fn bisection_matches_analytic_poisson_spectrum() {
+        let n = 16;
+        let t = poisson_t(n);
+        for k in [0, 1, 7, 15] {
+            let lambda = eigenvalue_k(&t, k, 1e-12);
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((lambda - expect).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn bisection_matches_qr_on_random_matrices() {
+        let mut rng = SmallRng::seed_from_u64(55);
+        for n in [3, 8, 20] {
+            let diag: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let off: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let t = SymmetricTridiagonal::new(diag, off);
+            let full = eigen_tridiagonal(&t, None).unwrap();
+            for k in 0..n {
+                let lambda = eigenvalue_k(&t, k, 1e-12);
+                assert!(
+                    (lambda - full.values[k]).abs() < 1e-8,
+                    "n={n} k={k}: {lambda} vs {}",
+                    full.values[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_residual() {
+        let n = 12;
+        let t = poisson_t(n);
+        let eig = smallest_eigenpairs(&t, 4);
+        for j in 0..4 {
+            let v = eig.vectors.col(j);
+            let tv = t.matvec(&v);
+            for i in 0..n {
+                assert!(
+                    (tv[i] - eig.values[j] * v[i]).abs() < 1e-7,
+                    "pair {j} residual"
+                );
+            }
+            assert!((norm2(&v) - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn largest_eigenpairs_take_top_of_spectrum() {
+        let n = 10;
+        let t = poisson_t(n);
+        let top = largest_eigenpairs(&t, 3);
+        let full = eigen_tridiagonal(&t, None).unwrap();
+        for (a, b) in top.values.iter().zip(&full.values[n - 3..]) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_eigenvalues_get_orthogonal_vectors() {
+        // diag(1, 1, 5): eigenvalue 1 has multiplicity 2.
+        let t = SymmetricTridiagonal::new(vec![1.0, 1.0, 5.0], vec![0.0, 0.0]);
+        let eig = smallest_eigenpairs(&t, 2);
+        let v0 = eig.vectors.col(0);
+        let v1 = eig.vectors.col(1);
+        assert!(crate::matrix::dot(&v0, &v1).abs() < 1e-6);
+    }
+}

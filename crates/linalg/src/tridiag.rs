@@ -1,0 +1,255 @@
+//! Symmetric tridiagonal matrices and Householder reduction.
+//!
+//! All three eigensolvers (QR iteration, bisection,
+//! divide-and-conquer) operate on symmetric tridiagonal matrices; a
+//! dense symmetric matrix is first reduced with Householder reflections
+//! (the classic `tred2` reduction), accumulating the orthogonal
+//! transformation so eigenvectors can be mapped back.
+
+use crate::matrix::Matrix;
+
+/// A symmetric tridiagonal matrix: `diag` of length `n` and `offdiag`
+/// of length `n - 1` (`offdiag[i] = A[i+1][i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricTridiagonal {
+    /// Main diagonal.
+    pub diag: Vec<f64>,
+    /// Sub/super diagonal.
+    pub offdiag: Vec<f64>,
+}
+
+impl SymmetricTridiagonal {
+    /// Creates a tridiagonal matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offdiag.len() + 1 != diag.len()` or `diag` is empty.
+    pub fn new(diag: Vec<f64>, offdiag: Vec<f64>) -> Self {
+        assert!(!diag.is_empty(), "empty tridiagonal matrix");
+        assert_eq!(
+            offdiag.len() + 1,
+            diag.len(),
+            "off-diagonal must be one shorter than the diagonal"
+        );
+        SymmetricTridiagonal { diag, offdiag }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Densifies (tests / small solves).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.dim();
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                self.diag[i]
+            } else if i.abs_diff(j) == 1 {
+                self.offdiag[i.min(j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(x.len(), n, "vector length mismatch");
+        (0..n)
+            .map(|i| {
+                let mut v = self.diag[i] * x[i];
+                if i > 0 {
+                    v += self.offdiag[i - 1] * x[i - 1];
+                }
+                if i + 1 < n {
+                    v += self.offdiag[i] * x[i + 1];
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Gershgorin bounds `[lo, hi]` containing every eigenvalue.
+    pub fn gershgorin_bounds(&self) -> (f64, f64) {
+        let n = self.dim();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..n {
+            let mut r = 0.0;
+            if i > 0 {
+                r += self.offdiag[i - 1].abs();
+            }
+            if i + 1 < n {
+                r += self.offdiag[i].abs();
+            }
+            lo = lo.min(self.diag[i] - r);
+            hi = hi.max(self.diag[i] + r);
+        }
+        (lo, hi)
+    }
+}
+
+/// Result of Householder tridiagonalization: `A = Q · T · Qᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tridiagonalization {
+    /// The tridiagonal matrix `T`.
+    pub tridiag: SymmetricTridiagonal,
+    /// The accumulated orthogonal transform `Q`.
+    pub q: Matrix,
+}
+
+/// Householder reduction of a symmetric matrix to tridiagonal form
+/// (the `tred2` algorithm), accumulating `Q`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square (symmetry of the lower triangle is
+/// assumed; only the lower triangle is read).
+///
+/// # Examples
+///
+/// ```
+/// use pb_linalg::tridiag::householder_tridiagonalize;
+/// use pb_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[
+///     &[4.0, 1.0, -2.0],
+///     &[1.0, 2.0, 0.0],
+///     &[-2.0, 0.0, 3.0],
+/// ]);
+/// let t = householder_tridiagonalize(&a);
+/// // Q·T·Qᵀ reconstructs A.
+/// let back = t.q.matmul(&t.tridiag.to_dense()).matmul(&t.q.transpose());
+/// assert!(a.sub(&back).max_abs() < 1e-10);
+/// ```
+pub fn householder_tridiagonalize(a: &Matrix) -> Tridiagonalization {
+    assert!(a.is_square(), "tridiagonalization requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut q = Matrix::identity(n);
+
+    for k in 0..n.saturating_sub(2) {
+        // Build the Householder vector for column k below the diagonal.
+        let mut alpha: f64 = 0.0;
+        for i in k + 1..n {
+            alpha += m[(i, k)] * m[(i, k)];
+        }
+        alpha = alpha.sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        if m[(k + 1, k)] > 0.0 {
+            alpha = -alpha;
+        }
+        let r = (0.5 * (alpha * alpha - m[(k + 1, k)] * alpha)).sqrt();
+        if r == 0.0 {
+            continue;
+        }
+        let mut v = vec![0.0; n];
+        v[k + 1] = (m[(k + 1, k)] - alpha) / (2.0 * r);
+        for i in k + 2..n {
+            v[i] = m[(i, k)] / (2.0 * r);
+        }
+
+        // m <- H m H with H = I - 2 v vᵀ.
+        // w = m v.
+        let w = m.matvec(&v);
+        let vw = crate::matrix::dot(&v, &w);
+        // m <- m - 2 v wᵀ - 2 w vᵀ + 4 (vᵀ w) v vᵀ.
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] +=
+                    -2.0 * v[i] * w[j] - 2.0 * w[i] * v[j] + 4.0 * vw * v[i] * v[j];
+            }
+        }
+        // q <- q H (accumulate from the right).
+        for i in 0..n {
+            let mut qv = 0.0;
+            for j in 0..n {
+                qv += q[(i, j)] * v[j];
+            }
+            for j in 0..n {
+                q[(i, j)] -= 2.0 * qv * v[j];
+            }
+        }
+    }
+
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    let offdiag: Vec<f64> = (0..n.saturating_sub(1)).map(|i| m[(i + 1, i)]).collect();
+    Tridiagonalization {
+        tridiag: SymmetricTridiagonal::new(diag, offdiag),
+        q,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tridiagonal_accessors() {
+        let t = SymmetricTridiagonal::new(vec![2.0, 2.0, 2.0], vec![-1.0, -1.0]);
+        assert_eq!(t.dim(), 3);
+        let d = t.to_dense();
+        assert_eq!(d[(0, 1)], -1.0);
+        assert_eq!(d[(1, 0)], -1.0);
+        assert_eq!(d[(0, 2)], 0.0);
+        let y = t.matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gershgorin_contains_known_spectrum() {
+        // tridiag(-1,2,-1) has eigenvalues in (0, 4).
+        let n = 8;
+        let t = SymmetricTridiagonal::new(vec![2.0; n], vec![-1.0; n - 1]);
+        let (lo, hi) = t.gershgorin_bounds();
+        assert!(lo <= 0.0 && hi >= 4.0);
+    }
+
+    #[test]
+    fn householder_preserves_spectrum_shape() {
+        let mut rng = SmallRng::seed_from_u64(33);
+        for n in [2, 3, 5, 10, 20] {
+            let a = Matrix::random_symmetric(n, &mut rng);
+            let t = householder_tridiagonalize(&a);
+            // Orthogonality of Q.
+            let qtq = t.q.transpose().matmul(&t.q);
+            assert!(
+                qtq.sub(&Matrix::identity(n)).max_abs() < 1e-10,
+                "Q not orthogonal for n={n}"
+            );
+            // Reconstruction.
+            let back = t.q.matmul(&t.tridiag.to_dense()).matmul(&t.q.transpose());
+            assert!(a.sub(&back).max_abs() < 1e-9, "reconstruction failed n={n}");
+        }
+    }
+
+    #[test]
+    fn already_tridiagonal_is_fixed_point_up_to_signs() {
+        let t0 = SymmetricTridiagonal::new(vec![1.0, 2.0, 3.0], vec![0.5, 0.25]);
+        let t = householder_tridiagonalize(&t0.to_dense());
+        for (a, b) in t.tridiag.diag.iter().zip(&t0.diag) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        for (a, b) in t.tridiag.offdiag.iter().zip(&t0.offdiag) {
+            assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_rows(&[&[5.0]]);
+        let t = householder_tridiagonalize(&a);
+        assert_eq!(t.tridiag.diag, vec![5.0]);
+        assert!(t.tridiag.offdiag.is_empty());
+    }
+}

@@ -1,0 +1,455 @@
+//! The 3D variable-coefficient Helmholtz operator (§6.1.3).
+//!
+//! Discretizes `α·a·φ − β·∇·(b·∇φ) = f` on a vertex-centered grid with
+//! zero Dirichlet boundary, coefficients `a`, `b` drawn from
+//! `U(0.5, 1)` "to ensure the system is positive-definite" as in the
+//! paper. Face coefficients are arithmetic averages of the adjacent
+//! point values. The three solver building blocks the tuned benchmark
+//! chooses between — Red-Black SOR, recursion to a coarsened problem,
+//! and a dense direct solve — all live here.
+
+use crate::grid3d::Grid3d;
+use pb_linalg::cholesky::Cholesky;
+use pb_linalg::Matrix;
+use rand::rngs::SmallRng;
+
+/// The six axis directions used for face averaging.
+const DIRS: [(isize, isize, isize); 6] = [
+    (-1, 0, 0),
+    (1, 0, 0),
+    (0, -1, 0),
+    (0, 1, 0),
+    (0, 0, -1),
+    (0, 0, 1),
+];
+
+/// One discretized variable-coefficient Helmholtz problem (operator
+/// only; the right-hand side travels separately).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HelmholtzProblem {
+    /// Zeroth-order coefficient weight.
+    pub alpha: f64,
+    /// Diffusion weight.
+    pub beta: f64,
+    /// Point coefficient field `a`.
+    pub a: Grid3d,
+    /// Diffusion coefficient field `b`.
+    pub b: Grid3d,
+    /// Mesh spacing (doubles on each coarsening).
+    pub h: f64,
+}
+
+impl HelmholtzProblem {
+    /// A random problem of size `n` with `a, b ~ U(0.5, 1)` on the unit
+    /// cube (`h = 1/(n+1)`), so the diffusion term dominates and the
+    /// multigrid hierarchy genuinely matters — as in the paper's
+    /// benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random(n: usize, alpha: f64, beta: f64, rng: &mut SmallRng) -> Self {
+        HelmholtzProblem {
+            alpha,
+            beta,
+            a: Grid3d::random_uniform(n, 0.5, 1.0, rng),
+            b: Grid3d::random_uniform(n, 0.5, 1.0, rng),
+            h: 1.0 / (n as f64 + 1.0),
+        }
+    }
+
+    /// Grid size per dimension.
+    pub fn n(&self) -> usize {
+        self.a.n()
+    }
+
+    /// Face coefficient between `(i,j,k)` and its neighbour in
+    /// direction `d` (clamped reads extend the coefficient field past
+    /// the boundary).
+    #[inline]
+    fn face_b(&self, i: usize, j: usize, k: usize, d: (isize, isize, isize)) -> f64 {
+        let here = self.b.get(i, j, k);
+        let there =
+            self.b
+                .get_clamped(i as isize + d.0, j as isize + d.1, k as isize + d.2);
+        0.5 * (here + there)
+    }
+
+    /// Diagonal of the discretized operator at `(i,j,k)`.
+    #[inline]
+    pub fn diag(&self, i: usize, j: usize, k: usize) -> f64 {
+        let inv_h2 = 1.0 / (self.h * self.h);
+        let mut d = self.alpha * self.a.get(i, j, k);
+        for dir in DIRS {
+            d += self.beta * inv_h2 * self.face_b(i, j, k, dir);
+        }
+        d
+    }
+
+    /// Applies the operator: `out = A·φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` has a different size.
+    pub fn apply(&self, phi: &Grid3d) -> Grid3d {
+        let n = self.n();
+        assert_eq!(phi.n(), n, "grid sizes must match");
+        let inv_h2 = 1.0 / (self.h * self.h);
+        let mut out = Grid3d::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let mut v = self.alpha * self.a.get(i, j, k) * phi.get(i, j, k);
+                    for dir in DIRS {
+                        let bf = self.face_b(i, j, k, dir);
+                        let nbr = phi.get_bc(
+                            i as isize + dir.0,
+                            j as isize + dir.1,
+                            k as isize + dir.2,
+                        );
+                        v += self.beta * inv_h2 * bf * (phi.get(i, j, k) - nbr);
+                    }
+                    out.set(i, j, k, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Residual `r = f − A·φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn residual(&self, phi: &Grid3d, f: &Grid3d) -> Grid3d {
+        assert_eq!(phi.n(), f.n(), "grid sizes must match");
+        let aphi = self.apply(phi);
+        let mut r = Grid3d::zeros(self.n());
+        for (ri, (fi, ai)) in r
+            .as_mut_slice()
+            .iter_mut()
+            .zip(f.as_slice().iter().zip(aphi.as_slice()))
+        {
+            *ri = fi - ai;
+        }
+        r
+    }
+
+    /// One Red-Black SOR sweep (red points `(i+j+k)` even first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes differ.
+    pub fn sor_sweep(&self, phi: &mut Grid3d, f: &Grid3d, omega: f64) {
+        let n = self.n();
+        assert_eq!(phi.n(), n, "grid sizes must match");
+        assert_eq!(f.n(), n, "grid sizes must match");
+        let inv_h2 = 1.0 / (self.h * self.h);
+        for color in 0..2usize {
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        if (i + j + k) % 2 != color {
+                            continue;
+                        }
+                        let mut offdiag = 0.0;
+                        let mut diag = self.alpha * self.a.get(i, j, k);
+                        for dir in DIRS {
+                            let bf = self.face_b(i, j, k, dir);
+                            diag += self.beta * inv_h2 * bf;
+                            offdiag += self.beta
+                                * inv_h2
+                                * bf
+                                * phi.get_bc(
+                                    i as isize + dir.0,
+                                    j as isize + dir.1,
+                                    k as isize + dir.2,
+                                );
+                        }
+                        let gs = (f.get(i, j, k) + offdiag) / diag;
+                        let old = phi.get(i, j, k);
+                        phi.set(i, j, k, old + omega * (gs - old));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The coarsened problem: size `(n−1)/2`, doubled mesh spacing,
+    /// coefficients sampled at co-located fine points (adequate for the
+    /// smooth `U(0.5, 1)` fields of the benchmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `n` is even.
+    pub fn coarsen(&self) -> HelmholtzProblem {
+        let n = self.n();
+        assert!(n >= 3 && n % 2 == 1, "size {n} cannot be coarsened");
+        let m = (n - 1) / 2;
+        let sample = |g: &Grid3d| {
+            let mut c = Grid3d::zeros(m);
+            for i in 0..m {
+                for j in 0..m {
+                    for k in 0..m {
+                        c.set(i, j, k, g.get(2 * i + 1, 2 * j + 1, 2 * k + 1));
+                    }
+                }
+            }
+            c
+        };
+        HelmholtzProblem {
+            alpha: self.alpha,
+            beta: self.beta,
+            a: sample(&self.a),
+            b: sample(&self.b),
+            h: 2.0 * self.h,
+        }
+    }
+
+    /// Dense direct solve by Cholesky (the "ideal direct solver" for
+    /// small grids; `O(n⁹)` in the per-dimension size, so use only at
+    /// the bottom of the recursion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled operator is not SPD, which would
+    /// indicate a discretization bug.
+    pub fn direct_solve(&self, f: &Grid3d) -> Grid3d {
+        let n = self.n();
+        assert_eq!(f.n(), n, "grid sizes must match");
+        let size = n * n * n;
+        // Assemble by applying the operator to unit vectors.
+        let mut dense = Matrix::zeros(size, size);
+        let mut e = Grid3d::zeros(n);
+        for col in 0..size {
+            e.as_mut_slice()[col] = 1.0;
+            let ae = self.apply(&e);
+            for (row, &v) in ae.as_slice().iter().enumerate() {
+                dense[(row, col)] = v;
+            }
+            e.as_mut_slice()[col] = 0.0;
+        }
+        let x = Cholesky::factor(&dense)
+            .expect("the Helmholtz operator is SPD for positive coefficients")
+            .solve(f.as_slice());
+        let mut out = Grid3d::zeros(n);
+        out.as_mut_slice().copy_from_slice(&x);
+        out
+    }
+}
+
+/// 27-point full-weighting restriction of a residual grid.
+///
+/// # Panics
+///
+/// Panics if the size cannot be coarsened.
+pub fn restrict(fine: &Grid3d) -> Grid3d {
+    let n = fine.n();
+    assert!(n >= 3 && n % 2 == 1, "size {n} cannot be coarsened");
+    let m = (n - 1) / 2;
+    let mut coarse = Grid3d::zeros(m);
+    for ci in 0..m {
+        for cj in 0..m {
+            for ck in 0..m {
+                let (fi, fj, fk) = (
+                    (2 * ci + 1) as isize,
+                    (2 * cj + 1) as isize,
+                    (2 * ck + 1) as isize,
+                );
+                let mut acc = 0.0;
+                for di in -1isize..=1 {
+                    for dj in -1isize..=1 {
+                        for dk in -1isize..=1 {
+                            let w = (2 - di.abs()) * (2 - dj.abs()) * (2 - dk.abs());
+                            acc += w as f64 * fine.get_bc(fi + di, fj + dj, fk + dk);
+                        }
+                    }
+                }
+                coarse.set(ci, cj, ck, acc / 64.0);
+            }
+        }
+    }
+    coarse
+}
+
+/// Trilinear prolongation from an `m`-grid to the `2m + 1` grid.
+pub fn prolong(coarse: &Grid3d) -> Grid3d {
+    let m = coarse.n();
+    let n = 2 * m + 1;
+    let mut fine = Grid3d::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                // Per-axis: odd fine index aligns with one coarse
+                // point; even index interpolates its two neighbours.
+                let mut v = 0.0;
+                let axes = [i, j, k].map(|x| {
+                    if x % 2 == 1 {
+                        vec![((x as isize - 1) / 2, 1.0)]
+                    } else {
+                        vec![(x as isize / 2 - 1, 0.5), (x as isize / 2, 0.5)]
+                    }
+                });
+                for (ci, wi) in &axes[0] {
+                    for (cj, wj) in &axes[1] {
+                        for (ck, wk) in &axes[2] {
+                            v += wi * wj * wk * coarse.get_bc(*ci, *cj, *ck);
+                        }
+                    }
+                }
+                fine.set(i, j, k, v);
+            }
+        }
+    }
+    fine
+}
+
+/// Adds `delta` into `phi` in place.
+///
+/// # Panics
+///
+/// Panics if sizes differ.
+pub fn add_correction(phi: &mut Grid3d, delta: &Grid3d) {
+    assert_eq!(phi.n(), delta.n(), "grid sizes must match");
+    for (p, d) in phi.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+        *p += d;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn problem(n: usize, seed: u64) -> HelmholtzProblem {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        HelmholtzProblem::random(n, 1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn operator_is_symmetric_positive() {
+        let p = problem(3, 1);
+        let n = 27;
+        // Assemble and check symmetry + positive diagonal.
+        let mut e = Grid3d::zeros(3);
+        let mut dense = Matrix::zeros(n, n);
+        for col in 0..n {
+            e.as_mut_slice()[col] = 1.0;
+            let ae = p.apply(&e);
+            for (row, &v) in ae.as_slice().iter().enumerate() {
+                dense[(row, col)] = v;
+            }
+            e.as_mut_slice()[col] = 0.0;
+        }
+        assert!(dense.is_symmetric(1e-12));
+        for i in 0..n {
+            assert!(dense[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn direct_solve_zeroes_residual() {
+        let p = problem(3, 2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let f = Grid3d::random_uniform(3, -1.0, 1.0, &mut rng);
+        let phi = p.direct_solve(&f);
+        assert!(p.residual(&phi, &f).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn sor_reduces_residual() {
+        let p = problem(7, 4);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let f = Grid3d::random_uniform(7, -1.0, 1.0, &mut rng);
+        let mut phi = Grid3d::zeros(7);
+        let mut last = p.residual(&phi, &f).rms();
+        for _ in 0..8 {
+            p.sor_sweep(&mut phi, &f, 1.3);
+            let r = p.residual(&phi, &f).rms();
+            assert!(r < last, "{r} !< {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn diag_matches_assembled_operator() {
+        let p = problem(3, 6);
+        let mut e = Grid3d::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    let idx = e.idx(i, j, k);
+                    e.as_mut_slice()[idx] = 1.0;
+                    let ae = p.apply(&e);
+                    assert!((ae.get(i, j, k) - p.diag(i, j, k)).abs() < 1e-12);
+                    e.as_mut_slice()[idx] = 0.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coarsen_halves_and_doubles_h() {
+        let p = problem(7, 7);
+        let c = p.coarsen();
+        assert_eq!(c.n(), 3);
+        assert_eq!(c.h, 2.0 * p.h);
+        assert_eq!(c.alpha, p.alpha);
+        // Coefficients stay within the original range.
+        assert!(c.a.as_slice().iter().all(|&v| (0.5..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn transfer_operators_are_adjoint_up_to_scaling() {
+        // R = (1/8)·Pᵀ in 3D.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let u = Grid3d::random_uniform(7, -1.0, 1.0, &mut rng);
+        let v = Grid3d::random_uniform(3, -1.0, 1.0, &mut rng);
+        let lhs: f64 = restrict(&u)
+            .as_slice()
+            .iter()
+            .zip(v.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f64 = u
+            .as_slice()
+            .iter()
+            .zip(prolong(&v).as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - 0.125 * rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn two_grid_cycle_beats_smoothing_alone() {
+        let p = problem(7, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let f = Grid3d::random_uniform(7, -1.0, 1.0, &mut rng);
+
+        // Pure smoothing.
+        let mut phi_s = Grid3d::zeros(7);
+        for _ in 0..4 {
+            p.sor_sweep(&mut phi_s, &f, 1.2);
+        }
+
+        // Two-grid: 2 sweeps, coarse direct correction, 2 sweeps.
+        let mut phi = Grid3d::zeros(7);
+        p.sor_sweep(&mut phi, &f, 1.2);
+        p.sor_sweep(&mut phi, &f, 1.2);
+        let r = p.residual(&phi, &f);
+        let rc = restrict(&r);
+        let coarse = p.coarsen();
+        let ec = coarse.direct_solve(&rc);
+        let ef = prolong(&ec);
+        add_correction(&mut phi, &ef);
+        p.sor_sweep(&mut phi, &f, 1.2);
+        p.sor_sweep(&mut phi, &f, 1.2);
+
+        let rs = p.residual(&phi_s, &f).rms();
+        let rt = p.residual(&phi, &f).rms();
+        assert!(
+            rt < rs * 0.8,
+            "two-grid ({rt}) should beat pure smoothing ({rs})"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Reference multigrid V-cycle for the 2D Poisson problem.
+//!
+//! This fixed-shape cycle validates the substrate (smoother + transfer
+//! operators + coarse solve) and provides the baseline the *tunable*
+//! cycles in the benchmark crate are compared against. The benchmark
+//! version lets the autotuner choose, per recursion level, between
+//! recursing, iterating, and solving directly — producing the cycle
+//! shapes of Fig. 8.
+
+use crate::grid2d::Grid2d;
+use crate::poisson2d;
+
+/// Fixed-shape V-cycle parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcycleOptions {
+    /// SOR sweeps before coarse-grid correction.
+    pub pre_sweeps: usize,
+    /// SOR sweeps after coarse-grid correction.
+    pub post_sweeps: usize,
+    /// SOR relaxation weight.
+    pub omega: f64,
+    /// Grid size at or below which the direct solver takes over.
+    pub direct_cutoff: usize,
+}
+
+impl Default for VcycleOptions {
+    fn default() -> Self {
+        VcycleOptions {
+            pre_sweeps: 2,
+            post_sweeps: 2,
+            omega: 1.15,
+            direct_cutoff: 3,
+        }
+    }
+}
+
+/// One V-cycle on `A·u = b`, updating `u` in place.
+///
+/// # Panics
+///
+/// Panics if grid sizes differ or the size is not `2^k − 1`.
+pub fn vcycle(u: &mut Grid2d, b: &Grid2d, options: &VcycleOptions) {
+    assert_eq!(u.n(), b.n(), "grid sizes must match");
+    let n = u.n();
+    if n <= options.direct_cutoff {
+        *u = poisson2d::direct_solve(b);
+        return;
+    }
+    for _ in 0..options.pre_sweeps {
+        poisson2d::sor_sweep(u, b, options.omega);
+    }
+    let r = poisson2d::residual(u, b);
+    // The unscaled stencil absorbs h²: the coarse grid's spacing is 2h,
+    // so its right-hand side picks up a factor (2h)²/h² = 4.
+    let mut rc = poisson2d::restrict(&r);
+    for v in rc.as_mut_slice() {
+        *v *= 4.0;
+    }
+    let mut ec = Grid2d::zeros(rc.n());
+    vcycle(&mut ec, &rc, options);
+    let ef = poisson2d::prolong(&ec);
+    poisson2d::add_correction(u, &ef);
+    for _ in 0..options.post_sweeps {
+        poisson2d::sor_sweep(u, b, options.omega);
+    }
+}
+
+/// Solves to a target residual reduction, returning the number of
+/// cycles used.
+///
+/// # Panics
+///
+/// Panics like [`vcycle`] on malformed grids.
+pub fn solve_to_tolerance(
+    u: &mut Grid2d,
+    b: &Grid2d,
+    reduction: f64,
+    max_cycles: usize,
+    options: &VcycleOptions,
+) -> usize {
+    let initial = poisson2d::residual(u, b).rms().max(f64::MIN_POSITIVE);
+    for cycle in 1..=max_cycles {
+        vcycle(u, b, options);
+        if poisson2d::residual(u, b).rms() <= reduction * initial {
+            return cycle;
+        }
+    }
+    max_cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vcycle_converges_fast() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let b = Grid2d::random_uniform(31, -1.0, 1.0, &mut rng);
+        let mut u = Grid2d::zeros(31);
+        let r0 = poisson2d::residual(&u, &b).rms();
+        let options = VcycleOptions::default();
+        vcycle(&mut u, &b, &options);
+        let r1 = poisson2d::residual(&u, &b).rms();
+        assert!(
+            r1 < 0.2 * r0,
+            "one V-cycle should reduce the residual well: {r1} vs {r0}"
+        );
+        // Multigrid's hallmark: convergence factor independent of size.
+        vcycle(&mut u, &b, &options);
+        let r2 = poisson2d::residual(&u, &b).rms();
+        assert!(r2 < 0.2 * r1);
+    }
+
+    #[test]
+    fn solve_to_tolerance_counts_cycles() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let b = Grid2d::random_uniform(15, -1.0, 1.0, &mut rng);
+        let mut u = Grid2d::zeros(15);
+        let cycles =
+            solve_to_tolerance(&mut u, &b, 1e-8, 50, &VcycleOptions::default());
+        assert!(cycles < 20, "needed {cycles} cycles");
+        assert!(poisson2d::residual(&u, &b).rms() < 1e-8 * b.rms() * 10.0);
+    }
+
+    #[test]
+    fn tiny_grid_uses_direct_solver() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let b = Grid2d::random_uniform(3, -1.0, 1.0, &mut rng);
+        let mut u = Grid2d::zeros(3);
+        vcycle(&mut u, &b, &VcycleOptions::default());
+        assert!(poisson2d::residual(&u, &b).max_abs() < 1e-10);
+    }
+}

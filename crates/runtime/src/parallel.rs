@@ -1,0 +1,100 @@
+//! Minimal parallel-execution helpers.
+//!
+//! The original PetaBricks runtime automatically parallelized rule
+//! applications with a work-stealing scheduler and tuned the
+//! sequential/parallel cutoff. We reproduce the essential behaviour: a
+//! data-parallel map with a tunable sequential cutoff, built on
+//! crossbeam's scoped threads. Benchmarks call [`parallel_map`] with a
+//! cutoff read from their configuration, so the tuner controls the
+//! switch-over point exactly as in the paper (§5.2 "switching points
+//! from a parallel work stealing scheduler to sequential code").
+
+/// Applies `f` to every element, splitting across threads when the
+/// input is at least `sequential_cutoff` elements long.
+///
+/// Results are returned in input order. With fewer elements than the
+/// cutoff (or a cutoff of 0 threads available) the map runs sequentially
+/// on the calling thread.
+///
+/// # Examples
+///
+/// ```
+/// use pb_runtime::parallel::parallel_map;
+///
+/// let squares = parallel_map(&[1, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<I, O, F>(items: &[I], sequential_cutoff: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let threads = available_threads();
+    if items.len() < sequential_cutoff.max(2) || threads < 2 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<O>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter()
+        .map(|o| o.expect("all slots filled by workers"))
+        .collect()
+}
+
+/// Number of hardware threads to use for parallel maps.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_below_cutoff() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(&[1, 2, 3], 1000, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn parallel_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out = parallel_map(&input, 8, |&x| x * 2);
+        let expected: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 1, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_match_sequential_for_nontrivial_work() {
+        let input: Vec<f64> = (1..500).map(|i| i as f64).collect();
+        let par = parallel_map(&input, 4, |&x| x.sqrt().sin());
+        let seq: Vec<f64> = input.iter().map(|&x| x.sqrt().sin()).collect();
+        assert_eq!(par, seq);
+    }
+}

@@ -1,0 +1,321 @@
+//! Adaptive trial-count comparison of two candidates (§5.5.1).
+//!
+//! "With too few tests, random deviations may cause non-optimal decisions
+//! to be made, while with too many tests, autotuning will take an
+//! unacceptably long time." The paper's heuristic runs additional trials
+//! only while the comparison is still ambiguous:
+//!
+//! 1. A t-test with p < 0.05 decides the candidates are *different*.
+//! 2. If there is ≥95% probability that the mean difference is below 1%,
+//!    the candidates are declared the *same*.
+//! 3. If both candidates hit the maximum trial budget, declare *same*.
+//! 4. Otherwise run one more trial on whichever candidate yields the
+//!    highest expected reduction in standard error, and repeat.
+
+use crate::online::OnlineStats;
+use crate::ttest::welch_t_test;
+
+/// Outcome of comparing two candidates on a single metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOutcome {
+    /// The first candidate's metric is statistically lower.
+    Less,
+    /// The first candidate's metric is statistically higher.
+    Greater,
+    /// No statistically meaningful difference was established within the
+    /// trial budget.
+    Same,
+}
+
+impl CompareOutcome {
+    /// Flips `Less` and `Greater` (for comparing in the opposite order).
+    pub fn reverse(self) -> Self {
+        match self {
+            CompareOutcome::Less => CompareOutcome::Greater,
+            CompareOutcome::Greater => CompareOutcome::Less,
+            CompareOutcome::Same => CompareOutcome::Same,
+        }
+    }
+}
+
+/// A source of additional measurements for a candidate: each call to
+/// [`SampleSource::draw`] runs one more test and returns the measured
+/// value (e.g. execution time in seconds).
+pub trait SampleSource {
+    /// Runs one more trial and returns the observation.
+    fn draw(&mut self) -> f64;
+}
+
+impl<F: FnMut() -> f64> SampleSource for F {
+    fn draw(&mut self) -> f64 {
+        self()
+    }
+}
+
+/// Tuning knobs for the comparison protocol. The defaults are the
+/// "typical values" quoted in the paper: 3–25 trials, α = 0.05, and a
+/// same-threshold of a 95% probability of a < 1% difference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparatorConfig {
+    /// Minimum number of trials per candidate before any decision.
+    pub min_trials: u64,
+    /// Maximum number of trials per candidate.
+    pub max_trials: u64,
+    /// Significance level below which candidates are declared different.
+    pub alpha: f64,
+    /// Relative difference considered negligible (e.g. `0.01` = 1%).
+    pub same_epsilon: f64,
+    /// Confidence required to declare the difference negligible.
+    pub same_confidence: f64,
+}
+
+impl Default for ComparatorConfig {
+    fn default() -> Self {
+        ComparatorConfig {
+            min_trials: 3,
+            max_trials: 25,
+            alpha: 0.05,
+            same_epsilon: 0.01,
+            same_confidence: 0.95,
+        }
+    }
+}
+
+/// Implements the adaptive comparison loop from §5.5.1.
+///
+/// # Examples
+///
+/// ```
+/// use pb_stats::{Comparator, CompareOutcome, OnlineStats};
+///
+/// let comparator = Comparator::default();
+/// let mut fast = OnlineStats::new();
+/// let mut slow = OnlineStats::new();
+/// let (mut ta, mut tb) = (0u64, 0u64);
+/// let outcome = comparator.compare(
+///     &mut fast,
+///     &mut || { ta += 1; 1.0 + 0.001 * (ta % 3) as f64 },
+///     &mut slow,
+///     &mut || { tb += 1; 2.0 + 0.001 * (tb % 5) as f64 },
+/// );
+/// assert_eq!(outcome, CompareOutcome::Less);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Comparator {
+    config: ComparatorConfig,
+}
+
+impl Comparator {
+    /// Creates a comparator with the given configuration.
+    pub fn new(config: ComparatorConfig) -> Self {
+        Comparator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ComparatorConfig {
+        &self.config
+    }
+
+    /// Compares two candidates, drawing extra samples on demand.
+    ///
+    /// `a_stats` / `b_stats` accumulate every drawn observation, so
+    /// repeated comparisons against other candidates reuse earlier
+    /// trials — mirroring the paper, where tests on a candidate are
+    /// cached for its lifetime in the population.
+    pub fn compare(
+        &self,
+        a_stats: &mut OnlineStats,
+        a_source: &mut dyn SampleSource,
+        b_stats: &mut OnlineStats,
+        b_source: &mut dyn SampleSource,
+    ) -> CompareOutcome {
+        let cfg = &self.config;
+        // Bring both candidates up to the minimum trial count.
+        while a_stats.count() < cfg.min_trials {
+            a_stats.push(a_source.draw());
+        }
+        while b_stats.count() < cfg.min_trials {
+            b_stats.push(b_source.draw());
+        }
+
+        loop {
+            // Step 1: t-test for difference.
+            let test = welch_t_test(a_stats, b_stats);
+            if test.rejects_equality(cfg.alpha) {
+                return if a_stats.mean() < b_stats.mean() {
+                    CompareOutcome::Less
+                } else {
+                    CompareOutcome::Greater
+                };
+            }
+
+            // Step 2: is the relative difference negligible with high
+            // probability? Fit a normal to the percentage difference of
+            // the means via error propagation.
+            if self.relative_difference_negligible(a_stats, b_stats) {
+                return CompareOutcome::Same;
+            }
+
+            // Step 3: both candidates exhausted their budget.
+            let a_full = a_stats.count() >= cfg.max_trials;
+            let b_full = b_stats.count() >= cfg.max_trials;
+            if a_full && b_full {
+                return CompareOutcome::Same;
+            }
+
+            // Step 4: one more trial on the candidate with the highest
+            // expected standard-error reduction that still has budget.
+            let gain_a = if a_full { f64::NEG_INFINITY } else { se_reduction(a_stats) };
+            let gain_b = if b_full { f64::NEG_INFINITY } else { se_reduction(b_stats) };
+            if gain_a >= gain_b {
+                a_stats.push(a_source.draw());
+            } else {
+                b_stats.push(b_source.draw());
+            }
+        }
+    }
+
+    /// Step 2 of the heuristic: P(|relative difference| < ε) ≥ confidence.
+    fn relative_difference_negligible(&self, a: &OnlineStats, b: &OnlineStats) -> bool {
+        let cfg = &self.config;
+        let scale = 0.5 * (a.mean().abs() + b.mean().abs());
+        if scale == 0.0 {
+            // Both means are exactly zero: identical.
+            return true;
+        }
+        let diff = (a.mean() - b.mean()) / scale;
+        // Std of the difference of the means via independent error
+        // propagation, expressed relative to the common scale.
+        let se = (a.std_err().powi(2) + b.std_err().powi(2)).sqrt() / scale;
+        if se == 0.0 {
+            return diff.abs() < cfg.same_epsilon;
+        }
+        let dist = crate::normal::Normal::new(diff, se);
+        let p_within = dist.cdf(cfg.same_epsilon) - dist.cdf(-cfg.same_epsilon);
+        p_within >= cfg.same_confidence
+    }
+}
+
+/// Expected reduction in standard error from one more sample:
+/// `s * (1/sqrt(n) - 1/sqrt(n+1))`.
+fn se_reduction(stats: &OnlineStats) -> f64 {
+    let n = stats.count() as f64;
+    if n == 0.0 {
+        return f64::INFINITY;
+    }
+    stats.std_dev() * (1.0 / n.sqrt() - 1.0 / (n + 1.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random stream for tests.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((self.0 >> 33) as f64) / (u32::MAX as f64 * 2.0)
+        }
+    }
+
+    fn run_compare(
+        comparator: &Comparator,
+        mut gen_a: impl FnMut() -> f64,
+        mut gen_b: impl FnMut() -> f64,
+    ) -> (CompareOutcome, u64, u64) {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        let out = comparator.compare(&mut a, &mut gen_a, &mut b, &mut gen_b);
+        (out, a.count(), b.count())
+    }
+
+    #[test]
+    fn clearly_different_candidates_need_few_trials() {
+        let comparator = Comparator::default();
+        let mut rng = Lcg(1);
+        let mut rng2 = Lcg(2);
+        let (out, na, nb) = run_compare(
+            &comparator,
+            move || 1.0 + 0.01 * rng.next_f64(),
+            move || 10.0 + 0.01 * rng2.next_f64(),
+        );
+        assert_eq!(out, CompareOutcome::Less);
+        // "larger differences can be verified with fewer tests".
+        assert!(na <= 5 && nb <= 5, "na={na} nb={nb}");
+    }
+
+    #[test]
+    fn identical_candidates_declared_same() {
+        let comparator = Comparator::default();
+        let mut rng = Lcg(3);
+        let mut rng2 = Lcg(4);
+        let (out, _, _) = run_compare(
+            &comparator,
+            move || 5.0 + 0.001 * rng.next_f64(),
+            move || 5.0 + 0.001 * rng2.next_f64(),
+        );
+        assert_eq!(out, CompareOutcome::Same);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        // Two overlapping noisy candidates close enough that the test
+        // cannot separate them: the comparator must stop at max_trials.
+        let comparator = Comparator::new(ComparatorConfig {
+            max_trials: 10,
+            ..ComparatorConfig::default()
+        });
+        let mut rng = Lcg(5);
+        let mut rng2 = Lcg(6);
+        let (out, na, nb) = run_compare(
+            &comparator,
+            move || 5.0 + rng.next_f64(),
+            move || 5.05 + rng2.next_f64(),
+        );
+        assert!(na <= 10 && nb <= 10);
+        // Either conclusion is statistically defensible here; what
+        // matters is termination within budget.
+        let _ = out;
+    }
+
+    #[test]
+    fn greater_is_reported_for_slower_first_candidate() {
+        let comparator = Comparator::default();
+        let (out, _, _) = run_compare(&comparator, || 10.0, || 1.0);
+        assert_eq!(out, CompareOutcome::Greater);
+    }
+
+    #[test]
+    fn reverse_flips_order() {
+        assert_eq!(CompareOutcome::Less.reverse(), CompareOutcome::Greater);
+        assert_eq!(CompareOutcome::Greater.reverse(), CompareOutcome::Less);
+        assert_eq!(CompareOutcome::Same.reverse(), CompareOutcome::Same);
+    }
+
+    #[test]
+    fn deterministic_equal_sources_same() {
+        let comparator = Comparator::default();
+        let (out, na, nb) = run_compare(&comparator, || 2.0, || 2.0);
+        assert_eq!(out, CompareOutcome::Same);
+        assert_eq!(na, 3);
+        assert_eq!(nb, 3);
+    }
+
+    #[test]
+    fn higher_variance_candidate_gets_more_trials() {
+        let comparator = Comparator::new(ComparatorConfig {
+            max_trials: 40,
+            ..ComparatorConfig::default()
+        });
+        let mut rng = Lcg(7);
+        let mut rng2 = Lcg(8);
+        let (_, na, nb) = run_compare(
+            &comparator,
+            move || 5.0 + 0.01 * rng.next_f64(),
+            move || 5.0 + 4.0 * rng2.next_f64(),
+        );
+        assert!(nb >= na, "noisy candidate should be sampled at least as much: na={na} nb={nb}");
+    }
+}

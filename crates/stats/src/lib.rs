@@ -1,0 +1,44 @@
+//! Statistics engine for the PetaBricks variable-accuracy autotuner.
+//!
+//! The autotuner described in §5.5.1 of the paper measures both execution
+//! time and accuracy of candidate algorithms, fits normal distributions to
+//! the observations, and uses statistical hypothesis testing (Welch's
+//! t-test) to decide — with as few trials as possible — whether two
+//! candidates differ. This crate provides those primitives:
+//!
+//! * [`OnlineStats`] — numerically stable streaming mean/variance
+//!   (Welford's algorithm).
+//! * [`Normal`] — a fitted normal distribution with CDF/quantile and
+//!   confidence bounds.
+//! * [`welch_t_test`] — two-sample t-test with unequal variances,
+//!   returning a real p-value via the regularized incomplete beta
+//!   function.
+//! * [`Comparator`] — the adaptive trial-count comparison protocol from
+//!   §5.5.1 (run more trials only when the decision is still ambiguous).
+//! * [`linear_fit`] — least-squares line fit used for trend estimation.
+//!
+//! # Examples
+//!
+//! ```
+//! use pb_stats::OnlineStats;
+//!
+//! let mut s = OnlineStats::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     s.push(x);
+//! }
+//! assert_eq!(s.mean(), 2.5);
+//! assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+//! ```
+
+pub mod compare;
+pub mod lsq;
+pub mod normal;
+pub mod online;
+pub mod special;
+pub mod ttest;
+
+pub use compare::{CompareOutcome, Comparator, ComparatorConfig, SampleSource};
+pub use lsq::{linear_fit, LinearFit};
+pub use normal::Normal;
+pub use online::OnlineStats;
+pub use ttest::{welch_t_test, TTest};

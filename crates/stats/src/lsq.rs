@@ -1,0 +1,112 @@
+//! Ordinary least squares line fitting.
+//!
+//! Used by the autotuner for trend estimation across input sizes and to
+//! fit distributions to observed percentage differences (§5.5.1).
+
+/// Result of fitting `y = slope * x + intercept` by least squares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² in `[0, 1]` (1 for a perfect fit;
+    /// defined as 1 when the response is constant).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a straight line to `(x, y)` pairs by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points,
+/// or if all `x` values are identical (the system is singular).
+///
+/// # Examples
+///
+/// ```
+/// use pb_stats::linear_fit;
+///
+/// let fit = linear_fit(&[0.0, 1.0, 2.0, 3.0], &[1.0, 3.0, 5.0, 7.0]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have the same length");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values are identical; the fit is singular");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line_is_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 10.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope + 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 10.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(6.0) + 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r_squared() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.3, 4.7];
+        let fit = linear_fit(&xs, &ys);
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_response_has_zero_slope() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        linear_fit(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn identical_xs_panic() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

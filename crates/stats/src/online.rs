@@ -1,0 +1,221 @@
+//! Streaming sample statistics via Welford's algorithm.
+
+/// Numerically stable streaming mean and variance accumulator.
+///
+/// Uses Welford's online algorithm so that adding millions of timing
+/// samples never loses precision to catastrophic cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use pb_stats::OnlineStats;
+///
+/// let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations seen so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no observations have been added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sample mean. Returns `0.0` for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation, or `+inf` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation, or `-inf` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Unbiased sample variance (Bessel-corrected). Zero when fewer than
+    /// two observations have been recorded.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population (biased) variance. Zero when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (`s / sqrt(n)`), zero when empty.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed all observations into a single accumulator.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zeroed() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_variance() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_textbook_formulas() {
+        let data = [1.5, 2.5, 3.5, 4.5, 5.5];
+        let s: OnlineStats = data.into_iter().collect();
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a: OnlineStats = a_data.into_iter().collect();
+        let b: OnlineStats = b_data.into_iter().collect();
+        a.merge(&b);
+        let all: OnlineStats = a_data.into_iter().chain(b_data).collect();
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [5.0, 6.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn huge_offset_remains_stable() {
+        // Welford should survive a large common offset where the naive
+        // sum-of-squares formula would lose all precision.
+        let offset = 1e9;
+        let s: OnlineStats = [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0]
+            .into_iter()
+            .collect();
+        assert!((s.variance() - 30.0).abs() < 1e-6);
+    }
+}

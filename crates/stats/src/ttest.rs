@@ -1,0 +1,157 @@
+//! Welch's two-sample t-test.
+//!
+//! Step 1 of the paper's comparison heuristic (§5.5.1) uses "statistical
+//! hypothesis testing (a t-test) to estimate the probability
+//! P(observed results | C1 = C2)". We implement Welch's unequal-variance
+//! variant, which is the appropriate test when two candidate algorithms
+//! have different timing variances.
+
+use crate::online::OnlineStats;
+use crate::special::student_t_cdf;
+
+/// Result of a two-sample Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic (positive when the first sample mean is larger).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value: probability of observing a difference at least
+    /// this extreme if the two populations have equal means.
+    pub p_value: f64,
+}
+
+impl TTest {
+    /// Whether the test rejects the null hypothesis of equal means at the
+    /// given significance level (e.g. `0.05`).
+    pub fn rejects_equality(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Performs Welch's t-test on two pre-accumulated sample summaries.
+///
+/// Degenerate inputs are handled conservatively:
+///
+/// * If either sample has fewer than 2 observations, or both variances
+///   are zero with equal means, the p-value is `1.0` (no evidence of
+///   difference).
+/// * If both variances are zero and the means differ, the p-value is
+///   `0.0` (the samples are deterministic and unequal).
+///
+/// # Examples
+///
+/// ```
+/// use pb_stats::{welch_t_test, OnlineStats};
+///
+/// let fast: OnlineStats = [1.0, 1.1, 0.9, 1.05, 0.95].into_iter().collect();
+/// let slow: OnlineStats = [2.0, 2.1, 1.9, 2.05, 1.95].into_iter().collect();
+/// let test = welch_t_test(&fast, &slow);
+/// assert!(test.rejects_equality(0.05));
+/// ```
+pub fn welch_t_test(a: &OnlineStats, b: &OnlineStats) -> TTest {
+    let na = a.count() as f64;
+    let nb = b.count() as f64;
+    if a.count() < 2 || b.count() < 2 {
+        return TTest {
+            t: 0.0,
+            df: 1.0,
+            p_value: 1.0,
+        };
+    }
+    let va = a.variance();
+    let vb = b.variance();
+    let sa = va / na;
+    let sb = vb / nb;
+    let denom = (sa + sb).sqrt();
+    if denom == 0.0 {
+        // Both samples are deterministic.
+        let p = if a.mean() == b.mean() { 1.0 } else { 0.0 };
+        return TTest {
+            t: if p == 1.0 { 0.0 } else { f64::INFINITY },
+            df: na + nb - 2.0,
+            p_value: p,
+        };
+    }
+    let t = (a.mean() - b.mean()) / denom;
+    // Welch–Satterthwaite degrees of freedom.
+    let df = (sa + sb).powi(2) / (sa * sa / (na - 1.0) + sb * sb / (nb - 1.0));
+    let df = df.max(1.0);
+    let p = 2.0 * student_t_cdf(-t.abs(), df);
+    TTest {
+        t,
+        df,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(xs: &[f64]) -> OnlineStats {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_samples_do_not_reject() {
+        let a = stats(&[1.0, 2.0, 3.0, 4.0]);
+        let test = welch_t_test(&a, &a.clone());
+        assert!(!test.rejects_equality(0.05));
+        assert!((test.t).abs() < 1e-12);
+        assert!(test.p_value > 0.99);
+    }
+
+    #[test]
+    fn well_separated_samples_reject() {
+        let a = stats(&[1.0, 1.1, 0.9, 1.0, 1.05, 0.95]);
+        let b = stats(&[5.0, 5.1, 4.9, 5.0, 5.05, 4.95]);
+        let test = welch_t_test(&a, &b);
+        assert!(test.rejects_equality(0.001));
+        assert!(test.t < 0.0, "first mean smaller gives negative t");
+    }
+
+    #[test]
+    fn known_textbook_value() {
+        // Reference values computed independently from the Welch
+        // formulas: t = -2.70778, df = 26.9527, p ~ 0.0116.
+        let a = stats(&[
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0,
+            21.7, 21.4,
+        ]);
+        let b = stats(&[
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9,
+            30.5,
+        ]);
+        let test = welch_t_test(&a, &b);
+        assert!((test.t - (-2.70778)).abs() < 1e-4, "t = {}", test.t);
+        assert!((test.df - 26.9527).abs() < 1e-3, "df = {}", test.df);
+        assert!((test.p_value - 0.0116).abs() < 5e-4, "p = {}", test.p_value);
+    }
+
+    #[test]
+    fn too_few_samples_is_inconclusive() {
+        let a = stats(&[1.0]);
+        let b = stats(&[100.0, 101.0, 99.0]);
+        let test = welch_t_test(&a, &b);
+        assert_eq!(test.p_value, 1.0);
+    }
+
+    #[test]
+    fn deterministic_unequal_samples_reject() {
+        let a = stats(&[2.0, 2.0, 2.0]);
+        let b = stats(&[3.0, 3.0, 3.0]);
+        let test = welch_t_test(&a, &b);
+        assert_eq!(test.p_value, 0.0);
+    }
+
+    #[test]
+    fn symmetry_in_arguments() {
+        let a = stats(&[1.0, 2.0, 3.0, 2.5]);
+        let b = stats(&[4.0, 5.0, 3.5, 4.5]);
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+        assert!((ab.t + ba.t).abs() < 1e-12);
+    }
+}

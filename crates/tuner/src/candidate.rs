@@ -1,0 +1,215 @@
+//! Candidate algorithms: a configuration plus cached measurements.
+//!
+//! "The dominant time requirement of our autotuner is testing candidate
+//! algorithms by running them on training inputs" (§5.5.1), so every
+//! trial's result is cached on the candidate for its lifetime in the
+//! population, keyed by input size.
+
+use crate::mutators::MutationRecord;
+use pb_config::Config;
+use pb_runtime::TrialRunner;
+use pb_stats::OnlineStats;
+use std::collections::BTreeMap;
+
+/// Cached timing and accuracy statistics for one input size.
+#[derive(Debug, Clone, Default)]
+pub struct SizeStats {
+    /// Cost observations (per the runner's cost model).
+    pub time: OnlineStats,
+    /// Accuracy-metric observations.
+    pub accuracy: OnlineStats,
+}
+
+/// One member of the tuner's population.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Unique id within one tuning run (used for seeding and reports).
+    pub id: u64,
+    /// The configuration this candidate embodies.
+    pub config: Config,
+    /// Per-input-size cached measurements.
+    results: BTreeMap<u64, SizeStats>,
+    /// Record of the mutation that created this candidate, consumed by
+    /// the `MetaUndo` mutator (§5.4).
+    pub last_mutation: Option<MutationRecord>,
+}
+
+impl Candidate {
+    /// Wraps a configuration as an untested candidate.
+    pub fn new(id: u64, config: Config) -> Self {
+        Candidate {
+            id,
+            config,
+            results: BTreeMap::new(),
+            last_mutation: None,
+        }
+    }
+
+    /// The cached statistics for input size `n`, if any trials ran.
+    pub fn stats(&self, n: u64) -> Option<&SizeStats> {
+        self.results.get(&n)
+    }
+
+    /// Mutable (creating) access to the statistics for size `n`.
+    pub fn stats_mut(&mut self, n: u64) -> &mut SizeStats {
+        self.results.entry(n).or_default()
+    }
+
+    /// Removes and returns the statistics for size `n` (used while
+    /// adaptive comparison needs split mutable access).
+    pub fn take_stats(&mut self, n: u64) -> SizeStats {
+        self.results.remove(&n).unwrap_or_default()
+    }
+
+    /// Puts statistics back after [`Candidate::take_stats`].
+    pub fn put_stats(&mut self, n: u64, stats: SizeStats) {
+        self.results.insert(n, stats);
+    }
+
+    /// Number of trials cached at size `n`.
+    pub fn trials(&self, n: u64) -> u64 {
+        self.stats(n).map(|s| s.time.count()).unwrap_or(0)
+    }
+
+    /// Mean cost at size `n` (`+inf` when untested, so untested
+    /// candidates sort last in rough performance ordering).
+    pub fn mean_time(&self, n: u64) -> f64 {
+        self.stats(n)
+            .filter(|s| !s.time.is_empty())
+            .map(|s| s.time.mean())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Mean accuracy at size `n` (`-inf` when untested).
+    pub fn mean_accuracy(&self, n: u64) -> f64 {
+        self.stats(n)
+            .filter(|s| !s.accuracy.is_empty())
+            .map(|s| s.accuracy.mean())
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+
+    /// Runs trials at size `n` until at least `min_trials` are cached.
+    ///
+    /// Seeds are a deterministic function of the size and trial index,
+    /// so *different candidates are measured on the same training
+    /// inputs*, which sharpens comparisons exactly as reusing test
+    /// inputs did in the original system.
+    pub fn ensure_tested(&mut self, runner: &dyn TrialRunner, n: u64, min_trials: u64) {
+        while self.trials(n) < min_trials {
+            self.run_one_trial(runner, n);
+        }
+    }
+
+    /// Runs exactly one more trial at size `n` and returns the measured
+    /// cost (the shape [`pb_stats::Comparator`] expects from a sample
+    /// source).
+    pub fn run_one_trial(&mut self, runner: &dyn TrialRunner, n: u64) -> f64 {
+        let trial_index = self.trials(n);
+        let seed = trial_seed(n, trial_index);
+        let outcome = runner.run_trial(&self.config, n, seed);
+        let stats = self.stats_mut(n);
+        stats.time.push(outcome.time);
+        stats.accuracy.push(outcome.accuracy);
+        outcome.time
+    }
+
+    /// Whether this candidate meets accuracy `target` at size `n` (by
+    /// mean accuracy over its cached trials).
+    pub fn meets_target(&self, n: u64, target: f64) -> bool {
+        self.mean_accuracy(n) >= target
+    }
+}
+
+/// Deterministic seed for trial `index` at input size `n`, shared by all
+/// candidates so they compete on identical inputs.
+pub(crate) fn trial_seed(n: u64, index: u64) -> u64 {
+    let mut x = n
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(index.wrapping_mul(0xD1B54A32D192ED03))
+        .wrapping_add(0x2545F4914F6CDD1D);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+    x ^= x >> 33;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::Schema;
+    use pb_runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+    use rand::rngs::SmallRng;
+
+    struct Fixed;
+
+    impl Transform for Fixed {
+        type Input = ();
+        type Output = ();
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("fixed");
+            s.add_accuracy_variable("v", 1, 10);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+            let v = ctx.param("v").unwrap() as f64;
+            ctx.charge(v * ctx.size() as f64);
+        }
+        fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+            0.7
+        }
+    }
+
+    #[test]
+    fn ensure_tested_reaches_min_and_caches() {
+        let runner = TransformRunner::new(Fixed, CostModel::Virtual);
+        let mut c = Candidate::new(0, runner.schema().default_config());
+        assert_eq!(c.trials(16), 0);
+        assert_eq!(c.mean_time(16), f64::INFINITY);
+        assert_eq!(c.mean_accuracy(16), f64::NEG_INFINITY);
+        c.ensure_tested(&runner, 16, 3);
+        assert_eq!(c.trials(16), 3);
+        assert_eq!(c.mean_time(16), 16.0);
+        assert_eq!(c.mean_accuracy(16), 0.7);
+        // Calling again does not add trials.
+        c.ensure_tested(&runner, 16, 3);
+        assert_eq!(c.trials(16), 3);
+        // Other sizes remain independent.
+        assert_eq!(c.trials(32), 0);
+    }
+
+    #[test]
+    fn meets_target_uses_mean_accuracy() {
+        let runner = TransformRunner::new(Fixed, CostModel::Virtual);
+        let mut c = Candidate::new(0, runner.schema().default_config());
+        c.ensure_tested(&runner, 8, 2);
+        assert!(c.meets_target(8, 0.7));
+        assert!(c.meets_target(8, 0.5));
+        assert!(!c.meets_target(8, 0.71));
+        assert!(!c.meets_target(16, 0.1), "untested size never qualifies");
+    }
+
+    #[test]
+    fn take_and_put_stats_round_trip() {
+        let runner = TransformRunner::new(Fixed, CostModel::Virtual);
+        let mut c = Candidate::new(0, runner.schema().default_config());
+        c.ensure_tested(&runner, 8, 2);
+        let stats = c.take_stats(8);
+        assert_eq!(c.trials(8), 0);
+        c.put_stats(8, stats);
+        assert_eq!(c.trials(8), 2);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_but_deterministic() {
+        let a = trial_seed(64, 0);
+        let b = trial_seed(64, 1);
+        let c = trial_seed(128, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, trial_seed(64, 0));
+    }
+}

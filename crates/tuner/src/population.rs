@@ -1,0 +1,391 @@
+//! The candidate population and the accuracy-binned pruning procedure.
+//!
+//! Pruning (§5.5.4) keeps, for each accuracy bin required by the user,
+//! the fastest `K` algorithms that meet the bin's requirement — a
+//! discretized optimal frontier. Because comparisons can trigger
+//! additional trials (§5.5.1), the pruning procedure avoids fully
+//! sorting candidates that will be discarded:
+//!
+//! 1. roughly sort by mean performance without extra trials;
+//! 2. split at the `K`-th element into KEEP and DISCARD;
+//! 3. fully sort KEEP with the adaptive comparator;
+//! 4. compare each DISCARD element to the `K`-th KEEP element, moving
+//!    any faster ones into KEEP;
+//! 5. fully sort KEEP again;
+//! 6. keep the first `K`.
+
+use crate::candidate::{trial_seed, Candidate, SizeStats};
+use pb_config::AccuracyBins;
+use pb_runtime::TrialRunner;
+use pb_stats::{CompareOutcome, Comparator};
+use std::collections::BTreeSet;
+
+/// The tuner's population of candidate algorithms.
+#[derive(Debug, Default)]
+pub struct Population {
+    candidates: Vec<Candidate>,
+}
+
+impl Population {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Population::default()
+    }
+
+    /// Adds a candidate.
+    pub fn add(&mut self, candidate: Candidate) {
+        self.candidates.push(candidate);
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidates, in insertion order.
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Mutable access to the candidates.
+    pub fn candidates_mut(&mut self) -> &mut [Candidate] {
+        &mut self.candidates
+    }
+
+    /// Drops candidates past `len` (used by the tuner to reject a
+    /// freshly appended child that lost its parent comparison).
+    pub fn truncate(&mut self, len: usize) {
+        self.candidates.truncate(len);
+    }
+
+    /// Index of the candidate with the highest mean accuracy at size
+    /// `n`, or `None` if empty.
+    pub fn best_accuracy_index(&self, n: u64) -> Option<usize> {
+        (0..self.candidates.len()).max_by(|&a, &b| {
+            self.candidates[a]
+                .mean_accuracy(n)
+                .partial_cmp(&self.candidates[b].mean_accuracy(n))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Index of the fastest candidate meeting `target` accuracy at size
+    /// `n` (by cached means; no extra trials).
+    pub fn fastest_meeting(&self, n: u64, target: f64) -> Option<usize> {
+        (0..self.candidates.len())
+            .filter(|&i| self.candidates[i].meets_target(n, target))
+            .min_by(|&a, &b| {
+                self.candidates[a]
+                    .mean_time(n)
+                    .partial_cmp(&self.candidates[b].mean_time(n))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Ensures every candidate has at least `min_trials` cached at `n`
+    /// (the *testPopulation* phase of Figure 5).
+    pub fn test_all(&mut self, runner: &dyn TrialRunner, n: u64, min_trials: u64) {
+        for c in &mut self.candidates {
+            c.ensure_tested(runner, n, min_trials);
+        }
+    }
+
+    /// Adaptive time comparison between candidates `i` and `j` at size
+    /// `n`, drawing extra trials through `runner` as the comparator
+    /// requests them. Cached statistics are updated in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn compare_time(
+        &mut self,
+        i: usize,
+        j: usize,
+        n: u64,
+        runner: &dyn TrialRunner,
+        comparator: &Comparator,
+    ) -> CompareOutcome {
+        assert_ne!(i, j, "cannot compare a candidate to itself");
+        let cfg_i = self.candidates[i].config.clone();
+        let cfg_j = self.candidates[j].config.clone();
+        let st_i = self.candidates[i].take_stats(n);
+        let st_j = self.candidates[j].take_stats(n);
+        let (mut time_i, mut acc_i) = (st_i.time, st_i.accuracy);
+        let (mut time_j, mut acc_j) = (st_j.time, st_j.accuracy);
+        let mut idx_i = time_i.count();
+        let mut idx_j = time_j.count();
+        let outcome = {
+            let mut draw_i = || {
+                let out = runner.run_trial(&cfg_i, n, trial_seed(n, idx_i));
+                idx_i += 1;
+                acc_i.push(out.accuracy);
+                out.time
+            };
+            let mut draw_j = || {
+                let out = runner.run_trial(&cfg_j, n, trial_seed(n, idx_j));
+                idx_j += 1;
+                acc_j.push(out.accuracy);
+                out.time
+            };
+            comparator.compare(&mut time_i, &mut draw_i, &mut time_j, &mut draw_j)
+        };
+        self.candidates[i].put_stats(
+            n,
+            SizeStats {
+                time: time_i,
+                accuracy: acc_i,
+            },
+        );
+        self.candidates[j].put_stats(
+            n,
+            SizeStats {
+                time: time_j,
+                accuracy: acc_j,
+            },
+        );
+        outcome
+    }
+
+    /// Sorts the index list ascending by time using the adaptive
+    /// comparator (stable insertion sort; `Same` keeps original order).
+    fn sort_indices_by_time(
+        &mut self,
+        indices: &mut [usize],
+        n: u64,
+        runner: &dyn TrialRunner,
+        comparator: &Comparator,
+    ) {
+        for i in 1..indices.len() {
+            let mut j = i;
+            while j > 0 {
+                let (a, b) = (indices[j - 1], indices[j]);
+                if self.compare_time(b, a, n, runner, comparator) == CompareOutcome::Less {
+                    indices.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// The pruning phase (§5.5.4): for each accuracy bin keep the
+    /// fastest `keep_per_bin` candidates that meet the bin's target at
+    /// size `n`; candidates in no keep-set are removed. The single
+    /// highest-accuracy candidate is always retained so that guided
+    /// mutation has material to work with even when no bin is met yet
+    /// (a liveness safety net; the paper reports an error to the user in
+    /// the equivalent situation, which the tuner does at the end of
+    /// training instead).
+    ///
+    /// Returns the number of candidates removed.
+    pub fn prune(
+        &mut self,
+        n: u64,
+        bins: &AccuracyBins,
+        keep_per_bin: usize,
+        runner: &dyn TrialRunner,
+        comparator: &Comparator,
+    ) -> usize {
+        if self.candidates.len() <= 1 {
+            return 0;
+        }
+        let mut keep: BTreeSet<usize> = BTreeSet::new();
+        for &target in bins.targets() {
+            let qualifying: Vec<usize> = (0..self.candidates.len())
+                .filter(|&i| self.candidates[i].meets_target(n, target))
+                .collect();
+            for &i in self.fastest_k(qualifying, keep_per_bin, n, runner, comparator).iter() {
+                keep.insert(i);
+            }
+        }
+        if let Some(best) = self.best_accuracy_index(n) {
+            keep.insert(best);
+        }
+        let before = self.candidates.len();
+        let mut idx = 0;
+        self.candidates.retain(|_| {
+            let kept = keep.contains(&idx);
+            idx += 1;
+            kept
+        });
+        before - self.candidates.len()
+    }
+
+    /// The six-step fastest-K selection from §5.5.4.
+    fn fastest_k(
+        &mut self,
+        mut indices: Vec<usize>,
+        k: usize,
+        n: u64,
+        runner: &dyn TrialRunner,
+        comparator: &Comparator,
+    ) -> Vec<usize> {
+        if indices.len() <= k {
+            return indices;
+        }
+        // Step 1: rough sort by cached mean time (no extra trials).
+        indices.sort_by(|&a, &b| {
+            self.candidates[a]
+                .mean_time(n)
+                .partial_cmp(&self.candidates[b].mean_time(n))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Step 2: split at the Kth element.
+        let discard = indices.split_off(k);
+        let mut keep = indices;
+        // Step 3: fully sort KEEP with adaptive confidence.
+        self.sort_indices_by_time(&mut keep, n, runner, comparator);
+        // Step 4: promote any DISCARD element faster than the Kth.
+        let mut promoted = false;
+        for &d in &discard {
+            let kth = *keep.last().expect("keep has k elements");
+            if self.compare_time(d, kth, n, runner, comparator) == CompareOutcome::Less {
+                keep.push(d);
+                promoted = true;
+            }
+        }
+        // Step 5: re-sort if anything was promoted.
+        if promoted {
+            self.sort_indices_by_time(&mut keep, n, runner, comparator);
+        }
+        // Step 6: first K.
+        keep.truncate(k);
+        keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_config::{Schema, Value};
+    use pb_runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+    use rand::rngs::SmallRng;
+
+    /// Cost = `level * n`, accuracy = `level / 10`: a clean frontier
+    /// where higher accuracy always costs more.
+    struct Frontier;
+
+    impl Transform for Frontier {
+        type Input = ();
+        type Output = f64;
+        fn name(&self) -> &str {
+            "frontier"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("frontier");
+            s.add_accuracy_variable("level", 1, 10);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) -> f64 {
+            let level = ctx.param("level").unwrap() as f64;
+            ctx.charge(level * ctx.size() as f64);
+            level / 10.0
+        }
+        fn accuracy(&self, _i: &(), o: &f64) -> f64 {
+            *o
+        }
+    }
+
+    fn population_with_levels(
+        runner: &TransformRunner<Frontier>,
+        levels: &[i64],
+        n: u64,
+    ) -> Population {
+        let schema = runner.schema();
+        let mut pop = Population::new();
+        for (i, &level) in levels.iter().enumerate() {
+            let mut config = schema.default_config();
+            config.set_by_name(schema, "level", Value::Int(level)).unwrap();
+            pop.add(Candidate::new(i as u64, config));
+        }
+        pop.test_all(runner, n, 3);
+        pop
+    }
+
+    #[test]
+    fn compare_time_orders_by_cost() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        let mut pop = population_with_levels(&runner, &[2, 8], 16);
+        let comparator = Comparator::default();
+        assert_eq!(
+            pop.compare_time(0, 1, 16, &runner, &comparator),
+            CompareOutcome::Less
+        );
+        assert_eq!(
+            pop.compare_time(1, 0, 16, &runner, &comparator),
+            CompareOutcome::Greater
+        );
+    }
+
+    #[test]
+    fn prune_keeps_fastest_per_bin() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        // Levels 1..=10; bins at 0.2 and 0.8 accuracy.
+        let mut pop = population_with_levels(&runner, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 16);
+        let bins = AccuracyBins::new(vec![0.2, 0.8]);
+        let comparator = Comparator::default();
+        let removed = pop.prune(16, &bins, 1, &runner, &comparator);
+        assert!(removed >= 7, "population should shrink, removed {removed}");
+        // The fastest candidate meeting 0.2 is level 2; meeting 0.8 is
+        // level 8; the best-accuracy safety net keeps level 10.
+        let levels: Vec<i64> = pop
+            .candidates()
+            .iter()
+            .map(|c| c.config.int(runner.schema(), "level").unwrap())
+            .collect();
+        assert!(levels.contains(&2), "levels kept: {levels:?}");
+        assert!(levels.contains(&8), "levels kept: {levels:?}");
+        assert!(levels.contains(&10), "levels kept: {levels:?}");
+        assert_eq!(levels.len(), 3, "levels kept: {levels:?}");
+    }
+
+    #[test]
+    fn prune_respects_keep_per_bin() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        let mut pop = population_with_levels(&runner, &[3, 4, 5, 6, 7], 8);
+        let bins = AccuracyBins::new(vec![0.3]);
+        let comparator = Comparator::default();
+        pop.prune(8, &bins, 3, &runner, &comparator);
+        let levels: Vec<i64> = pop
+            .candidates()
+            .iter()
+            .map(|c| c.config.int(runner.schema(), "level").unwrap())
+            .collect();
+        // Fastest three meeting 0.3 are 3, 4, 5; plus best-accuracy 7.
+        assert_eq!(levels, vec![3, 4, 5, 7]);
+    }
+
+    #[test]
+    fn prune_never_empties_population() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        let mut pop = population_with_levels(&runner, &[1, 2], 8);
+        // Impossible bin: nothing qualifies.
+        let bins = AccuracyBins::new(vec![99.0]);
+        let comparator = Comparator::default();
+        pop.prune(8, &bins, 2, &runner, &comparator);
+        assert_eq!(pop.len(), 1, "best-accuracy candidate survives");
+        assert_eq!(
+            pop.candidates()[0].config.int(runner.schema(), "level").unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn fastest_meeting_uses_cached_means() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        let pop = population_with_levels(&runner, &[2, 5, 9], 8);
+        let idx = pop.fastest_meeting(8, 0.5).unwrap();
+        assert_eq!(
+            pop.candidates()[idx].config.int(runner.schema(), "level").unwrap(),
+            5
+        );
+        assert!(pop.fastest_meeting(8, 0.95).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Tunes the Bin Packing benchmark (§6.1.1) and shows how the winning
+//! algorithm changes with the required accuracy — the phenomenon
+//! behind Fig. 7.
+//!
+//! Run with: `cargo run --release --example binpacking_tuning`
+
+use petabricks::benchmarks::binpacking::{accuracy_to_ratio, ratio_to_accuracy, ALGORITHM_NAMES};
+use petabricks::benchmarks::BinPacking;
+use petabricks::config::AccuracyBins;
+use petabricks::runtime::{CostModel, TransformRunner};
+use petabricks::tuner::{Autotuner, TunerOptions};
+
+fn main() {
+    let runner = TransformRunner::new(BinPacking, CostModel::Virtual);
+
+    // Require packings within 1.4x, 1.1x, and 1.02x of optimal.
+    let ratios = [1.4, 1.1, 1.02];
+    let bins = AccuracyBins::new(ratios.iter().map(|&r| ratio_to_accuracy(r)).collect());
+
+    let tuned = Autotuner::new(&runner, bins, TunerOptions::fast_preset(2048, 7))
+        .tune()
+        .expect("all three ratios are reachable");
+
+    let schema = runner.schema();
+    println!("winning bin-packing algorithm per required packing quality:");
+    for entry in tuned.entries() {
+        let algorithm = entry.config.choice(schema, "algorithm", 2048).unwrap();
+        println!(
+            "  bins/OPT <= {:.2}: {:<28} (observed ratio {:.3}, cost {:.0})",
+            accuracy_to_ratio(entry.target),
+            ALGORITHM_NAMES[algorithm],
+            accuracy_to_ratio(entry.observed_accuracy),
+            entry.observed_time,
+        );
+    }
+
+    // The same tuned program serves arbitrary runtime requests.
+    let request = ratio_to_accuracy(1.2);
+    let entry = tuned.entry_meeting(request).unwrap();
+    let algorithm = entry.config.choice(schema, "algorithm", 2048).unwrap();
+    println!(
+        "\na caller demanding bins/OPT <= 1.20 is served by the {:.2}-ratio bin ({})",
+        accuracy_to_ratio(entry.target),
+        ALGORITHM_NAMES[algorithm],
+    );
+}

@@ -1,0 +1,44 @@
+//! Tunes the 2D Poisson multigrid benchmark (§6.1.5) and prints the
+//! cycle shape the tuner discovered for each accuracy level — a 2D
+//! cousin of the Fig. 8 Helmholtz diagrams.
+//!
+//! Run with: `cargo run --release --example multigrid_poisson`
+
+use petabricks::benchmarks::Poisson2d;
+use petabricks::config::AccuracyBins;
+use petabricks::runtime::{CostModel, TraceNode, TransformRunner, TrialRunner};
+use petabricks::tuner::{Autotuner, TunerOptions};
+
+fn render(node: &TraceNode, depth: usize) {
+    if !node.label.is_empty() {
+        let relax = node.points.iter().filter(|p| *p == "relax").count();
+        let mut marks = "•".repeat(relax);
+        if node.points.iter().any(|p| p == "direct") {
+            marks.push_str(" direct");
+        }
+        println!("{}{} {}", "  ".repeat(depth), node.label, marks);
+    }
+    for child in &node.children {
+        render(child, depth + usize::from(!node.label.is_empty()));
+    }
+}
+
+fn main() {
+    let runner = TransformRunner::new(Poisson2d, CostModel::Virtual);
+    // Accuracy = orders of magnitude of residual reduction.
+    let bins = AccuracyBins::new(vec![1.0, 5.0, 9.0]);
+    let mut options = TunerOptions::fast_preset(31, 3);
+    options.rounds_per_size = 4;
+    let tuned = Autotuner::new(&runner, bins, options)
+        .tune()
+        .expect("all residual reductions are reachable");
+
+    for entry in tuned.entries() {
+        let (outcome, trace) = runner.run_traced(&entry.config, 31, 99);
+        println!(
+            "\n=== target 10^{:.0} reduction: achieved {:.2} orders at cost {:.2e} ===",
+            entry.target, outcome.accuracy, outcome.virtual_cost
+        );
+        render(&trace, 0);
+    }
+}

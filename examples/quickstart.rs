@@ -1,0 +1,80 @@
+//! Quickstart: define a variable-accuracy transform, tune it for two
+//! accuracy targets, and execute the tuned configurations.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use petabricks::config::{AccuracyBins, Schema};
+use petabricks::runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+use petabricks::tuner::{Autotuner, TunerOptions};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Approximates π by a Leibniz-style series: more terms cost more and
+/// are more accurate — the simplest possible accuracy/time trade-off.
+struct PiSeries;
+
+impl Transform for PiSeries {
+    type Input = ();
+    type Output = f64;
+
+    fn name(&self) -> &str {
+        "pi_series"
+    }
+
+    fn schema(&self) -> Schema {
+        let mut schema = Schema::new("pi_series");
+        // The tuner decides how many terms each accuracy level needs.
+        schema.add_accuracy_variable("terms", 1, 1 << 20);
+        schema
+    }
+
+    fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+
+    fn execute(&self, _input: &(), ctx: &mut ExecCtx<'_>) -> f64 {
+        let terms = ctx.param("terms").expect("declared in schema");
+        let mut sum = 0.0;
+        for k in 0..terms {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            sum += sign / (2.0 * k as f64 + 1.0);
+        }
+        ctx.charge(terms as f64); // deterministic cost = work done
+        let _ = ctx.rng().gen::<f64>(); // rngs are available too
+        4.0 * sum
+    }
+
+    fn accuracy(&self, _input: &(), output: &f64) -> f64 {
+        // Digits of agreement with π.
+        let err = (output - std::f64::consts::PI).abs();
+        if err == 0.0 {
+            16.0
+        } else {
+            -err.log10()
+        }
+    }
+}
+
+fn main() {
+    let runner = TransformRunner::new(PiSeries, CostModel::Virtual);
+
+    // Ask for two accuracy levels: ~2 digits and ~5 digits of π.
+    let bins = AccuracyBins::new(vec![2.0, 5.0]);
+    let tuned = Autotuner::new(&runner, bins, TunerOptions::fast_preset(8, 42))
+        .tune()
+        .expect("both targets are reachable");
+
+    println!("tuned configurations per accuracy bin:");
+    for entry in tuned.entries() {
+        let terms = entry.config.int(runner.schema(), "terms").unwrap();
+        println!(
+            "  target {:>4} digits -> {:>7} terms (observed {:.2} digits, cost {:.0})",
+            entry.target, terms, entry.observed_accuracy, entry.observed_time
+        );
+    }
+
+    // Runtime lookup: "give me at least 3 digits as cheaply as possible".
+    let entry = tuned.entry_meeting(3.0).expect("trained high enough");
+    let schema = runner.schema();
+    let mut ctx = ExecCtx::new(schema, &entry.config, 1, 0);
+    let pi = PiSeries.execute(&(), &mut ctx);
+    println!("requested >= 3 digits, got {pi} (cost {})", ctx.virtual_cost());
+}

@@ -1,0 +1,153 @@
+//! Cross-crate property tests (proptest) over the invariants called
+//! out in DESIGN.md §5.
+
+use petabricks::benchmarks::binpacking::{generate_input, pack_with, ALGORITHM_NAMES};
+use petabricks::benchmarks::BinPacking;
+use petabricks::config::{DecisionTree, Schema};
+use petabricks::linalg::SymmetricBanded;
+use petabricks::runtime::{ExecCtx, Transform};
+use petabricks::stats::{welch_t_test, OnlineStats};
+use petabricks::tuner::MutatorPool;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decision trees: whatever levels are added in whatever order,
+    /// `select` is a piecewise-constant function whose pieces respect
+    /// ascending cutoffs.
+    #[test]
+    fn decision_tree_select_is_consistent(
+        levels in prop::collection::vec((1u64..10_000, 0usize..5), 0..8),
+        queries in prop::collection::vec(0u64..20_000, 0..32),
+    ) {
+        let mut tree = DecisionTree::single(0);
+        for (cutoff, choice) in &levels {
+            tree.add_level(*cutoff, *choice);
+        }
+        // Cutoffs strictly ascending after deduplication.
+        let cutoffs: Vec<u64> = tree.levels().iter().map(|l| l.cutoff).collect();
+        for w in cutoffs.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for q in queries {
+            let selected = tree.select(q);
+            // The selected choice is the first level whose cutoff
+            // exceeds q, or the top choice.
+            let expect = tree
+                .levels()
+                .iter()
+                .find(|l| q < l.cutoff)
+                .map(|l| l.choice)
+                .unwrap_or(tree.top_choice());
+            prop_assert_eq!(selected, expect);
+        }
+    }
+
+    /// Every mutation sequence leaves a config valid for its schema.
+    #[test]
+    fn mutations_preserve_validity(seed in 0u64..1_000, steps in 1usize..60) {
+        let mut schema = Schema::new("prop");
+        schema.add_choice_site("site", 4);
+        schema.add_cutoff("cut", 1, 1 << 20);
+        schema.add_accuracy_variable("acc", 1, 10_000);
+        schema.add_switch("sw", 3);
+        schema.add_float_param("f", -1.0, 1.0);
+        let pool = MutatorPool::from_schema(&schema);
+        let mut config = schema.default_config();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut prev = None;
+        for step in 0..steps {
+            if let Some(rec) =
+                pool.apply_random(&mut config, &schema, 1 << (step % 12), &mut rng, prev.as_ref())
+            {
+                prev = Some(rec);
+            }
+            prop_assert!(config.validate(&schema).is_ok());
+        }
+    }
+
+    /// Welch's t-test is symmetric and its p-value is a probability.
+    #[test]
+    fn t_test_is_symmetric(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..20),
+        ys in prop::collection::vec(-100.0f64..100.0, 2..20),
+    ) {
+        let a: OnlineStats = xs.iter().copied().collect();
+        let b: OnlineStats = ys.iter().copied().collect();
+        let ab = welch_t_test(&a, &b);
+        let ba = welch_t_test(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!((ab.t + ba.t).abs() < 1e-9);
+    }
+
+    /// Banded Cholesky solves random diagonally-dominant SPD systems.
+    #[test]
+    fn banded_cholesky_solves(seed in 0u64..500, n in 2usize..20, kd in 1usize..4) {
+        let kd = kd.min(n - 1);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = SymmetricBanded::zeros(n, kd);
+        use rand::Rng;
+        for d in 1..=kd {
+            for i in 0..n - d {
+                a.set(i + d, i, rng.gen_range(-1.0..1.0));
+            }
+        }
+        for i in 0..n {
+            a.set(i, i, 2.0 * (kd as f64 + 1.0) + rng.gen_range(0.0..1.0));
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).expect("diagonally dominant is SPD");
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    /// No packing heuristic ever overfills a bin or beats OPT, and the
+    /// proven worst-case multipliers hold on generated instances.
+    #[test]
+    fn binpacking_invariants(seed in 0u64..300, n in 10u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input = generate_input(n, &mut rng);
+        let t = BinPacking;
+        let schema = t.schema();
+        let config = schema.default_config();
+        for alg in 0..ALGORITHM_NAMES.len() {
+            let mut ctx = ExecCtx::new(&schema, &config, n, seed);
+            let packing = pack_with(alg, &input.items, 2, &mut ctx);
+            prop_assert!(packing.is_valid(), "{} overfilled", ALGORITHM_NAMES[alg]);
+            // Volume bound (each bin holds at most 1.0), with float
+            // slack: the generator's bins sum to 1.0 only up to
+            // rounding, so `ceil` of the total would over-demand.
+            prop_assert!(
+                packing.bins() as f64 >= input.items.iter().sum::<f64>() - 1e-9,
+                "{} lost volume", ALGORITHM_NAMES[alg]
+            );
+            prop_assert!(
+                packing.bins() as f64 <= 2.0 * input.opt_bins as f64 + 1.0,
+                "{} above the NextFit bound", ALGORITHM_NAMES[alg]
+            );
+        }
+    }
+
+    /// The language round-trips numeric headers through the printer.
+    #[test]
+    fn dsl_accuracy_bins_round_trip(bins in prop::collection::vec(-10.0f64..10.0, 1..6)) {
+        let rendered: Vec<String> = bins.iter().map(|b| format!("{b}")).collect();
+        let src = format!(
+            "transform t accuracy_bins {} from A[n] to B[n] {{ to (B b) from (A a) {{ b[0] = 1; }} }}",
+            rendered.join(" ")
+        );
+        let program = petabricks::lang::parse_program(&src).unwrap();
+        let printed = petabricks::lang::pretty::print_program(&program);
+        let reparsed = petabricks::lang::parse_program(&printed).unwrap();
+        prop_assert_eq!(
+            &program.transforms[0].accuracy_bins,
+            &reparsed.transforms[0].accuracy_bins
+        );
+    }
+}

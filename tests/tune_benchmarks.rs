@@ -1,0 +1,101 @@
+//! End-to-end integration: every benchmark from §6.1 tunes to its
+//! accuracy bins and the resulting configurations actually deliver the
+//! promised accuracy on fresh inputs.
+
+use petabricks::benchmarks::binpacking::ratio_to_accuracy;
+use petabricks::benchmarks::{
+    BinPacking, Clustering, Helmholtz3d, ImageCompression, Poisson2d, Preconditioner,
+};
+use petabricks::config::AccuracyBins;
+use petabricks::runtime::{CostModel, Transform, TransformRunner, TrialRunner};
+use petabricks::tuner::{Autotuner, TunerOptions};
+
+/// Tunes a benchmark and validates the tuned frontier: every bin's
+/// configuration meets its target on fresh seeds (mean of 3 runs, with
+/// slack for sampling noise), and costs do not decrease as targets
+/// tighten.
+fn tune_and_check<T>(transform: T, bins: Vec<f64>, max_size: u64, slack: f64)
+where
+    T: Transform + Send + Sync,
+{
+    let runner = TransformRunner::new(transform, CostModel::Virtual);
+    let bins = AccuracyBins::new(bins);
+    let tuned = Autotuner::new(&runner, bins, TunerOptions::fast_preset(max_size, 0xE2E))
+        .tune()
+        .unwrap_or_else(|e| panic!("{} failed to tune: {e}", runner.name()));
+
+    for entry in tuned.entries() {
+        let mean_acc: f64 = (100..103)
+            .map(|seed| runner.run_trial(&entry.config, max_size, seed).accuracy)
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            mean_acc >= entry.target - slack,
+            "{}: bin {} delivers {} on fresh inputs",
+            runner.name(),
+            entry.target,
+            mean_acc
+        );
+    }
+    // The frontier is weakly cost-ordered by target.
+    let costs: Vec<f64> = tuned.entries().iter().map(|e| e.observed_time).collect();
+    for w in costs.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.5,
+            "{}: higher accuracy should not be drastically cheaper: {costs:?}",
+            runner.name()
+        );
+    }
+}
+
+#[test]
+fn binpacking_tunes() {
+    tune_and_check(
+        BinPacking,
+        vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)],
+        512,
+        0.05,
+    );
+}
+
+#[test]
+fn clustering_tunes() {
+    tune_and_check(Clustering, vec![0.05, 0.2], 128, 0.04);
+}
+
+#[test]
+fn imagecompression_tunes() {
+    tune_and_check(ImageCompression, vec![0.3, 1.0], 24, 0.05);
+}
+
+#[test]
+fn preconditioner_tunes() {
+    tune_and_check(Preconditioner, vec![0.5, 2.0], 16, 0.1);
+}
+
+#[test]
+fn poisson_tunes() {
+    tune_and_check(Poisson2d, vec![1.0, 5.0], 15, 0.2);
+}
+
+#[test]
+fn helmholtz_tunes() {
+    tune_and_check(Helmholtz3d, vec![1.0, 3.0], 7, 0.2);
+}
+
+#[test]
+fn tuned_binpacking_prefers_cheap_algorithms_at_loose_accuracy() {
+    let runner = TransformRunner::new(BinPacking, CostModel::Virtual);
+    let bins = AccuracyBins::new(vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.05)]);
+    let tuned = Autotuner::new(&runner, bins, TunerOptions::fast_preset(1024, 0xBEEF))
+        .tune()
+        .unwrap();
+    // The loose bin's config must be meaningfully cheaper than the
+    // tight bin's (NextFit-style O(n) vs sorting/search-based).
+    let loose = tuned.entry(0).observed_time;
+    let tight = tuned.entry(1).observed_time;
+    assert!(
+        loose * 1.5 < tight,
+        "loose bin ({loose}) should be much cheaper than tight bin ({tight})"
+    );
+}
