@@ -24,7 +24,11 @@ fn bench_policies(c: &mut Criterion) {
             .set_by_name(&schema, "init", Value::Tree(DecisionTree::single(1)))
             .unwrap();
         config
-            .set_by_name(&schema, "iteration", Value::Tree(DecisionTree::single(policy)))
+            .set_by_name(
+                &schema,
+                "iteration",
+                Value::Tree(DecisionTree::single(policy)),
+            )
             .unwrap();
         config
             .set_by_name(&schema, "max_iters", Value::Int(100))

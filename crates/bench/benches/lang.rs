@@ -1,5 +1,8 @@
 //! Criterion benchmarks for the language front-end: lexing, parsing,
-//! checking, schema extraction, and interpretation throughput.
+//! checking, schema extraction, and execution throughput — the last
+//! head-to-head between the tree-walking interpreter and the bytecode
+//! register VM on the same DSL programs, so the compile/vm speedup is
+//! tracked in the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pb_lang::{check_program, extract_schema, parse_program};
@@ -86,5 +89,85 @@ fn bench_frontend(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_frontend);
+/// The `double` transform from the `pb_lang` crate docs: the smallest
+/// loop-over-array workload.
+const DOUBLE: &str = r#"
+    transform double from In[n] to Out[n] {
+        to (Out o) from (In a) {
+            for (i in 0 .. len(a)) { o[i] = 2 * a[i]; }
+        }
+    }
+"#;
+
+/// Tree-walking interpreter vs bytecode register VM on identical
+/// programs, inputs, and configurations.
+fn bench_interp_vs_vm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lang_interp_vs_vm");
+    group.sample_size(20);
+
+    // double, n = 4096.
+    let program = parse_program(DOUBLE).unwrap();
+    check_program(&program).unwrap();
+    let schema = extract_schema(&program, "double");
+    let config = schema.default_config();
+    let n = 4096usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "In".to_string(),
+        pb_lang::Value::Arr1((0..n).map(|i| i as f64).collect()),
+    );
+    let interp = pb_lang::Interpreter::new(program.clone());
+    let vm = pb_lang::Interpreter::new_compiled(program);
+    group.bench_function("double_n4096_interp", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&schema, &config, n as u64, 1);
+            std::hint::black_box(interp.run("double", &inputs, &mut ctx).unwrap())
+        })
+    });
+    group.bench_function("double_n4096_vm", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&schema, &config, n as u64, 1);
+            std::hint::black_box(vm.run("double", &inputs, &mut ctx).unwrap())
+        })
+    });
+
+    // kmeans (Figure 3), n = 256.
+    let program = parse_program(SOURCE).unwrap();
+    check_program(&program).unwrap();
+    let schema = extract_schema(&program, "kmeans");
+    let mut config = schema.default_config();
+    config
+        .set_by_name(&schema, "k", pb_config::Value::Int(8))
+        .unwrap();
+    config
+        .set_by_name(&schema, "for_enough_0", pb_config::Value::Int(4))
+        .unwrap();
+    let n = 256usize;
+    let mut inputs = HashMap::new();
+    inputs.insert(
+        "Points".to_string(),
+        pb_lang::Value::Arr2 {
+            rows: 2,
+            cols: n,
+            data: (0..2 * n).map(|i| i as f64).collect(),
+        },
+    );
+    let interp = pb_lang::Interpreter::new(program.clone());
+    let vm = pb_lang::Interpreter::new_compiled(program);
+    group.bench_function("kmeans_n256_interp", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&schema, &config, n as u64, 1);
+            std::hint::black_box(interp.run("kmeans", &inputs, &mut ctx).unwrap())
+        })
+    });
+    group.bench_function("kmeans_n256_vm", |b| {
+        b.iter(|| {
+            let mut ctx = ExecCtx::new(&schema, &config, n as u64, 1);
+            std::hint::black_box(vm.run("kmeans", &inputs, &mut ctx).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_interp_vs_vm);
 criterion_main!(benches);

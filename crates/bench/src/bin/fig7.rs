@@ -52,9 +52,7 @@ fn main() {
                 .iter()
                 .enumerate()
                 .filter(|(_, (ratio, _))| *ratio <= r)
-                .min_by(|(_, (_, ca)), (_, (_, cb))| {
-                    ca.partial_cmp(cb).expect("finite costs")
-                })
+                .min_by(|(_, (_, ca)), (_, (_, cb))| ca.partial_cmp(cb).expect("finite costs"))
                 .map(|(alg, _)| alg);
             match best {
                 Some(alg) => print!(" {:>6}", abbreviate(ALGORITHM_NAMES[alg])),

@@ -179,8 +179,7 @@ fn loc(source: &str) -> usize {
 fn main() {
     // Both versions must actually be valid programs in our language.
     let with_ext = pb_lang::parse_program(WITH_EXTENSIONS).expect("extended program parses");
-    let without_ext =
-        pb_lang::parse_program(WITHOUT_EXTENSIONS).expect("manual program parses");
+    let without_ext = pb_lang::parse_program(WITHOUT_EXTENSIONS).expect("manual program parses");
     pb_lang::check_program(&with_ext).expect("extended program is well-formed");
     pb_lang::check_program(&without_ext).expect("manual program is well-formed");
 
@@ -189,7 +188,10 @@ fn main() {
     println!("# §6.5 programmability (qualitative reproduction)");
     println!("k-means with variable-accuracy extensions:    {a:>4} LoC");
     println!("k-means with extensions manually erased:      {b:>4} LoC");
-    println!("code-size ratio:                              {:.1}x", b as f64 / a as f64);
+    println!(
+        "code-size ratio:                              {:.1}x",
+        b as f64 / a as f64
+    );
     println!();
     println!(
         "(The paper reports 15.6x for its 2D Poisson benchmark, whose manual \

@@ -18,8 +18,10 @@ fn main() {
     let tuned = train(&runner, &bins, n, 0x7AB1);
     let schema = runner.schema();
 
-    println!("# Table 1: autotuned k-means choices (n = {n}, k_optimal ~ sqrt(n) = {})",
-        (n as f64).sqrt().round() as u64);
+    println!(
+        "# Table 1: autotuned k-means choices (n = {n}, k_optimal ~ sqrt(n) = {})",
+        (n as f64).sqrt().round() as u64
+    );
     println!(
         "{:>9} {:>6} {:>10} {:>16} {:>10}",
         "accuracy", "k", "init", "iteration", "observed"

@@ -29,7 +29,12 @@ pub const MEASURE_TRIALS: u64 = 3;
 /// # Panics
 ///
 /// Panics if tuning fails (the bins are chosen to be reachable).
-pub fn train(runner: &dyn TrialRunner, bins: &AccuracyBins, max_size: u64, seed: u64) -> TunedProgram {
+pub fn train(
+    runner: &dyn TrialRunner,
+    bins: &AccuracyBins,
+    max_size: u64,
+    seed: u64,
+) -> TunedProgram {
     let mut options = TunerOptions::fast_preset(max_size, seed);
     options.rounds_per_size = 5;
     options.mutation_attempts = 16;
@@ -42,7 +47,9 @@ pub fn train(runner: &dyn TrialRunner, bins: &AccuracyBins, max_size: u64, seed:
 pub fn mean_cost(runner: &dyn TrialRunner, config: &pb_config::Config, n: u64) -> f64 {
     let mut total = 0.0;
     for trial in 0..MEASURE_TRIALS {
-        total += runner.run_trial(config, n, 0xC0FFEE ^ (n << 8) ^ trial).time;
+        total += runner
+            .run_trial(config, n, 0xC0FFEE ^ (n << 8) ^ trial)
+            .time;
     }
     total / MEASURE_TRIALS as f64
 }
@@ -87,7 +94,11 @@ pub fn format_speedups(title: &str, points: &[SpeedupPoint]) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(s, "# {title}");
-    let _ = writeln!(s, "{:>10} {:>14} {:>12}", "input_size", "accuracy", "speedup");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>14} {:>12}",
+        "input_size", "accuracy", "speedup"
+    );
     for p in points {
         let _ = writeln!(s, "{:>10} {:>14.4} {:>12.2}", p.n, p.target, p.speedup);
     }

@@ -324,12 +324,7 @@ fn decreasing(items: &[f64], ctx: &mut ExecCtx<'_>) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `algorithm >= 13`.
-pub fn pack_with(
-    algorithm: usize,
-    items: &[f64],
-    awf_k: usize,
-    ctx: &mut ExecCtx<'_>,
-) -> Packing {
+pub fn pack_with(algorithm: usize, items: &[f64], awf_k: usize, ctx: &mut ExecCtx<'_>) -> Packing {
     match algorithm {
         0 => pack_first_fit(items, ctx),
         1 => {
@@ -479,10 +474,7 @@ mod tests {
             let opt = input.opt_bins as f64;
             assert!(packs[7].bins() as f64 <= 2.0 * opt + 1.0, "NextFit bound");
             assert!(packs[0].bins() as f64 <= 1.7 * opt + 1.0, "FirstFit bound");
-            assert!(
-                packs[1].bins() as f64 <= 4.0 / 3.0 * opt + 1.0,
-                "FFD bound"
-            );
+            assert!(packs[1].bins() as f64 <= 4.0 / 3.0 * opt + 1.0, "FFD bound");
             assert!(
                 packs[2].bins() as f64 <= 71.0 / 60.0 * opt + 1.0,
                 "MFFD bound (got {} vs opt {})",
@@ -525,7 +517,10 @@ mod tests {
         let mut ctx = ExecCtx::new(&schema, &config, 500, 0);
         let _ = t.execute(&input, &mut ctx);
         let nf_cost = ctx.virtual_cost();
-        assert!((nf_cost - 500.0).abs() < 1.0, "NextFit probes once per item");
+        assert!(
+            (nf_cost - 500.0).abs() < 1.0,
+            "NextFit probes once per item"
+        );
 
         // FirstFit on the same input is superlinear.
         config

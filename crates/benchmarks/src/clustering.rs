@@ -99,9 +99,7 @@ fn init_kmeanspp(points: &Points, k: usize, rng: &mut SmallRng, ctx: &mut ExecCt
     let first = rng.gen_range(0..n);
     let mut cx = vec![points.x[first]];
     let mut cy = vec![points.y[first]];
-    let mut d2: Vec<f64> = (0..n)
-        .map(|i| dist2(points, i, cx[0], cy[0]))
-        .collect();
+    let mut d2: Vec<f64> = (0..n).map(|i| dist2(points, i, cx[0], cy[0])).collect();
     ctx.charge(n as f64);
     while cx.len() < k {
         let total: f64 = d2.iter().sum();
@@ -132,7 +130,12 @@ fn init_kmeanspp(points: &Points, k: usize, rng: &mut SmallRng, ctx: &mut ExecCt
 
 /// Assigns every point to its nearest centroid; returns the number of
 /// changed assignments.
-fn assign(points: &Points, centroids: &Points, assignments: &mut [usize], ctx: &mut ExecCtx<'_>) -> usize {
+fn assign(
+    points: &Points,
+    centroids: &Points,
+    assignments: &mut [usize],
+    ctx: &mut ExecCtx<'_>,
+) -> usize {
     let k = centroids.len();
     let mut changed = 0;
     for i in 0..points.len() {
@@ -156,7 +159,12 @@ fn assign(points: &Points, centroids: &Points, assignments: &mut [usize], ctx: &
 
 /// Moves each centroid to the mean of its assigned points (empty
 /// clusters stay put).
-fn update_centroids(points: &Points, centroids: &mut Points, assignments: &[usize], ctx: &mut ExecCtx<'_>) {
+fn update_centroids(
+    points: &Points,
+    centroids: &mut Points,
+    assignments: &[usize],
+    ctx: &mut ExecCtx<'_>,
+) {
     let k = centroids.len();
     let mut sx = vec![0.0; k];
     let mut sy = vec![0.0; k];
@@ -291,12 +299,7 @@ mod tests {
         assert!(p.x.iter().all(|&v| v.abs() < 260.0));
     }
 
-    fn run_with(
-        k: i64,
-        init: usize,
-        policy: usize,
-        n: u64,
-    ) -> (Points, ClusterAssignment, f64) {
+    fn run_with(k: i64, init: usize, policy: usize, n: u64) -> (Points, ClusterAssignment, f64) {
         let t = Clustering;
         let schema = t.schema();
         let mut config = schema.default_config();
@@ -315,7 +318,9 @@ mod tests {
                 Value::Tree(pb_config::DecisionTree::single(policy)),
             )
             .unwrap();
-        config.set_by_name(&schema, "max_iters", Value::Int(100)).unwrap();
+        config
+            .set_by_name(&schema, "max_iters", Value::Int(100))
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(42);
         let input = t.generate_input(n, &mut rng);
         let mut ctx = ExecCtx::new(&schema, &config, n, 7);
@@ -354,7 +359,9 @@ mod tests {
                 Value::Tree(pb_config::DecisionTree::single(2)),
             )
             .unwrap();
-        config.set_by_name(&schema, "max_iters", Value::Int(200)).unwrap();
+        config
+            .set_by_name(&schema, "max_iters", Value::Int(200))
+            .unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         let input = t.generate_input(128, &mut rng);
         let mut ctx = ExecCtx::new(&schema, &config, 128, 3);

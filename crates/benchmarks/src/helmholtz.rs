@@ -111,12 +111,7 @@ impl Helmholtz3d {
 
     /// The estimation phase: solve a coarsened problem and prolong the
     /// result as the initial guess (full multigrid).
-    fn estimate(
-        &self,
-        problem: &HelmholtzProblem,
-        f: &Grid3d,
-        ctx: &mut ExecCtx<'_>,
-    ) -> Grid3d {
+    fn estimate(&self, problem: &HelmholtzProblem, f: &Grid3d, ctx: &mut ExecCtx<'_>) -> Grid3d {
         let n = problem.n();
         if n <= 3 {
             return Grid3d::zeros(n);

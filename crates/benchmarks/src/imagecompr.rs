@@ -48,7 +48,9 @@ impl Transform for ImageCompression {
     fn execute(&self, input: &Matrix, ctx: &mut ExecCtx<'_>) -> Svd {
         let n = input.rows();
         let k = (ctx.param("rank_k").expect("schema declares rank_k") as usize).clamp(1, n);
-        let solver = ctx.choice("eigensolver").expect("schema declares eigensolver");
+        let solver = ctx
+            .choice("eigensolver")
+            .expect("schema declares eigensolver");
         ctx.event(SOLVER_NAMES[solver.min(2)]);
 
         let n3 = (n * n * n) as f64;
@@ -95,7 +97,9 @@ mod tests {
         let t = ImageCompression;
         let schema = t.schema();
         let mut config: Config = schema.default_config();
-        config.set_by_name(&schema, "rank_k", Value::Int(k)).unwrap();
+        config
+            .set_by_name(&schema, "rank_k", Value::Int(k))
+            .unwrap();
         config
             .set_by_name(
                 &schema,

@@ -15,6 +15,9 @@
 //! [`pb_runtime::CostModel::Virtual`] mode; wall-clock tuning works
 //! unchanged.
 
+// Index loops mirror the paper's pseudocode for these kernels.
+#![allow(clippy::needless_range_loop)]
+
 pub mod binpacking;
 pub mod clustering;
 pub mod helmholtz;

@@ -166,10 +166,7 @@ mod tests {
     use super::*;
     use pb_config::{Config, DecisionTree, Value};
 
-    fn config_with(
-        schema: &Schema,
-        edits: &[(&str, Value)],
-    ) -> Config {
+    fn config_with(schema: &Schema, edits: &[(&str, Value)]) -> Config {
         let mut c = schema.default_config();
         for (name, v) in edits {
             c.set_by_name(schema, name, v.clone()).unwrap();
@@ -195,7 +192,10 @@ mod tests {
         let schema = t.schema();
         let mut edits: Vec<(String, Value)> = Vec::new();
         for d in 0..MAX_LEVELS {
-            edits.push((format!("level{d}_action"), Value::Tree(DecisionTree::single(2))));
+            edits.push((
+                format!("level{d}_action"),
+                Value::Tree(DecisionTree::single(2)),
+            ));
         }
         let edits_ref: Vec<(&str, Value)> =
             edits.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();

@@ -229,8 +229,9 @@ impl Transform for Preconditioner {
 
     fn accuracy(&self, input: &PrecondInput, output: &Vec<f64>) -> f64 {
         let n = input.b.len() as f64;
-        let initial =
-            (input.b.iter().map(|v| v * v).sum::<f64>() / n).sqrt().max(f64::MIN_POSITIVE);
+        let initial = (input.b.iter().map(|v| v * v).sum::<f64>() / n)
+            .sqrt()
+            .max(f64::MIN_POSITIVE);
         let after = input.op.residual_rms(output, &input.b);
         if after <= 0.0 {
             return 16.0;

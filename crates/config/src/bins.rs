@@ -40,7 +40,10 @@ impl AccuracyBins {
     ///
     /// Panics if `targets` is empty or contains NaN.
     pub fn new(mut targets: Vec<f64>) -> Self {
-        assert!(!targets.is_empty(), "at least one accuracy target is required");
+        assert!(
+            !targets.is_empty(),
+            "at least one accuracy target is required"
+        );
         assert!(
             targets.iter().all(|t| !t.is_nan()),
             "accuracy targets must not be NaN"

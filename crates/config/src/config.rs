@@ -154,10 +154,12 @@ impl Config {
         let (id, _) = schema
             .tunable(name)
             .ok_or_else(|| ConfigError::UnknownTunable(name.to_owned()))?;
-        self.get(id).as_int().ok_or_else(|| ConfigError::IllegalValue {
-            tunable: name.to_owned(),
-            value: format!("{:?}", self.get(id)),
-        })
+        self.get(id)
+            .as_int()
+            .ok_or_else(|| ConfigError::IllegalValue {
+                tunable: name.to_owned(),
+                value: format!("{:?}", self.get(id)),
+            })
     }
 
     /// Reads a float tunable by name.

@@ -263,7 +263,10 @@ impl Schema {
     /// Adds an algorithm-choice site with `num_algorithms` rules; the
     /// default decision tree always picks rule 0.
     pub fn add_choice_site(&mut self, name: impl Into<String>, num_algorithms: usize) -> TunableId {
-        assert!(num_algorithms > 0, "a choice site needs at least one algorithm");
+        assert!(
+            num_algorithms > 0,
+            "a choice site needs at least one algorithm"
+        );
         self.add(
             name,
             TunableKind::ChoiceSite { num_algorithms },
@@ -315,7 +318,10 @@ impl Schema {
 
     /// Adds a continuous parameter defaulting to the range midpoint.
     pub fn add_float_param(&mut self, name: impl Into<String>, min: f64, max: f64) -> TunableId {
-        assert!(min <= max && min.is_finite() && max.is_finite(), "bad float range");
+        assert!(
+            min <= max && min.is_finite() && max.is_finite(),
+            "bad float range"
+        );
         self.add(
             name,
             TunableKind::FloatParam { min, max },

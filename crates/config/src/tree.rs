@@ -199,7 +199,13 @@ mod tests {
         let mut t = DecisionTree::single(0);
         t.add_level(10, 1);
         let removed = t.remove_level(0).unwrap();
-        assert_eq!(removed, Level { cutoff: 10, choice: 1 });
+        assert_eq!(
+            removed,
+            Level {
+                cutoff: 10,
+                choice: 1
+            }
+        );
         assert_eq!(t.select(5), 0);
         assert!(t.remove_level(0).is_none());
     }

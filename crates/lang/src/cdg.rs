@@ -20,11 +20,7 @@ pub struct CycleError {
 
 impl fmt::Display for CycleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "dependency cycle among data: {}",
-            self.data.join(", ")
-        )
+        write!(f, "dependency cycle among data: {}", self.data.join(", "))
     }
 }
 
@@ -145,7 +141,10 @@ mod tests {
         assert_eq!(g.choice_sites(), vec!["Centroids"]);
         // Schedule: Centroids before Assignments.
         let order = g.schedule().unwrap();
-        assert_eq!(order, vec!["Centroids".to_string(), "Assignments".to_string()]);
+        assert_eq!(
+            order,
+            vec!["Centroids".to_string(), "Assignments".to_string()]
+        );
     }
 
     #[test]

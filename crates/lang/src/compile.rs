@@ -1,0 +1,1573 @@
+//! Lowering from the checked AST to flat register bytecode.
+//!
+//! The original PetaBricks compiler lowered transforms to generated
+//! C++; this reproduction's equivalent is a bytecode pass: each *rule
+//! body* compiles once into a [`Chunk`] of register instructions that
+//! the dispatch-loop VM ([`crate::vm`]) executes against a
+//! `pb_runtime::ExecCtx`. Everything outside rule bodies — dimension
+//! resolution, `scaled_by` resampling, the choice-dependency-graph
+//! schedule, `rule_<Data>` decision trees — stays in the shared
+//! orchestration of [`crate::interp::Interpreter`], so compiled and
+//! tree-walking execution resolve tunables identically.
+//!
+//! The compiler is *semantics-preserving by construction*: evaluation
+//! order, short-circuiting, RNG consumption, virtual-cost charging,
+//! and tunable lookups mirror the interpreter exactly, so a compiled
+//! rule produces bit-identical `Value`s (and virtual cost) to the
+//! tree-walker. Constructs the compiler cannot prove safe — chiefly
+//! reads of variables only *conditionally* assigned — are rejected
+//! with [`CompileError`] and the rule falls back to tree-walking.
+//!
+//! Machine model: two register banks per rule activation. Scalar
+//! temporaries live in a bank of `f64` registers; named locals (rule
+//! aliases, `let` bindings, loop variables) and value temporaries
+//! (host-call / sub-transform results) live in a bank of
+//! [`crate::interp::Value`] slots. Compile-time resolution of names to
+//! slot indices is what removes the interpreter's per-access hash
+//! lookups and array clones.
+
+use crate::ast::*;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Index into a chunk's scalar (`f64`) register bank.
+pub type Reg = u16;
+
+/// Index into a chunk's `Value` slot bank.
+pub type Slot = u16;
+
+/// Index into a chunk's interned-name table.
+pub type NameIdx = u16;
+
+/// One-argument math builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathFn1 {
+    /// `sqrt(x)`
+    Sqrt,
+    /// `abs(x)`
+    Abs,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)` (natural log, like the interpreter)
+    Log,
+}
+
+/// Two-argument math builtins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MathFn2 {
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+    /// `pow(a, b)`
+    Pow,
+}
+
+/// Shape queries on arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeKind {
+    /// `len(a)`: length of a 1-D array, columns of a 2-D array.
+    Len,
+    /// `rows(m)`
+    Rows,
+    /// `cols(m)`
+    Cols,
+}
+
+/// A value source: either a scalar register or a `Value` slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Scalar register (wrapped into `Value::Num` where a `Value` is
+    /// needed).
+    Reg(Reg),
+    /// Value slot (cloned where an owned `Value` is needed).
+    Slot(Slot),
+}
+
+/// The first argument of a host call, which may be mutated in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FirstArg {
+    /// A named local: cloned out, passed `&mut`, written back — the
+    /// interpreter's aliasing semantics.
+    Var(Slot),
+    /// Any other expression: evaluated, passed `&mut`, discarded.
+    Anon(Operand),
+}
+
+/// A register-machine instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `regs[dst] = val`
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate.
+        val: f64,
+    },
+    /// `regs[dst] = regs[src]`
+    Move {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `regs[dst] = slots[slot].as_num()?` — errors on arrays.
+    LoadSlotNum {
+        /// Destination register.
+        dst: Reg,
+        /// Source slot.
+        slot: Slot,
+    },
+    /// `slots[slot] = Value::Num(regs[src])`
+    StoreSlotNum {
+        /// Destination slot.
+        slot: Slot,
+        /// Source register.
+        src: Reg,
+    },
+    /// `slots[dst] = slots[src].clone()`
+    CopySlot {
+        /// Destination slot.
+        dst: Slot,
+        /// Source slot.
+        src: Slot,
+    },
+    /// `regs[dst] = ctx.param(prefix + names[name]) as f64` — the
+    /// interpreter's fallback for names not in scope (accuracy
+    /// variables and other tunables); errors like it on unknowns.
+    LoadParam {
+        /// Destination register.
+        dst: Reg,
+        /// Interned tunable name.
+        name: NameIdx,
+    },
+    /// Non-short-circuit binary op (`And`/`Or` compile to jumps).
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// `regs[dst] = -regs[src]`
+    Neg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `regs[dst] = (regs[src] == 0.0) as f64`
+    Not {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `regs[dst] = (regs[src] != 0.0) as f64`
+    TestNonZero {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// One-argument math builtin.
+    Math1 {
+        /// Which function.
+        f: MathFn1,
+        /// Destination register.
+        dst: Reg,
+        /// Argument register.
+        src: Reg,
+    },
+    /// Two-argument math builtin.
+    Math2 {
+        /// Which function.
+        f: MathFn2,
+        /// Destination register.
+        dst: Reg,
+        /// First argument.
+        a: Reg,
+        /// Second argument.
+        b: Reg,
+    },
+    /// `rand(lo, hi)` with the interpreter's exact semantics: `lo`
+    /// when `hi <= lo` (no RNG draw), else one uniform draw.
+    Rand {
+        /// Destination register.
+        dst: Reg,
+        /// Lower bound register.
+        lo: Reg,
+        /// Upper bound register.
+        hi: Reg,
+    },
+    /// `len` / `rows` / `cols` of a slot.
+    Shape {
+        /// Which query.
+        kind: ShapeKind,
+        /// Destination register.
+        dst: Reg,
+        /// The array slot.
+        slot: Slot,
+    },
+    /// 1-D element read (bounds-checked).
+    LoadIdx1 {
+        /// Destination register.
+        dst: Reg,
+        /// Array slot.
+        slot: Slot,
+        /// Index register (validated and truncated like the
+        /// interpreter's `eval_index`).
+        idx: Reg,
+    },
+    /// 2-D element read (bounds-checked).
+    LoadIdx2 {
+        /// Destination register.
+        dst: Reg,
+        /// Array slot.
+        slot: Slot,
+        /// Row index register.
+        i: Reg,
+        /// Column index register.
+        j: Reg,
+    },
+    /// 1-D element write (bounds-checked).
+    StoreIdx1 {
+        /// Array slot.
+        slot: Slot,
+        /// Index register.
+        idx: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// 2-D element write (bounds-checked).
+    StoreIdx2 {
+        /// Array slot.
+        slot: Slot,
+        /// Row index register.
+        i: Reg,
+        /// Column index register.
+        j: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Jump when `regs[cond] == 0.0`.
+    JumpIfZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Jump when `regs[cond] != 0.0`.
+    JumpIfNonZero {
+        /// Condition register.
+        cond: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Jump when `regs[a] >= regs[b]` (loop exits).
+    JumpIfGe {
+        /// Left comparand.
+        a: Reg,
+        /// Right comparand.
+        b: Reg,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// `regs[dst] += imm` (loop increments).
+    AddImm {
+        /// Register updated in place.
+        dst: Reg,
+        /// Immediate addend.
+        imm: f64,
+    },
+    /// Truncates both registers toward zero through `i64`, mirroring
+    /// the interpreter's `for`-bound conversion.
+    TruncPair {
+        /// Lower-bound register.
+        a: Reg,
+        /// Upper-bound register.
+        b: Reg,
+    },
+    /// `ctx.charge(amount)` — one unit per statement, like the
+    /// interpreter's `exec_stmt`.
+    Charge {
+        /// Virtual-cost units.
+        amount: f64,
+    },
+    /// Increments a loop counter register and errors past the
+    /// interpreter's 10M-iteration `while` guard.
+    WhileGuard {
+        /// Counter register.
+        counter: Reg,
+    },
+    /// `regs[dst] = ctx.for_enough(prefix + names[name]) as f64`
+    ForEnoughPrep {
+        /// Destination register.
+        dst: Reg,
+        /// Interned tunable name (`for_enough_<i>`).
+        name: NameIdx,
+    },
+    /// `regs[dst] = ctx.choice(prefix + names[name]).min(branches - 1)`
+    Choice {
+        /// Destination register.
+        dst: Reg,
+        /// Interned tunable name (`either_<i>`).
+        name: NameIdx,
+        /// Number of branches (for clamping, like the interpreter).
+        branches: u16,
+    },
+    /// Indirect jump: `pc = targets[regs[src] as usize]`.
+    Switch {
+        /// Branch-index register (already clamped by [`Instr::Choice`]).
+        src: Reg,
+        /// One target per branch.
+        targets: Vec<usize>,
+    },
+    /// Host-function call with the interpreter's exact protocol:
+    /// `rest` evaluated first, then `first`; cost charged by `rest`
+    /// sizes; mutation written back for [`FirstArg::Var`].
+    CallHost {
+        /// Interned host-function name (resolved at runtime so hosts
+        /// may be registered after compilation).
+        name: NameIdx,
+        /// The mutable first argument.
+        first: FirstArg,
+        /// Remaining (read-only) arguments.
+        rest: Vec<Operand>,
+        /// Slot receiving the call's result `Value`.
+        dst: Slot,
+    },
+    /// Sub-transform call: recurses through the shared executor under
+    /// a `<callee>.` tunable prefix.
+    CallTransform {
+        /// Interned callee transform name.
+        name: NameIdx,
+        /// Argument values, in callee input order.
+        args: Vec<Operand>,
+        /// Slot receiving the callee's single output.
+        dst: Slot,
+    },
+    /// Early exit from the rule body (`return;`).
+    Return,
+}
+
+/// A compiled rule body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// The instructions.
+    pub code: Vec<Instr>,
+    /// Interned names (tunables, host functions, callees).
+    pub names: Vec<String>,
+    /// Scalar register count.
+    pub n_regs: u16,
+    /// `Value` slot count (named locals first, then temporaries).
+    pub n_slots: u16,
+    /// Slot of each rule *input* binding alias, in declaration order.
+    pub input_slots: Vec<Slot>,
+    /// Slot of each rule *output* binding alias, in declaration order.
+    pub output_slots: Vec<Slot>,
+}
+
+/// Why a rule could not be compiled (it falls back to tree-walking).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "not compilable: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A compiled transform: one optional chunk per rule (in rule order).
+#[derive(Debug, Clone)]
+pub struct CompiledTransform {
+    /// `Some(chunk)` for compiled rules, `None` where the rule falls
+    /// back to the tree-walking interpreter (with the reason).
+    pub rules: Vec<Result<Chunk, CompileError>>,
+}
+
+/// All compiled transforms of a program, keyed by transform name.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledProgram {
+    transforms: HashMap<String, CompiledTransform>,
+}
+
+impl CompiledProgram {
+    /// The chunk for `transform`'s rule `rule_idx`, if it compiled.
+    pub fn chunk(&self, transform: &str, rule_idx: usize) -> Option<&Chunk> {
+        self.transforms
+            .get(transform)?
+            .rules
+            .get(rule_idx)?
+            .as_ref()
+            .ok()
+    }
+
+    /// The compiled form of one transform.
+    pub fn transform(&self, name: &str) -> Option<&CompiledTransform> {
+        self.transforms.get(name)
+    }
+
+    /// `(compiled, total)` rule counts across the program.
+    pub fn coverage(&self) -> (usize, usize) {
+        let mut compiled = 0;
+        let mut total = 0;
+        for t in self.transforms.values() {
+            total += t.rules.len();
+            compiled += t.rules.iter().filter(|r| r.is_ok()).count();
+        }
+        (compiled, total)
+    }
+}
+
+/// Compiles every rule of every transform; rules that use constructs
+/// the compiler does not cover carry their [`CompileError`] and run on
+/// the interpreter instead.
+pub fn compile_program(program: &Program) -> CompiledProgram {
+    let mut transforms = HashMap::new();
+    for t in &program.transforms {
+        let rules = t
+            .rules
+            .iter()
+            .map(|rule| compile_rule(program, t, rule))
+            .collect();
+        transforms.insert(t.name.clone(), CompiledTransform { rules });
+    }
+    CompiledProgram { transforms }
+}
+
+/// Compiles a single rule body.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the body uses a construct whose
+/// compiled semantics could diverge from the interpreter (see the
+/// module docs); callers fall back to tree-walking.
+pub fn compile_rule(
+    program: &Program,
+    transform: &Transform,
+    rule: &Rule,
+) -> Result<Chunk, CompileError> {
+    Compiler::new(program, transform, rule).compile(rule)
+}
+
+fn bail<T>(reason: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        reason: reason.into(),
+    })
+}
+
+struct Compiler<'a> {
+    program: &'a Program,
+    transform: &'a Transform,
+    code: Vec<Instr>,
+    names: Vec<String>,
+    name_idx: HashMap<String, NameIdx>,
+    slots: HashMap<String, Slot>,
+    /// Number of named slots; only these can be mutated by host calls
+    /// (temporaries above them are write-once).
+    named_slots: u16,
+    /// Value-temporary stack pointer (starts just past the named
+    /// slots).
+    temp_top: u16,
+    temp_max: u16,
+    /// Scalar-register stack pointer.
+    reg_top: u16,
+    reg_max: u16,
+    /// Names definitely assigned at the current program point.
+    assigned: HashSet<String>,
+    /// Names assigned on *some* path only — reads of these bail out.
+    maybe: HashSet<String>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(program: &'a Program, transform: &'a Transform, rule: &'a Rule) -> Self {
+        // Pre-pass: allocate one slot per name the rule ever binds, in
+        // a stable order (aliases first, then body-locals as found).
+        let mut slots = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut note = |name: &str| {
+            if !slots.contains_key(name) {
+                slots.insert(name.to_owned(), order.len() as Slot);
+                order.push(name.to_owned());
+            }
+        };
+        for b in rule.inputs.iter().chain(&rule.outputs) {
+            note(&b.alias);
+        }
+        collect_bound_names(&rule.body, &mut |name| note(name));
+        let named_slots = order.len() as u16;
+
+        // Aliases are bound before the body runs.
+        let assigned: HashSet<String> = rule
+            .inputs
+            .iter()
+            .chain(&rule.outputs)
+            .map(|b| b.alias.clone())
+            .collect();
+
+        Compiler {
+            program,
+            transform,
+            code: Vec::new(),
+            names: Vec::new(),
+            name_idx: HashMap::new(),
+            slots,
+            named_slots,
+            temp_top: named_slots,
+            temp_max: named_slots,
+            reg_top: 0,
+            reg_max: 0,
+            assigned,
+            maybe: HashSet::new(),
+        }
+    }
+
+    fn compile(mut self, rule: &Rule) -> Result<Chunk, CompileError> {
+        self.block(&rule.body)?;
+        let input_slots = rule.inputs.iter().map(|b| self.slots[&b.alias]).collect();
+        let output_slots = rule.outputs.iter().map(|b| self.slots[&b.alias]).collect();
+        Ok(Chunk {
+            code: self.code,
+            names: self.names,
+            n_regs: self.reg_max,
+            n_slots: self.temp_max,
+            input_slots,
+            output_slots,
+        })
+    }
+
+    // ---- machine-state helpers -------------------------------------
+
+    fn emit(&mut self, i: Instr) -> usize {
+        self.code.push(i);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn patch(&mut self, at: usize, target: usize) {
+        match &mut self.code[at] {
+            Instr::Jump { target: t }
+            | Instr::JumpIfZero { target: t, .. }
+            | Instr::JumpIfNonZero { target: t, .. }
+            | Instr::JumpIfGe { target: t, .. } => *t = target,
+            other => panic!("patching a non-jump instruction {other:?}"),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> NameIdx {
+        if let Some(&i) = self.name_idx.get(name) {
+            return i;
+        }
+        let i = self.names.len() as NameIdx;
+        self.names.push(name.to_owned());
+        self.name_idx.insert(name.to_owned(), i);
+        i
+    }
+
+    fn alloc_reg(&mut self) -> Result<Reg, CompileError> {
+        if self.reg_top == u16::MAX {
+            return bail("register bank exhausted");
+        }
+        let r = self.reg_top;
+        self.reg_top += 1;
+        self.reg_max = self.reg_max.max(self.reg_top);
+        Ok(r)
+    }
+
+    fn alloc_temp(&mut self) -> Result<Slot, CompileError> {
+        if self.temp_top == u16::MAX {
+            return bail("slot bank exhausted");
+        }
+        let s = self.temp_top;
+        self.temp_top += 1;
+        self.temp_max = self.temp_max.max(self.temp_top);
+        Ok(s)
+    }
+
+    // ---- statements ------------------------------------------------
+
+    fn block(&mut self, block: &Block) -> Result<(), CompileError> {
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        // The interpreter charges one unit per executed statement.
+        self.emit(Instr::Charge { amount: 1.0 });
+        match stmt {
+            Stmt::Let { name, value, .. }
+            | Stmt::Assign {
+                target: LValue::Var(name),
+                value,
+                ..
+            } => {
+                let save = (self.reg_top, self.temp_top);
+                let src = self.expr_value(value)?;
+                let slot = self.slots[name];
+                match src {
+                    Operand::Reg(r) => {
+                        self.emit(Instr::StoreSlotNum { slot, src: r });
+                    }
+                    Operand::Slot(s) => {
+                        self.emit(Instr::CopySlot { dst: slot, src: s });
+                    }
+                }
+                (self.reg_top, self.temp_top) = save;
+                self.assigned.insert(name.clone());
+                Ok(())
+            }
+            Stmt::Assign {
+                target: LValue::Index { name, indices },
+                value,
+                ..
+            } => {
+                let slot = self.read_slot(name)?;
+                let save = (self.reg_top, self.temp_top);
+                // Interpreter order: value first, then the indices.
+                let src = self.expr_scalar(value)?;
+                let idx: Vec<Reg> = indices
+                    .iter()
+                    .map(|e| self.expr_scalar(e))
+                    .collect::<Result<_, _>>()?;
+                match idx.as_slice() {
+                    [i] => self.emit(Instr::StoreIdx1 { slot, idx: *i, src }),
+                    [i, j] => self.emit(Instr::StoreIdx2 {
+                        slot,
+                        i: *i,
+                        j: *j,
+                        src,
+                    }),
+                    _ => return bail("index arity beyond 2-D"),
+                };
+                (self.reg_top, self.temp_top) = save;
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                let save = (self.reg_top, self.temp_top);
+                let c = self.expr_scalar(cond)?;
+                (self.reg_top, self.temp_top) = save;
+                let jz = self.emit(Instr::JumpIfZero { cond: c, target: 0 });
+
+                let before = self.assigned.clone();
+                self.block(then_block)?;
+                let after_then = std::mem::replace(&mut self.assigned, before.clone());
+
+                if let Some(else_block) = else_block {
+                    let jend = self.emit(Instr::Jump { target: 0 });
+                    let else_at = self.here();
+                    self.patch(jz, else_at);
+                    self.block(else_block)?;
+                    let after_else = std::mem::replace(&mut self.assigned, before);
+                    let end = self.here();
+                    self.patch(jend, end);
+                    self.merge_branch_states(&[after_then, after_else]);
+                } else {
+                    let end = self.here();
+                    self.patch(jz, end);
+                    self.merge_branch_states(&[after_then, before]);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                self.loop_body_becomes_maybe(body, &[]);
+                let save = (self.reg_top, self.temp_top);
+                let guard = self.alloc_reg()?;
+                self.emit(Instr::Const {
+                    dst: guard,
+                    val: 0.0,
+                });
+                let head = self.here();
+                let csave = (self.reg_top, self.temp_top);
+                let c = self.expr_scalar(cond)?;
+                (self.reg_top, self.temp_top) = csave;
+                let jz = self.emit(Instr::JumpIfZero { cond: c, target: 0 });
+                let before = self.assigned.clone();
+                self.block(body)?;
+                // The body may run zero times: its bindings are only
+                // maybe-assigned afterwards.
+                self.assigned = before;
+                self.emit(Instr::WhileGuard { counter: guard });
+                self.emit(Instr::Jump { target: head });
+                let end = self.here();
+                self.patch(jz, end);
+                (self.reg_top, self.temp_top) = save;
+                Ok(())
+            }
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                self.loop_body_becomes_maybe(body, &[var]);
+                let save = (self.reg_top, self.temp_top);
+                let r_lo = {
+                    let s = (self.reg_top, self.temp_top);
+                    let r = self.expr_scalar(lo)?;
+                    (self.reg_top, self.temp_top) = s;
+                    let pin = self.alloc_reg()?;
+                    self.emit(Instr::Move { dst: pin, src: r });
+                    pin
+                };
+                let r_hi = {
+                    let s = (self.reg_top, self.temp_top);
+                    let r = self.expr_scalar(hi)?;
+                    (self.reg_top, self.temp_top) = s;
+                    let pin = self.alloc_reg()?;
+                    self.emit(Instr::Move { dst: pin, src: r });
+                    pin
+                };
+                self.emit(Instr::TruncPair { a: r_lo, b: r_hi });
+                let var_slot = self.slots[var];
+                // The loop variable is definitely bound inside the body.
+                let var_was_definite = self.assigned.contains(var);
+                self.assigned.insert(var.clone());
+                let head = self.here();
+                let jge = self.emit(Instr::JumpIfGe {
+                    a: r_lo,
+                    b: r_hi,
+                    target: 0,
+                });
+                self.emit(Instr::StoreSlotNum {
+                    slot: var_slot,
+                    src: r_lo,
+                });
+                let before = self.assigned.clone();
+                self.block(body)?;
+                // The body may run zero times: its bindings are only
+                // maybe-assigned afterwards.
+                self.assigned = before;
+                self.emit(Instr::AddImm {
+                    dst: r_lo,
+                    imm: 1.0,
+                });
+                self.emit(Instr::Jump { target: head });
+                let end = self.here();
+                self.patch(jge, end);
+                (self.reg_top, self.temp_top) = save;
+                if !var_was_definite {
+                    // An empty range never binds the variable.
+                    self.assigned.remove(var);
+                    self.maybe.insert(var.clone());
+                }
+                Ok(())
+            }
+            Stmt::ForEnough { id, body, .. } => {
+                self.loop_body_becomes_maybe(body, &[]);
+                let name = self.intern(&format!("for_enough_{id}"));
+                let save = (self.reg_top, self.temp_top);
+                let iters = self.alloc_reg()?;
+                self.emit(Instr::ForEnoughPrep { dst: iters, name });
+                let counter = self.alloc_reg()?;
+                self.emit(Instr::Const {
+                    dst: counter,
+                    val: 0.0,
+                });
+                let head = self.here();
+                let jge = self.emit(Instr::JumpIfGe {
+                    a: counter,
+                    b: iters,
+                    target: 0,
+                });
+                let before = self.assigned.clone();
+                self.block(body)?;
+                // `for_enough` may run zero iterations.
+                self.assigned = before;
+                self.emit(Instr::AddImm {
+                    dst: counter,
+                    imm: 1.0,
+                });
+                self.emit(Instr::Jump { target: head });
+                let end = self.here();
+                self.patch(jge, end);
+                (self.reg_top, self.temp_top) = save;
+                Ok(())
+            }
+            Stmt::Either { id, branches, .. } => {
+                let name = self.intern(&format!("either_{id}"));
+                let save = (self.reg_top, self.temp_top);
+                let pick = self.alloc_reg()?;
+                self.emit(Instr::Choice {
+                    dst: pick,
+                    name,
+                    branches: branches.len() as u16,
+                });
+                let switch_at = self.emit(Instr::Switch {
+                    src: pick,
+                    targets: Vec::new(),
+                });
+                (self.reg_top, self.temp_top) = save;
+
+                let before = self.assigned.clone();
+                let mut targets = Vec::with_capacity(branches.len());
+                let mut end_jumps = Vec::with_capacity(branches.len());
+                let mut branch_states = Vec::with_capacity(branches.len());
+                for branch in branches {
+                    targets.push(self.here());
+                    self.assigned = before.clone();
+                    self.block(branch)?;
+                    branch_states.push(std::mem::take(&mut self.assigned));
+                    end_jumps.push(self.emit(Instr::Jump { target: 0 }));
+                }
+                let end = self.here();
+                for j in end_jumps {
+                    self.patch(j, end);
+                }
+                if let Instr::Switch { targets: t, .. } = &mut self.code[switch_at] {
+                    *t = targets;
+                }
+                self.assigned = before;
+                self.merge_branch_states(&branch_states);
+                Ok(())
+            }
+            // Same as the interpreter: verification is disabled during
+            // tuning; the checked path lives in `pb_runtime::guarantee`.
+            Stmt::VerifyAccuracy { .. } => Ok(()),
+            // The interpreter ignores any `return` value expression.
+            Stmt::Return { .. } => {
+                self.emit(Instr::Return);
+                Ok(())
+            }
+            Stmt::Expr { expr, .. } => {
+                let save = (self.reg_top, self.temp_top);
+                self.expr_value(expr)?;
+                (self.reg_top, self.temp_top) = save;
+                Ok(())
+            }
+        }
+    }
+
+    /// After branching control flow, names assigned on *every* path
+    /// stay definite; names assigned on only some become `maybe`.
+    fn merge_branch_states(&mut self, states: &[HashSet<String>]) {
+        let mut union: HashSet<String> = HashSet::new();
+        let mut intersection: Option<HashSet<String>> = None;
+        for s in states {
+            union.extend(s.iter().cloned());
+            intersection = Some(match intersection {
+                None => s.clone(),
+                Some(acc) => acc.intersection(s).cloned().collect(),
+            });
+        }
+        let intersection = intersection.unwrap_or_default();
+        for name in union {
+            if intersection.contains(&name) {
+                self.assigned.insert(name);
+            } else if !self.assigned.contains(&name) {
+                self.maybe.insert(name);
+            }
+        }
+    }
+
+    /// Zero-iteration loops leave body bindings unbound, so anything a
+    /// loop body assigns (minus `always_bound` — the loop variable) is
+    /// only maybe-assigned from the loop onward, including *within*
+    /// the body before its own assignment runs.
+    fn loop_body_becomes_maybe(&mut self, body: &Block, always_bound: &[&String]) {
+        let mut bound = Vec::new();
+        collect_bound_names(body, &mut |name| bound.push(name.to_owned()));
+        for name in bound {
+            if !self.assigned.contains(&name) && !always_bound.iter().any(|a| **a == name) {
+                self.maybe.insert(name);
+            }
+        }
+    }
+
+    /// Resolves a name that must denote a bound local (array ops).
+    fn read_slot(&mut self, name: &str) -> Result<Slot, CompileError> {
+        if self.assigned.contains(name) {
+            Ok(self.slots[name])
+        } else {
+            bail(format!("`{name}` is not definitely assigned here"))
+        }
+    }
+
+    // ---- expressions -----------------------------------------------
+
+    fn expr_scalar(&mut self, expr: &Expr) -> Result<Reg, CompileError> {
+        match expr {
+            Expr::Number(v, _) => {
+                let dst = self.alloc_reg()?;
+                self.emit(Instr::Const { dst, val: *v });
+                Ok(dst)
+            }
+            Expr::Var(name, _) => {
+                let dst = self.alloc_reg()?;
+                if self.assigned.contains(name) {
+                    let slot = self.slots[name];
+                    self.emit(Instr::LoadSlotNum { dst, slot });
+                } else if self.maybe.contains(name) {
+                    return bail(format!("`{name}` is only conditionally assigned"));
+                } else {
+                    // The interpreter's fallback: a prefixed tunable.
+                    let idx = self.intern(name);
+                    self.emit(Instr::LoadParam { dst, name: idx });
+                }
+                Ok(dst)
+            }
+            Expr::Index { name, indices, .. } => {
+                if self.maybe.contains(name) {
+                    return bail(format!("array `{name}` is only conditionally assigned"));
+                }
+                let slot = self.read_slot(name)?;
+                let save = self.reg_top;
+                let idx: Vec<Reg> = indices
+                    .iter()
+                    .map(|e| self.expr_scalar(e))
+                    .collect::<Result<_, _>>()?;
+                self.reg_top = save;
+                let dst = self.alloc_reg()?;
+                match idx.as_slice() {
+                    [i] => self.emit(Instr::LoadIdx1 { dst, slot, idx: *i }),
+                    [i, j] => self.emit(Instr::LoadIdx2 {
+                        dst,
+                        slot,
+                        i: *i,
+                        j: *j,
+                    }),
+                    _ => return bail("index arity beyond 2-D"),
+                };
+                Ok(dst)
+            }
+            Expr::Unary { op, operand, .. } => {
+                let save = self.reg_top;
+                let src = self.expr_scalar(operand)?;
+                self.reg_top = save;
+                let dst = self.alloc_reg()?;
+                match op {
+                    UnOp::Neg => self.emit(Instr::Neg { dst, src }),
+                    UnOp::Not => self.emit(Instr::Not { dst, src }),
+                };
+                Ok(dst)
+            }
+            Expr::Binary {
+                op: op @ (BinOp::And | BinOp::Or),
+                lhs,
+                rhs,
+                ..
+            } => {
+                // Short-circuit, preserving the interpreter's RNG and
+                // side-effect order exactly.
+                let save = self.reg_top;
+                let a = self.expr_scalar(lhs)?;
+                self.reg_top = save;
+                let dst = self.alloc_reg()?;
+                let skip = match op {
+                    BinOp::And => self.emit(Instr::JumpIfZero { cond: a, target: 0 }),
+                    _ => self.emit(Instr::JumpIfNonZero { cond: a, target: 0 }),
+                };
+                let save2 = self.reg_top;
+                let b = self.expr_scalar(rhs)?;
+                self.reg_top = save2;
+                self.emit(Instr::TestNonZero { dst, src: b });
+                let jend = self.emit(Instr::Jump { target: 0 });
+                let short = self.here();
+                self.patch(skip, short);
+                self.emit(Instr::Const {
+                    dst,
+                    val: if *op == BinOp::And { 0.0 } else { 1.0 },
+                });
+                let end = self.here();
+                self.patch(jend, end);
+                Ok(dst)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let save = self.reg_top;
+                let a = self.expr_scalar(lhs)?;
+                let b = self.expr_scalar(rhs)?;
+                self.reg_top = save;
+                let dst = self.alloc_reg()?;
+                self.emit(Instr::Bin { op: *op, dst, a, b });
+                Ok(dst)
+            }
+            Expr::Call { .. } => match self.call(expr)? {
+                Operand::Reg(r) => Ok(r),
+                Operand::Slot(s) => {
+                    let dst = self.alloc_reg()?;
+                    self.emit(Instr::LoadSlotNum { dst, slot: s });
+                    Ok(dst)
+                }
+            },
+        }
+    }
+
+    fn expr_value(&mut self, expr: &Expr) -> Result<Operand, CompileError> {
+        match expr {
+            Expr::Var(name, _) if self.assigned.contains(name) => {
+                Ok(Operand::Slot(self.slots[name]))
+            }
+            Expr::Call { .. } => self.call(expr),
+            other => Ok(Operand::Reg(self.expr_scalar(other)?)),
+        }
+    }
+
+    /// Call instructions read their slot operands when they execute,
+    /// but the interpreter captures each argument *value* at its
+    /// evaluation point. Those differ only when a later argument's
+    /// code mutates a named slot (a nested host call). In that case,
+    /// snapshot the slot into a write-once temporary here, at the
+    /// evaluation point.
+    fn snapshot_if_mutable_later(
+        &mut self,
+        op: Operand,
+        later: &[Expr],
+        also: &[Expr],
+    ) -> Result<Operand, CompileError> {
+        let Operand::Slot(s) = op else {
+            return Ok(op);
+        };
+        if s >= self.named_slots {
+            // Temporaries are write-once; no later code can change them.
+            return Ok(op);
+        }
+        let vulnerable = later
+            .iter()
+            .chain(also)
+            .any(|e| self.contains_mutating_call(e));
+        if !vulnerable {
+            return Ok(op);
+        }
+        let snap = self.alloc_temp()?;
+        self.emit(Instr::CopySlot { dst: snap, src: s });
+        Ok(Operand::Slot(snap))
+    }
+
+    /// Whether evaluating `expr` can mutate a named slot — i.e. it
+    /// contains a host call anywhere (builtins are pure; sub-transform
+    /// calls cannot touch the caller's scope, but their arguments are
+    /// scanned recursively).
+    fn contains_mutating_call(&self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Call { name, args, .. } => {
+                let builtin = matches!(
+                    name.as_str(),
+                    "sqrt"
+                        | "abs"
+                        | "floor"
+                        | "ceil"
+                        | "exp"
+                        | "log"
+                        | "min"
+                        | "max"
+                        | "pow"
+                        | "rand"
+                        | "len"
+                        | "rows"
+                        | "cols"
+                );
+                let sub_transform =
+                    self.program.transform(name).is_some() && *name != self.transform.name;
+                (!builtin && !sub_transform) || args.iter().any(|a| self.contains_mutating_call(a))
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.contains_mutating_call(lhs) || self.contains_mutating_call(rhs)
+            }
+            Expr::Unary { operand, .. } => self.contains_mutating_call(operand),
+            Expr::Index { indices, .. } => indices.iter().any(|e| self.contains_mutating_call(e)),
+            Expr::Number(..) | Expr::Var(..) => false,
+        }
+    }
+
+    fn call(&mut self, expr: &Expr) -> Result<Operand, CompileError> {
+        let Expr::Call { name, args, .. } = expr else {
+            unreachable!("call() only receives Expr::Call");
+        };
+
+        // Builtins first, like the interpreter.
+        let math1 = match name.as_str() {
+            "sqrt" => Some(MathFn1::Sqrt),
+            "abs" => Some(MathFn1::Abs),
+            "floor" => Some(MathFn1::Floor),
+            "ceil" => Some(MathFn1::Ceil),
+            "exp" => Some(MathFn1::Exp),
+            "log" => Some(MathFn1::Log),
+            _ => None,
+        };
+        if let Some(f) = math1 {
+            if args.is_empty() {
+                return bail(format!("`{name}` needs an argument"));
+            }
+            let save = self.reg_top;
+            let src = self.expr_scalar(&args[0])?;
+            self.reg_top = save;
+            let dst = self.alloc_reg()?;
+            self.emit(Instr::Math1 { f, dst, src });
+            return Ok(Operand::Reg(dst));
+        }
+        let math2 = match name.as_str() {
+            "min" => Some(MathFn2::Min),
+            "max" => Some(MathFn2::Max),
+            "pow" => Some(MathFn2::Pow),
+            _ => None,
+        };
+        if let Some(f) = math2 {
+            if args.len() < 2 {
+                return bail(format!("`{name}` needs two arguments"));
+            }
+            let save = self.reg_top;
+            let a = self.expr_scalar(&args[0])?;
+            let b = self.expr_scalar(&args[1])?;
+            self.reg_top = save;
+            let dst = self.alloc_reg()?;
+            self.emit(Instr::Math2 { f, dst, a, b });
+            return Ok(Operand::Reg(dst));
+        }
+        if name == "rand" {
+            if args.len() < 2 {
+                return bail("`rand` needs two arguments");
+            }
+            let save = self.reg_top;
+            let lo = self.expr_scalar(&args[0])?;
+            let hi = self.expr_scalar(&args[1])?;
+            self.reg_top = save;
+            let dst = self.alloc_reg()?;
+            self.emit(Instr::Rand { dst, lo, hi });
+            return Ok(Operand::Reg(dst));
+        }
+        if let Some(kind) = match name.as_str() {
+            "len" => Some(ShapeKind::Len),
+            "rows" => Some(ShapeKind::Rows),
+            "cols" => Some(ShapeKind::Cols),
+            _ => None,
+        } {
+            // Shape queries on anything but a bound local value are
+            // rare and left to the interpreter.
+            let Some(Expr::Var(arg, _)) = args.first() else {
+                return bail(format!("`{name}` of a non-variable expression"));
+            };
+            if self.maybe.contains(arg) {
+                return bail(format!("array `{arg}` is only conditionally assigned"));
+            }
+            let slot = self.read_slot(arg)?;
+            let dst = self.alloc_reg()?;
+            self.emit(Instr::Shape { kind, dst, slot });
+            return Ok(Operand::Reg(dst));
+        }
+
+        // Sub-transform call.
+        if self.program.transform(name).is_some() && *name != self.transform.name {
+            let callee = self.program.transform(name).expect("looked up above");
+            if callee.outputs.len() != 1 {
+                return bail(format!("callee `{name}` must have exactly one output"));
+            }
+            if args.len() != callee.inputs.len() {
+                return bail(format!("callee `{name}` arity mismatch"));
+            }
+            let save = (self.reg_top, self.temp_top);
+            let mut ops = Vec::with_capacity(args.len());
+            for (i, a) in args.iter().enumerate() {
+                let op = self.expr_value(a)?;
+                ops.push(self.snapshot_if_mutable_later(op, &args[i + 1..], &[])?);
+            }
+            (self.reg_top, self.temp_top) = save;
+            let dst = self.alloc_temp()?;
+            let name = self.intern(name);
+            self.emit(Instr::CallTransform {
+                name,
+                args: ops,
+                dst,
+            });
+            return Ok(Operand::Slot(dst));
+        }
+
+        // Host function (resolved by name at run time, so functions
+        // registered after compilation still work — and unknown names
+        // fail with the interpreter's error).
+        if args.is_empty() {
+            return bail(format!("host call `{name}` without arguments"));
+        }
+        let save = (self.reg_top, self.temp_top);
+        // Interpreter order: rest arguments first, then the first.
+        // (The first argument of a Var-named host call is cloned at
+        // invocation time by the interpreter too, so only the rest
+        // arguments need evaluation-point snapshots.)
+        let anon_first: &[Expr] = match &args[0] {
+            Expr::Var(..) => &[],
+            other => std::slice::from_ref(other),
+        };
+        let mut rest = Vec::with_capacity(args.len() - 1);
+        for (i, a) in args[1..].iter().enumerate() {
+            let op = self.expr_value(a)?;
+            rest.push(self.snapshot_if_mutable_later(op, &args[i + 2..], anon_first)?);
+        }
+        let first = match &args[0] {
+            Expr::Var(n, _) => {
+                if self.maybe.contains(n) {
+                    return bail(format!("`{n}` is only conditionally assigned"));
+                }
+                if !self.assigned.contains(n) {
+                    // The interpreter reports `unknown variable` here;
+                    // keep that behavior on the fallback path.
+                    return bail(format!("host call first argument `{n}` is unbound"));
+                }
+                FirstArg::Var(self.slots[n])
+            }
+            other => FirstArg::Anon(self.expr_value(other)?),
+        };
+        (self.reg_top, self.temp_top) = save;
+        let dst = self.alloc_temp()?;
+        let name = self.intern(name);
+        self.emit(Instr::CallHost {
+            name,
+            first,
+            rest,
+            dst,
+        });
+        Ok(Operand::Slot(dst))
+    }
+}
+
+/// Names bound by `let`, scalar assignment, or `for` loops anywhere in
+/// a block (the set of body-local slots).
+fn collect_bound_names(block: &Block, note: &mut impl FnMut(&str)) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { name, .. } => note(name),
+            Stmt::Assign {
+                target: LValue::Var(name),
+                ..
+            } => note(name),
+            Stmt::Assign { .. }
+            | Stmt::VerifyAccuracy { .. }
+            | Stmt::Return { .. }
+            | Stmt::Expr { .. } => {}
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                collect_bound_names(then_block, note);
+                if let Some(e) = else_block {
+                    collect_bound_names(e, note);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::ForEnough { body, .. } => {
+                collect_bound_names(body, note);
+            }
+            Stmt::For { var, body, .. } => {
+                note(var);
+                collect_bound_names(body, note);
+            }
+            Stmt::Either { branches, .. } => {
+                for b in branches {
+                    collect_bound_names(b, note);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn compile_first_rule(src: &str) -> Result<Chunk, CompileError> {
+        let program = parse_program(src).unwrap();
+        let t = &program.transforms[0];
+        compile_rule(&program, t, &t.rules[0])
+    }
+
+    fn chunk(src: &str) -> Chunk {
+        compile_first_rule(src).expect("rule should compile")
+    }
+
+    fn has(chunk: &Chunk, pred: impl Fn(&Instr) -> bool) -> bool {
+        chunk.code.iter().any(pred)
+    }
+
+    #[test]
+    fn lowers_let_assign_and_arithmetic() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    let x = 1 + 2 * a[0];
+                    o[0] = x - 3;
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::LoadIdx1 { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::Bin { op: BinOp::Mul, .. })));
+        assert!(has(&c, |i| matches!(i, Instr::StoreSlotNum { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::StoreIdx1 { .. })));
+        // One charge per statement.
+        assert_eq!(
+            c.code
+                .iter()
+                .filter(|i| matches!(i, Instr::Charge { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lowers_2d_indexing() {
+        let c = chunk(
+            r#"transform t from M[r, c] to Out[r, c] {
+                to (Out o) from (M m) { o[1, 2] = m[0, 1]; }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::LoadIdx2 { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::StoreIdx2 { .. })));
+    }
+
+    #[test]
+    fn lowers_control_flow() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    for (i in 0 .. len(a)) {
+                        if (a[i] > 0) { o[i] = 1; } else { o[i] = 0 - 1; }
+                    }
+                    let j = 0;
+                    while (j < len(a)) { j = j + 1; }
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::TruncPair { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::JumpIfGe { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::JumpIfZero { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::WhileGuard { .. })));
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::Shape {
+                kind: ShapeKind::Len,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn lowers_choice_sites_and_accuracy_loops() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    for_enough { either { o[0] = 1; } or { o[0] = 2; } }
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::ForEnoughPrep { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::Choice { branches: 2, .. })));
+        assert!(has(&c, |i| matches!(i, Instr::Switch { .. })));
+        assert!(c.names.iter().any(|n| n == "for_enough_0"));
+        assert!(c.names.iter().any(|n| n == "either_0"));
+    }
+
+    #[test]
+    fn lowers_builtins_and_rand() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    o[0] = sqrt(abs(a[0])) + min(a[1], 2) + pow(2, 3);
+                    o[1] = rand(0, 10);
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::Math1 {
+                f: MathFn1::Sqrt,
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::Math1 {
+                f: MathFn1::Abs,
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::Math2 {
+                f: MathFn2::Min,
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::Math2 {
+                f: MathFn2::Pow,
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(i, Instr::Rand { .. })));
+    }
+
+    #[test]
+    fn lowers_short_circuit_logic_to_jumps() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    o[0] = a[0] > 0 && a[1] > 0;
+                    o[1] = a[0] > 0 || a[1] > 0;
+                }
+            }"#,
+        );
+        // No Bin And/Or: both compile to jump structures.
+        assert!(!has(&c, |i| matches!(
+            i,
+            Instr::Bin {
+                op: BinOp::And | BinOp::Or,
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(i, Instr::JumpIfNonZero { .. })));
+        assert!(has(&c, |i| matches!(i, Instr::TestNonZero { .. })));
+    }
+
+    #[test]
+    fn lowers_host_and_sub_transform_calls() {
+        let src = r#"
+            transform outer from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    Fill(o, 1);
+                    o[0] = inner(a) + 1;
+                }
+            }
+            transform inner from X[n] to R {
+                to (R r) from (X x) { r = x[0]; }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let t = program.transform("outer").unwrap();
+        let c = compile_rule(&program, t, &t.rules[0]).unwrap();
+        assert!(has(&c, |i| matches!(
+            i,
+            Instr::CallHost {
+                first: FirstArg::Var(_),
+                ..
+            }
+        )));
+        assert!(has(&c, |i| matches!(i, Instr::CallTransform { .. })));
+        assert!(c.names.iter().any(|n| n == "Fill"));
+        assert!(c.names.iter().any(|n| n == "inner"));
+    }
+
+    #[test]
+    fn lowers_accuracy_variable_reads_to_param_loads() {
+        let c = chunk(
+            r#"transform t accuracy_variable k 1 64 from In[n] to Out[n] {
+                to (Out o) from (In a) { o[0] = k; }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::LoadParam { .. })));
+        assert!(c.names.iter().any(|n| n == "k"));
+    }
+
+    #[test]
+    fn lowers_return_and_verify_accuracy() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    verify_accuracy;
+                    return;
+                    o[0] = 2;
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::Return)));
+    }
+
+    #[test]
+    fn conditionally_assigned_reads_fall_back() {
+        let err = compile_first_rule(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    if (a[0]) { let x = 1; }
+                    o[0] = x;
+                }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("conditionally assigned"), "{err}");
+    }
+
+    #[test]
+    fn variables_assigned_in_all_branches_stay_compilable() {
+        let c = chunk(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    if (a[0]) { let x = 1; } else { let x = 2; }
+                    o[0] = x;
+                }
+            }"#,
+        );
+        assert!(has(&c, |i| matches!(i, Instr::CopySlot { .. })
+            || matches!(i, Instr::StoreSlotNum { .. })));
+    }
+
+    #[test]
+    fn loop_local_reads_after_loop_fall_back() {
+        let err = compile_first_rule(
+            r#"transform t from In[n] to Out[n] {
+                to (Out o) from (In a) {
+                    for (i in 0 .. len(a)) { let y = a[i]; }
+                    o[0] = y;
+                }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.reason.contains("conditionally assigned"), "{err}");
+    }
+
+    #[test]
+    fn compile_program_reports_coverage() {
+        let src = r#"
+            transform t from In[n] to Out[n] {
+                to (Out o) from (In a) { o[0] = 1; }
+                to (Out o) from (In a) {
+                    if (a[0]) { let x = 1; }
+                    o[0] = x;
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let compiled = compile_program(&program);
+        assert_eq!(compiled.coverage(), (1, 2));
+        assert!(compiled.chunk("t", 0).is_some());
+        assert!(compiled.chunk("t", 1).is_none());
+        assert!(compiled.transform("t").unwrap().rules[1].is_err());
+    }
+
+    #[test]
+    fn alias_slots_line_up_with_bindings() {
+        let c = chunk(
+            r#"transform t from A[n], B[n] to C[n] {
+                to (C c) from (A a, B b) { c[0] = a[0] + b[0]; }
+            }"#,
+        );
+        assert_eq!(c.input_slots.len(), 2);
+        assert_eq!(c.output_slots.len(), 1);
+        let mut all = c.input_slots.clone();
+        all.extend(&c.output_slots);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 3, "distinct aliases get distinct slots");
+    }
+}

@@ -97,8 +97,7 @@ impl std::error::Error for RuntimeError {}
 /// may be mutated (how helper calls like `AssignClusters(a, …)` write
 /// results); the remaining arguments are read-only; the return value
 /// is the call expression's value.
-pub type HostFn =
-    Box<dyn Fn(&mut Value, &[Value]) -> Result<Value, String> + Send + Sync>;
+pub type HostFn = Box<dyn Fn(&mut Value, &[Value]) -> Result<Value, String> + Send + Sync>;
 
 /// Control flow of statement execution.
 enum Flow {
@@ -106,10 +105,14 @@ enum Flow {
     Return,
 }
 
-/// The interpreter: a checked program plus registered host functions.
+/// The interpreter: a checked program plus registered host functions,
+/// and optionally the program's compiled bytecode (see
+/// [`crate::compile`]) — rules that compiled run on the register VM,
+/// the rest tree-walk.
 pub struct Interpreter {
     program: Program,
     host_fns: HashMap<String, HostFn>,
+    compiled: Option<crate::compile::CompiledProgram>,
 }
 
 impl fmt::Debug for Interpreter {
@@ -117,22 +120,46 @@ impl fmt::Debug for Interpreter {
         f.debug_struct("Interpreter")
             .field("transforms", &self.program.transforms.len())
             .field("host_fns", &self.host_fns.keys().collect::<Vec<_>>())
+            .field("compiled", &self.compiled.is_some())
             .finish()
     }
 }
 
 impl Interpreter {
-    /// Wraps a (checked) program.
+    /// Wraps a (checked) program for pure tree-walking execution.
     pub fn new(program: Program) -> Self {
         Interpreter {
             program,
             host_fns: HashMap::new(),
+            compiled: None,
         }
+    }
+
+    /// Wraps a (checked) program *and* lowers every rule to bytecode.
+    /// Rules the compiler covers execute on the register VM; the rest
+    /// fall back to tree-walking, statement by statement identical.
+    pub fn new_compiled(program: Program) -> Self {
+        let compiled = crate::compile::compile_program(&program);
+        Interpreter {
+            program,
+            host_fns: HashMap::new(),
+            compiled: Some(compiled),
+        }
+    }
+
+    /// The cached bytecode, when built with [`Interpreter::new_compiled`].
+    pub fn compiled(&self) -> Option<&crate::compile::CompiledProgram> {
+        self.compiled.as_ref()
     }
 
     /// The wrapped program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Looks up a registered host function.
+    pub(crate) fn host_fn(&self, name: &str) -> Option<&HostFn> {
+        self.host_fns.get(name)
     }
 
     /// Registers a host function callable from transform bodies.
@@ -158,7 +185,7 @@ impl Interpreter {
         self.run_prefixed(transform_name, inputs, ctx, "", 0)
     }
 
-    fn run_prefixed(
+    pub(crate) fn run_prefixed(
         &self,
         transform_name: &str,
         inputs: &HashMap<String, Value>,
@@ -284,7 +311,18 @@ impl Interpreter {
                 rules[0]
             };
             let rule = &t.rules[rule_idx];
-            self.run_rule(t, rule, &mut store, ctx, prefix, depth)?;
+            // Compiled rules run on the register VM; uncompiled ones
+            // (and everything when compilation is off) tree-walk.
+            let chunk = self
+                .compiled
+                .as_ref()
+                .and_then(|c| c.chunk(transform_name, rule_idx));
+            match chunk {
+                Some(chunk) => {
+                    crate::vm::run_rule(self, rule, chunk, &mut store, ctx, prefix, depth)?;
+                }
+                None => self.run_rule(t, rule, &mut store, ctx, prefix, depth)?,
+            }
             for out in &rule.outputs {
                 produced.push(out.data.clone());
             }
@@ -415,7 +453,11 @@ impl Env<'_> {
                 self.scope.insert(name.clone(), v);
                 Ok(Flow::Continue)
             }
-            Stmt::Assign { target, value, span } => {
+            Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let v = self.eval(value, ctx)?;
                 match target {
                     LValue::Var(name) => {
@@ -426,14 +468,13 @@ impl Env<'_> {
                             .iter()
                             .map(|e| self.eval_index(e, ctx))
                             .collect::<Result<_, _>>()?;
-                        let num = v.as_num().ok_or(RuntimeError::new(
-                            "array elements must be scalars",
-                            *span,
-                        ))?;
-                        let arr = self.scope.get_mut(name).ok_or(RuntimeError::new(
-                            format!("unknown array `{name}`"),
-                            *span,
-                        ))?;
+                        let num = v
+                            .as_num()
+                            .ok_or(RuntimeError::new("array elements must be scalars", *span))?;
+                        let arr = self
+                            .scope
+                            .get_mut(name)
+                            .ok_or(RuntimeError::new(format!("unknown array `{name}`"), *span))?;
                         write_element(arr, &idx, num, *span)?;
                     }
                 }
@@ -462,12 +503,17 @@ impl Env<'_> {
                     }
                     guard += 1;
                     if guard > 10_000_000 {
-                        return Err(RuntimeError::new("while loop exceeded 10M iterations", *span));
+                        return Err(RuntimeError::new(
+                            "while loop exceeded 10M iterations",
+                            *span,
+                        ));
                     }
                 }
                 Ok(Flow::Continue)
             }
-            Stmt::For { var, lo, hi, body, .. } => {
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
                 let lo = self.eval_num(lo, ctx)? as i64;
                 let hi = self.eval_num(hi, ctx)? as i64;
                 for i in lo..hi {
@@ -511,19 +557,15 @@ impl Env<'_> {
     }
 
     fn eval_num(&mut self, expr: &Expr, ctx: &mut ExecCtx<'_>) -> Result<f64, RuntimeError> {
-        self.eval(expr, ctx)?.as_num().ok_or(RuntimeError::new(
-            "expected a scalar value",
-            expr.span(),
-        ))
+        self.eval(expr, ctx)?
+            .as_num()
+            .ok_or(RuntimeError::new("expected a scalar value", expr.span()))
     }
 
     fn eval_index(&mut self, expr: &Expr, ctx: &mut ExecCtx<'_>) -> Result<usize, RuntimeError> {
         let v = self.eval_num(expr, ctx)?;
         if v < 0.0 || !v.is_finite() {
-            return Err(RuntimeError::new(
-                format!("illegal index {v}"),
-                expr.span(),
-            ));
+            return Err(RuntimeError::new(format!("illegal index {v}"), expr.span()));
         }
         Ok(v as usize)
     }
@@ -540,17 +582,24 @@ impl Env<'_> {
                 if let Ok(v) = ctx.param(&tunable) {
                     return Ok(Value::Num(v as f64));
                 }
-                Err(RuntimeError::new(format!("unknown variable `{name}`"), *span))
+                Err(RuntimeError::new(
+                    format!("unknown variable `{name}`"),
+                    *span,
+                ))
             }
-            Expr::Index { name, indices, span } => {
+            Expr::Index {
+                name,
+                indices,
+                span,
+            } => {
                 let idx: Vec<usize> = indices
                     .iter()
                     .map(|e| self.eval_index(e, ctx))
                     .collect::<Result<_, _>>()?;
-                let arr = self.scope.get(name).ok_or(RuntimeError::new(
-                    format!("unknown array `{name}`"),
-                    *span,
-                ))?;
+                let arr = self
+                    .scope
+                    .get(name)
+                    .ok_or(RuntimeError::new(format!("unknown array `{name}`"), *span))?;
                 read_element(arr, &idx, *span).map(Value::Num)
             }
             Expr::Unary { op, operand, span } => {
@@ -683,13 +732,9 @@ impl Env<'_> {
                 sub_inputs.insert(param.name.clone(), v);
             }
             let sub_prefix = format!("{}{name}.", self.prefix);
-            let outputs = self.interp.run_prefixed(
-                name,
-                &sub_inputs,
-                ctx,
-                &sub_prefix,
-                self.depth + 1,
-            )?;
+            let outputs =
+                self.interp
+                    .run_prefixed(name, &sub_inputs, ctx, &sub_prefix, self.depth + 1)?;
             let out_name = &callee.outputs[0].name;
             return outputs.get(out_name).cloned().ok_or(RuntimeError::new(
                 format!("transform `{name}` produced no `{out_name}`"),
@@ -714,13 +759,18 @@ impl Env<'_> {
                 _ => None,
             };
             let mut first = match &first_name {
-                Some(n) => self.scope.get(n).cloned().ok_or(RuntimeError::new(
-                    format!("unknown variable `{n}`"),
-                    span,
-                ))?,
+                Some(n) => self
+                    .scope
+                    .get(n)
+                    .cloned()
+                    .ok_or(RuntimeError::new(format!("unknown variable `{n}`"), span))?,
                 None => self.eval(&args[0], ctx)?,
             };
-            ctx.charge(rest.iter().map(|v| v.dims().iter().product::<usize>().max(1)).sum::<usize>() as f64);
+            ctx.charge(
+                rest.iter()
+                    .map(|v| v.dims().iter().product::<usize>().max(1))
+                    .sum::<usize>() as f64,
+            );
             let f = &self.interp.host_fns[name];
             let out = f(&mut first, &rest)
                 .map_err(|m| RuntimeError::new(format!("host `{name}`: {m}"), span))?;
@@ -761,7 +811,7 @@ pub fn resample_linear(data: &[f64], target: usize) -> Vec<f64> {
         .collect()
 }
 
-fn read_element(arr: &Value, idx: &[usize], span: Span) -> Result<f64, RuntimeError> {
+pub(crate) fn read_element(arr: &Value, idx: &[usize], span: Span) -> Result<f64, RuntimeError> {
     match (arr, idx) {
         (Value::Arr1(v), [i]) => v.get(*i).copied().ok_or(RuntimeError::new(
             format!("index {i} out of bounds (len {})", v.len()),
@@ -784,7 +834,12 @@ fn read_element(arr: &Value, idx: &[usize], span: Span) -> Result<f64, RuntimeEr
     }
 }
 
-fn write_element(arr: &mut Value, idx: &[usize], v: f64, span: Span) -> Result<(), RuntimeError> {
+pub(crate) fn write_element(
+    arr: &mut Value,
+    idx: &[usize],
+    v: f64,
+    span: Span,
+) -> Result<(), RuntimeError> {
     match (arr, idx) {
         (Value::Arr1(vec), [i]) => {
             if *i >= vec.len() {
@@ -946,7 +1001,9 @@ mod tests {
         let program = parse_program(src).unwrap();
         let schema = crate::traininfo::extract_schema(&program, "t");
         let mut config = schema.default_config();
-        config.set_by_name(&schema, "k", ConfigValue::Int(5)).unwrap();
+        config
+            .set_by_name(&schema, "k", ConfigValue::Int(5))
+            .unwrap();
         let interp = Interpreter::new(program);
         let mut inputs = HashMap::new();
         inputs.insert("In".to_string(), Value::Arr1(vec![0.0, 0.0]));

@@ -76,10 +76,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            if i + 1 < bytes.len()
-                && bytes[i] == b'.'
-                && (bytes[i + 1] as char).is_ascii_digit()
-            {
+            if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                     i += 1;

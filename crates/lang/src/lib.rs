@@ -15,8 +15,20 @@
 //! source ──lexer──▶ tokens ──parser──▶ AST ──sema──▶ checked AST
 //!        ──cdg──▶ choice dependency graph (execution order, choice sites)
 //!        ──traininfo──▶ pb_config::Schema  (the "training information file")
-//!        ──interp──▶ executable transform (pb_runtime::Transform adapter)
+//!        ──compile──▶ bytecode ──vm──▶ register-VM execution (hot path)
+//!        ──interp──▶ executable transform (pb_runtime::Transform adapter;
+//!                    tree-walking fallback for uncompiled rules)
 //! ```
+//!
+//! The `compile`/`vm` stage is this reproduction's analogue of the
+//! original compiler's C++ code generation: rule bodies are lowered
+//! once to flat register bytecode and executed by a dispatch loop,
+//! with identical tunable-resolution semantics to the tree-walking
+//! interpreter (`rule_<Data>` decision trees, `for_enough_<i>` /
+//! `either_<i>` variables, `<callee>.`-prefixed sub-transform
+//! tunables). [`DslTransform`] compiles at construction, so the
+//! autotuner's thousands of candidate executions per generation run
+//! on the VM.
 //!
 //! # Examples
 //!
@@ -49,6 +61,7 @@
 
 pub mod ast;
 pub mod cdg;
+pub mod compile;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -57,8 +70,10 @@ pub mod sema;
 pub mod token;
 pub mod traininfo;
 pub mod transform;
+pub mod vm;
 
 pub use ast::Program;
+pub use compile::{compile_program, CompiledProgram};
 pub use interp::{Interpreter, Value};
 pub use parser::{parse_program, ParseError};
 pub use sema::{check_program, SemaError};

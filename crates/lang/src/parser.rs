@@ -16,7 +16,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.span.start, self.message)
+        write!(
+            f,
+            "parse error at byte {}: {}",
+            self.span.start, self.message
+        )
     }
 }
 
@@ -752,13 +756,19 @@ pub(crate) mod tests {
         let program = parse_program(src).unwrap();
         let rule = &program.transforms[0].rules[0];
         match &rule.body.stmts[0] {
-            Stmt::Let { value: Expr::Call { accuracy, .. }, .. } => {
+            Stmt::Let {
+                value: Expr::Call { accuracy, .. },
+                ..
+            } => {
                 assert_eq!(*accuracy, Some(2.5));
             }
             other => panic!("expected sub-accuracy call, got {other:?}"),
         }
         match &rule.body.stmts[1] {
-            Stmt::Let { value: Expr::Binary { op, .. }, .. } => {
+            Stmt::Let {
+                value: Expr::Binary { op, .. },
+                ..
+            } => {
                 assert_eq!(*op, BinOp::Lt);
             }
             other => panic!("expected comparison, got {other:?}"),
@@ -774,7 +784,15 @@ pub(crate) mod tests {
         "#;
         let program = parse_program(src).unwrap();
         match &program.transforms[0].rules[0].body.stmts[0] {
-            Stmt::Assign { value: Expr::Binary { op: BinOp::Add, rhs, .. }, .. } => {
+            Stmt::Assign {
+                value:
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),

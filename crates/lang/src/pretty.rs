@@ -73,7 +73,12 @@ fn print_rule(rule: &Rule, out: &mut String) {
         .iter()
         .map(|b| format!("{} {}", b.data, b.alias))
         .collect();
-    let _ = writeln!(out, "    to ({}) from ({}) {{", outs.join(", "), ins.join(", "));
+    let _ = writeln!(
+        out,
+        "    to ({}) from ({}) {{",
+        outs.join(", "),
+        ins.join(", ")
+    );
     print_block(&rule.body, 2, out);
     out.push_str("    }\n");
 }
@@ -131,8 +136,15 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
             indent(level, out);
             out.push_str("}\n");
         }
-        Stmt::For { var, lo, hi, body, .. } => {
-            let _ = writeln!(out, "for ({var} in {} .. {}) {{", print_expr(lo), print_expr(hi));
+        Stmt::For {
+            var, lo, hi, body, ..
+        } => {
+            let _ = writeln!(
+                out,
+                "for ({var} in {} .. {}) {{",
+                print_expr(lo),
+                print_expr(hi)
+            );
             print_block(body, level + 1, out);
             indent(level, out);
             out.push_str("}\n");
@@ -241,8 +253,8 @@ mod tests {
     fn kmeans_round_trips() {
         let program = parse_program(crate::parser::tests::KMEANS).unwrap();
         let printed = print_program(&program);
-        let reparsed = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         assert!(ast_eq(&program, &reparsed));
     }
 

@@ -84,10 +84,7 @@ fn check_transform(program: &Program, t: &Transform, errors: &mut Vec<SemaError>
         }
         if data_names.contains(av.name.as_str()) {
             errors.push(SemaError {
-                message: format!(
-                    "accuracy variable `{}` shadows a data declaration",
-                    av.name
-                ),
+                message: format!("accuracy variable `{}` shadows a data declaration", av.name),
                 span: av.span,
             });
         }
@@ -142,10 +139,7 @@ fn check_transform(program: &Program, t: &Transform, errors: &mut Vec<SemaError>
             }
             if p.dims.len() != 1 {
                 errors.push(SemaError {
-                    message: format!(
-                        "`scaled_by` input `{}` must be one-dimensional",
-                        p.name
-                    ),
+                    message: format!("`scaled_by` input `{}` must be one-dimensional", p.name),
                     span: p.span,
                 });
             }
@@ -248,9 +242,7 @@ fn check_expr_calls(program: &Program, expr: &Expr, errors: &mut Vec<SemaError>)
         } => {
             if accuracy.is_some() && program.transform(name).is_none() {
                 errors.push(SemaError {
-                    message: format!(
-                        "sub-accuracy call targets undeclared transform `{name}`"
-                    ),
+                    message: format!("sub-accuracy call targets undeclared transform `{name}`"),
                     span: *span,
                 });
             }
@@ -333,7 +325,10 @@ mod tests {
             }
         "#;
         let errs = errors_of(src);
-        assert!(errs.iter().any(|e| e.contains("no producing rule")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("no producing rule")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -344,7 +339,10 @@ mod tests {
             }
         "#;
         let errs = errors_of(src);
-        assert!(errs.iter().any(|e| e.contains("writes transform input")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("writes transform input")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -355,7 +353,10 @@ mod tests {
             }
         "#;
         let errs = errors_of(src);
-        assert!(errs.iter().any(|e| e.contains("undeclared data `Z`")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.contains("undeclared data `Z`")),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -370,7 +371,9 @@ mod tests {
         "#;
         let errs = errors_of(src);
         assert!(errs.iter().any(|e| e.contains("duplicate transform")));
-        assert!(errs.iter().any(|e| e.contains("duplicate accuracy variable")));
+        assert!(errs
+            .iter()
+            .any(|e| e.contains("duplicate accuracy variable")));
     }
 
     #[test]

@@ -85,10 +85,7 @@ fn add_transform_tunables(
 
     let graph = ChoiceDependencyGraph::build(t);
     for site in graph.choice_sites() {
-        schema.add_choice_site(
-            format!("{prefix}rule_{site}"),
-            graph.producers(site).len(),
-        );
+        schema.add_choice_site(format!("{prefix}rule_{site}"), graph.producers(site).len());
     }
 
     let mut callees: Vec<String> = Vec::new();
@@ -171,10 +168,7 @@ fn collect_expr_tunables(program: &Program, expr: &Expr, callees: &mut Vec<Strin
             // tunables; an explicit-accuracy call pins them (§3.2:
             // the `<N>` syntax "may … be used … to prevent the
             // automatic expansion").
-            if accuracy.is_none()
-                && program.transform(name).is_some()
-                && !callees.contains(name)
-            {
+            if accuracy.is_none() && program.transform(name).is_some() && !callees.contains(name) {
                 callees.push(name.clone());
             }
             for a in args {

@@ -18,8 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Generates a named-input map for a training size.
-pub type InputGenerator =
-    Box<dyn Fn(u64, &mut SmallRng) -> HashMap<String, Value> + Send + Sync>;
+pub type InputGenerator = Box<dyn Fn(u64, &mut SmallRng) -> HashMap<String, Value> + Send + Sync>;
 
 /// Errors constructing a [`DslTransform`].
 #[derive(Debug, Clone, PartialEq)]
@@ -85,8 +84,13 @@ impl DslTransform {
             .clone()
             .ok_or_else(|| DslError::NoAccuracyMetric(transform_name.to_owned()))?;
         let metric_schema = extract_schema(&program, &metric);
+        // Lower every rule to bytecode once, here at construction: the
+        // tuner re-executes candidates thousands of times per
+        // generation, so all of them (and the metric transform) run on
+        // the register VM, falling back to tree-walking only for the
+        // rules the compiler does not cover.
         Ok(DslTransform {
-            interpreter: Interpreter::new(program),
+            interpreter: Interpreter::new_compiled(program),
             name: transform_name.to_owned(),
             metric,
             metric_schema,
@@ -284,8 +288,7 @@ mod tests {
         "#,
         )
         .unwrap();
-        let err = DslTransform::compile(program, "t", Box::new(|_, _| HashMap::new()))
-            .unwrap_err();
+        let err = DslTransform::compile(program, "t", Box::new(|_, _| HashMap::new())).unwrap_err();
         assert!(matches!(err, DslError::NoAccuracyMetric(_)));
     }
 
@@ -299,8 +302,8 @@ mod tests {
         "#,
         )
         .unwrap();
-        let err = DslTransform::compile(program, "ghost", Box::new(|_, _| HashMap::new()))
-            .unwrap_err();
+        let err =
+            DslTransform::compile(program, "ghost", Box::new(|_, _| HashMap::new())).unwrap_err();
         assert!(matches!(err, DslError::UnknownTransform(_)));
     }
 

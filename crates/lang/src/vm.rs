@@ -1,0 +1,340 @@
+//! The register VM: a dispatch loop over [`crate::compile::Chunk`]
+//! bytecode, executing rule bodies against a `pb_runtime::ExecCtx`.
+//!
+//! The VM keeps the interpreter's observable semantics instruction for
+//! instruction — tunable resolution (`for_enough_<i>`, `either_<i>`,
+//! prefixed sub-transform lookups), RNG consumption order, host-call
+//! protocol, bounds checks, and per-statement virtual-cost charging —
+//! while replacing the tree-walker's per-node dispatch, per-variable
+//! hash lookups, and per-access `Value` clones with direct register
+//! and slot addressing. Sub-transform calls recurse through
+//! [`crate::interp::Interpreter`]'s shared orchestration, so callees
+//! run compiled wherever their rules compiled.
+
+use crate::ast::BinOp;
+use crate::ast::Rule;
+use crate::compile::{Chunk, FirstArg, Instr, MathFn1, MathFn2, Operand, ShapeKind};
+use crate::interp::{read_element, write_element, Interpreter, RuntimeError, Value};
+use crate::token::Span;
+use pb_runtime::ExecCtx;
+use rand::Rng;
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// A tunable name under the current sub-transform prefix, without
+/// allocating in the common top-level (empty prefix) case.
+#[inline]
+fn prefixed<'a>(prefix: &str, name: &'a str) -> Cow<'a, str> {
+    if prefix.is_empty() {
+        Cow::Borrowed(name)
+    } else {
+        Cow::Owned(format!("{prefix}{name}"))
+    }
+}
+
+fn err(message: impl Into<String>) -> RuntimeError {
+    RuntimeError {
+        message: message.into(),
+        span: None,
+    }
+}
+
+/// Converts an f64 index with the interpreter's `eval_index` checks.
+#[inline]
+fn index(v: f64) -> Result<usize, RuntimeError> {
+    if v < 0.0 || !v.is_finite() {
+        return Err(err(format!("illegal index {v}")));
+    }
+    Ok(v as usize)
+}
+
+#[inline]
+fn operand_value(op: &Operand, regs: &[f64], slots: &[Value]) -> Value {
+    match op {
+        Operand::Reg(r) => Value::Num(regs[*r as usize]),
+        Operand::Slot(s) => slots[*s as usize].clone(),
+    }
+}
+
+/// Runs one compiled rule against the transform's data store,
+/// mirroring the interpreter's `run_rule` binding and write-back.
+pub(crate) fn run_rule(
+    interp: &Interpreter,
+    rule: &Rule,
+    chunk: &Chunk,
+    store: &mut HashMap<String, Value>,
+    ctx: &mut ExecCtx<'_>,
+    prefix: &str,
+    depth: usize,
+) -> Result<(), RuntimeError> {
+    let mut slots = vec![Value::Num(0.0); chunk.n_slots as usize];
+    for (b, slot) in rule.inputs.iter().zip(&chunk.input_slots) {
+        let v = store.get(&b.data).ok_or_else(|| RuntimeError {
+            message: format!("rule reads unproduced data `{}`", b.data),
+            span: Some(b.span),
+        })?;
+        slots[*slot as usize] = v.clone();
+    }
+    // Output aliases bind after inputs, shadowing same-named inputs.
+    for (b, slot) in rule.outputs.iter().zip(&chunk.output_slots) {
+        let v = store.get(&b.data).ok_or_else(|| RuntimeError {
+            message: format!("rule writes undeclared data `{}`", b.data),
+            span: Some(b.span),
+        })?;
+        slots[*slot as usize] = v.clone();
+    }
+
+    exec(interp, chunk, &mut slots, ctx, prefix, depth)?;
+
+    for (b, slot) in rule.outputs.iter().zip(&chunk.output_slots) {
+        store.insert(b.data.clone(), slots[*slot as usize].clone());
+    }
+    Ok(())
+}
+
+/// The dispatch loop.
+fn exec(
+    interp: &Interpreter,
+    chunk: &Chunk,
+    slots: &mut [Value],
+    ctx: &mut ExecCtx<'_>,
+    prefix: &str,
+    depth: usize,
+) -> Result<(), RuntimeError> {
+    let mut regs = vec![0.0f64; chunk.n_regs as usize];
+    let code = &chunk.code;
+    let names = &chunk.names;
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Instr::Const { dst, val } => regs[*dst as usize] = *val,
+            Instr::Move { dst, src } => regs[*dst as usize] = regs[*src as usize],
+            Instr::LoadSlotNum { dst, slot } => match &slots[*slot as usize] {
+                Value::Num(v) => regs[*dst as usize] = *v,
+                _ => return Err(err("expected a scalar value")),
+            },
+            Instr::StoreSlotNum { slot, src } => {
+                slots[*slot as usize] = Value::Num(regs[*src as usize]);
+            }
+            Instr::CopySlot { dst, src } => {
+                slots[*dst as usize] = slots[*src as usize].clone();
+            }
+            Instr::LoadParam { dst, name } => {
+                let name = &names[*name as usize];
+                let tunable = prefixed(prefix, name);
+                match ctx.param(&tunable) {
+                    Ok(v) => regs[*dst as usize] = v as f64,
+                    Err(_) => return Err(err(format!("unknown variable `{name}`"))),
+                }
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let a = regs[*a as usize];
+                let b = regs[*b as usize];
+                regs[*dst as usize] = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                    BinOp::Rem => a % b,
+                    BinOp::Eq => (a == b) as i64 as f64,
+                    BinOp::Ne => (a != b) as i64 as f64,
+                    BinOp::Lt => (a < b) as i64 as f64,
+                    BinOp::Le => (a <= b) as i64 as f64,
+                    BinOp::Gt => (a > b) as i64 as f64,
+                    BinOp::Ge => (a >= b) as i64 as f64,
+                    // Short-circuit forms never reach the VM; the
+                    // compiler lowers them to jumps.
+                    BinOp::And | BinOp::Or => unreachable!("lowered to jumps"),
+                };
+            }
+            Instr::Neg { dst, src } => regs[*dst as usize] = -regs[*src as usize],
+            Instr::Not { dst, src } => {
+                regs[*dst as usize] = if regs[*src as usize] == 0.0 { 1.0 } else { 0.0 };
+            }
+            Instr::TestNonZero { dst, src } => {
+                regs[*dst as usize] = (regs[*src as usize] != 0.0) as i64 as f64;
+            }
+            Instr::Math1 { f, dst, src } => {
+                let v = regs[*src as usize];
+                regs[*dst as usize] = match f {
+                    MathFn1::Sqrt => v.sqrt(),
+                    MathFn1::Abs => v.abs(),
+                    MathFn1::Floor => v.floor(),
+                    MathFn1::Ceil => v.ceil(),
+                    MathFn1::Exp => v.exp(),
+                    MathFn1::Log => v.ln(),
+                };
+            }
+            Instr::Math2 { f, dst, a, b } => {
+                let a = regs[*a as usize];
+                let b = regs[*b as usize];
+                regs[*dst as usize] = match f {
+                    MathFn2::Min => a.min(b),
+                    MathFn2::Max => a.max(b),
+                    MathFn2::Pow => a.powf(b),
+                };
+            }
+            Instr::Rand { dst, lo, hi } => {
+                let lo = regs[*lo as usize];
+                let hi = regs[*hi as usize];
+                regs[*dst as usize] = if hi <= lo {
+                    lo
+                } else {
+                    ctx.rng().gen_range(lo..hi)
+                };
+            }
+            Instr::Shape { kind, dst, slot } => {
+                let dims = slots[*slot as usize].dims();
+                regs[*dst as usize] = match (kind, dims.as_slice()) {
+                    (ShapeKind::Len, [n]) => *n as f64,
+                    (ShapeKind::Len, [_, c]) => *c as f64,
+                    (ShapeKind::Rows, [r, _]) => *r as f64,
+                    (ShapeKind::Cols, [_, c]) => *c as f64,
+                    (kind, _) => {
+                        let name = match kind {
+                            ShapeKind::Len => "len",
+                            ShapeKind::Rows => "rows",
+                            ShapeKind::Cols => "cols",
+                        };
+                        return Err(err(format!("`{name}` applied to a value of wrong shape")));
+                    }
+                };
+            }
+            Instr::LoadIdx1 { dst, slot, idx } => {
+                let i = index(regs[*idx as usize])?;
+                regs[*dst as usize] = read_element(&slots[*slot as usize], &[i], Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::LoadIdx2 { dst, slot, i, j } => {
+                let i = index(regs[*i as usize])?;
+                let j = index(regs[*j as usize])?;
+                regs[*dst as usize] =
+                    read_element(&slots[*slot as usize], &[i, j], Span::new(0, 0))
+                        .map_err(|e| err(e.message))?;
+            }
+            Instr::StoreIdx1 { slot, idx, src } => {
+                let i = index(regs[*idx as usize])?;
+                let v = regs[*src as usize];
+                write_element(&mut slots[*slot as usize], &[i], v, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::StoreIdx2 { slot, i, j, src } => {
+                let i = index(regs[*i as usize])?;
+                let j = index(regs[*j as usize])?;
+                let v = regs[*src as usize];
+                write_element(&mut slots[*slot as usize], &[i, j], v, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::Jump { target } => {
+                pc = *target;
+                continue;
+            }
+            Instr::JumpIfZero { cond, target } => {
+                if regs[*cond as usize] == 0.0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::JumpIfNonZero { cond, target } => {
+                if regs[*cond as usize] != 0.0 {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::JumpIfGe { a, b, target } => {
+                if regs[*a as usize] >= regs[*b as usize] {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::AddImm { dst, imm } => regs[*dst as usize] += *imm,
+            Instr::TruncPair { a, b } => {
+                // The interpreter converts `for` bounds through i64.
+                regs[*a as usize] = regs[*a as usize] as i64 as f64;
+                regs[*b as usize] = regs[*b as usize] as i64 as f64;
+            }
+            Instr::Charge { amount } => ctx.charge(*amount),
+            Instr::WhileGuard { counter } => {
+                let c = &mut regs[*counter as usize];
+                *c += 1.0;
+                if *c > 10_000_000.0 {
+                    return Err(err("while loop exceeded 10M iterations"));
+                }
+            }
+            Instr::ForEnoughPrep { dst, name } => {
+                let full = prefixed(prefix, &names[*name as usize]);
+                let iters = ctx.for_enough(&full).map_err(|e| err(format!("{e}")))?;
+                regs[*dst as usize] = iters as f64;
+            }
+            Instr::Choice {
+                dst,
+                name,
+                branches,
+            } => {
+                let full = prefixed(prefix, &names[*name as usize]);
+                let pick = ctx.choice(&full).map_err(|e| err(format!("{e}")))?;
+                regs[*dst as usize] = pick.min(*branches as usize - 1) as f64;
+            }
+            Instr::Switch { src, targets } => {
+                pc = targets[regs[*src as usize] as usize];
+                continue;
+            }
+            Instr::CallHost {
+                name,
+                first,
+                rest,
+                dst,
+            } => {
+                let fname = &names[*name as usize];
+                // Existence is checked before argument evaluation,
+                // like the interpreter's dispatch order.
+                let Some(f) = interp.host_fn(fname) else {
+                    return Err(err(format!("unknown function `{fname}`")));
+                };
+                let rest_values: Vec<Value> = rest
+                    .iter()
+                    .map(|op| operand_value(op, &regs, slots))
+                    .collect();
+                let mut first_value = match first {
+                    FirstArg::Var(s) => slots[*s as usize].clone(),
+                    FirstArg::Anon(op) => operand_value(op, &regs, slots),
+                };
+                ctx.charge(
+                    rest_values
+                        .iter()
+                        .map(|v| v.dims().iter().product::<usize>().max(1))
+                        .sum::<usize>() as f64,
+                );
+                let out = f(&mut first_value, &rest_values)
+                    .map_err(|m| err(format!("host `{fname}`: {m}")))?;
+                if let FirstArg::Var(s) = first {
+                    slots[*s as usize] = first_value;
+                }
+                slots[*dst as usize] = out;
+            }
+            Instr::CallTransform { name, args, dst } => {
+                let callee_name = &names[*name as usize];
+                let callee = interp
+                    .program()
+                    .transform(callee_name)
+                    .expect("callee checked at compile time");
+                let mut sub_inputs = HashMap::new();
+                for (param, op) in callee.inputs.iter().zip(args) {
+                    sub_inputs.insert(param.name.clone(), operand_value(op, &regs, slots));
+                }
+                let sub_prefix = format!("{prefix}{callee_name}.");
+                let outputs =
+                    interp.run_prefixed(callee_name, &sub_inputs, ctx, &sub_prefix, depth + 1)?;
+                let out_name = &callee.outputs[0].name;
+                slots[*dst as usize] = outputs.get(out_name).cloned().ok_or_else(|| {
+                    err(format!(
+                        "transform `{callee_name}` produced no `{out_name}`"
+                    ))
+                })?;
+            }
+            Instr::Return => return Ok(()),
+        }
+        pc += 1;
+    }
+    Ok(())
+}

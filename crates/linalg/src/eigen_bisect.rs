@@ -137,11 +137,7 @@ fn solve_shifted(t: &SymmetricTridiagonal, lambda: f64, b: &[f64]) -> Vec<f64> {
 /// Eigenvector for an approximate eigenvalue by inverse iteration,
 /// orthogonalized against `previous` vectors (needed for clustered
 /// eigenvalues).
-fn inverse_iteration(
-    t: &SymmetricTridiagonal,
-    lambda: f64,
-    previous: &[Vec<f64>],
-) -> Vec<f64> {
+fn inverse_iteration(t: &SymmetricTridiagonal, lambda: f64, previous: &[Vec<f64>]) -> Vec<f64> {
     let n = t.dim();
     // Deterministic, non-degenerate starting vector.
     let mut v: Vec<f64> = (0..n)
@@ -211,11 +207,7 @@ pub fn largest_eigenpairs(t: &SymmetricTridiagonal, k: usize) -> SymmetricEigen 
 /// # Panics
 ///
 /// Panics if the range is empty or exceeds the dimension.
-pub fn selected_eigenpairs(
-    t: &SymmetricTridiagonal,
-    first: usize,
-    count: usize,
-) -> SymmetricEigen {
+pub fn selected_eigenpairs(t: &SymmetricTridiagonal, first: usize, count: usize) -> SymmetricEigen {
     let n = t.dim();
     assert!(count > 0, "must request at least one eigenpair");
     assert!(first + count <= n, "eigenpair range out of bounds");

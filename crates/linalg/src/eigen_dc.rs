@@ -386,7 +386,11 @@ mod tests {
         let eig = rank_one_update(&[1.0, 2.0], &[1.0, 1.0], -1.0);
         let expect_lo = (1.0 - 5.0f64.sqrt()) / 2.0;
         let expect_hi = (1.0 + 5.0f64.sqrt()) / 2.0;
-        assert!((eig.values[0] - expect_lo).abs() < 1e-10, "{:?}", eig.values);
+        assert!(
+            (eig.values[0] - expect_lo).abs() < 1e-10,
+            "{:?}",
+            eig.values
+        );
         assert!((eig.values[1] - expect_hi).abs() < 1e-10);
     }
 
@@ -465,4 +469,3 @@ mod tests {
         check(&t, &dc, 1e-7);
     }
 }
-

@@ -31,9 +31,7 @@ impl SymmetricEigen {
                 .expect("eigenvalues are finite")
         });
         let values = order.iter().map(|&i| self.values[i]).collect();
-        let vectors = Matrix::from_fn(self.vectors.rows(), n, |r, c| {
-            self.vectors[(r, order[c])]
-        });
+        let vectors = Matrix::from_fn(self.vectors.rows(), n, |r, c| self.vectors[(r, order[c])]);
         self.values = values;
         self.vectors = vectors;
     }
@@ -221,7 +219,8 @@ mod tests {
         let t = SymmetricTridiagonal::new(vec![2.0; n], vec![-1.0; n - 1]);
         let eig = eigen_tridiagonal(&t, None).unwrap();
         for (k, &lambda) in eig.values.iter().enumerate() {
-            let expect = 2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            let expect =
+                2.0 - 2.0 * ((k + 1) as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
             assert!((lambda - expect).abs() < 1e-10, "k={k}");
         }
         check_decomposition(&t.to_dense(), &eig, 1e-9);

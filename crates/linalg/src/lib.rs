@@ -22,6 +22,10 @@
 //! * [`svd`] — singular value decomposition (via the symmetric
 //!   eigenproblem) and best rank-k approximation.
 
+// Index loops mirror the textbook formulations of these kernels;
+// iterator rewrites would obscure the banded/packed index algebra.
+#![allow(clippy::needless_range_loop)]
+
 pub mod banded;
 pub mod cholesky;
 pub mod eigen_bisect;

@@ -168,8 +168,7 @@ impl Matrix {
                     continue;
                 }
                 let orow = other.row(k);
-                let out_row =
-                    &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(orow) {
                     *o += a * b;
                 }

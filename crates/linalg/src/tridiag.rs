@@ -164,8 +164,7 @@ pub fn householder_tridiagonalize(a: &Matrix) -> Tridiagonalization {
         // m <- m - 2 v wᵀ - 2 w vᵀ + 4 (vᵀ w) v vᵀ.
         for i in 0..n {
             for j in 0..n {
-                m[(i, j)] +=
-                    -2.0 * v[i] * w[j] - 2.0 * w[i] * v[j] + 4.0 * vw * v[i] * v[j];
+                m[(i, j)] += -2.0 * v[i] * w[j] - 2.0 * w[i] * v[j] + 4.0 * vw * v[i] * v[j];
             }
         }
         // q <- q H (accumulate from the right).

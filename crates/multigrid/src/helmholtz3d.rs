@@ -69,9 +69,9 @@ impl HelmholtzProblem {
     #[inline]
     fn face_b(&self, i: usize, j: usize, k: usize, d: (isize, isize, isize)) -> f64 {
         let here = self.b.get(i, j, k);
-        let there =
-            self.b
-                .get_clamped(i as isize + d.0, j as isize + d.1, k as isize + d.2);
+        let there = self
+            .b
+            .get_clamped(i as isize + d.0, j as isize + d.1, k as isize + d.2);
         0.5 * (here + there)
     }
 
@@ -102,11 +102,8 @@ impl HelmholtzProblem {
                     let mut v = self.alpha * self.a.get(i, j, k) * phi.get(i, j, k);
                     for dir in DIRS {
                         let bf = self.face_b(i, j, k, dir);
-                        let nbr = phi.get_bc(
-                            i as isize + dir.0,
-                            j as isize + dir.1,
-                            k as isize + dir.2,
-                        );
+                        let nbr =
+                            phi.get_bc(i as isize + dir.0, j as isize + dir.1, k as isize + dir.2);
                         v += self.beta * inv_h2 * bf * (phi.get(i, j, k) - nbr);
                     }
                     out.set(i, j, k, v);

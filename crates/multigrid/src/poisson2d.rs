@@ -262,6 +262,10 @@ mod tests {
             .zip(prolong(&v).as_slice())
             .map(|(a, b)| a * b)
             .sum();
-        assert!((lhs - 0.25 * rhs).abs() < 1e-10, "lhs={lhs} rhs/4={}", 0.25 * rhs);
+        assert!(
+            (lhs - 0.25 * rhs).abs() < 1e-10,
+            "lhs={lhs} rhs/4={}",
+            0.25 * rhs
+        );
     }
 }

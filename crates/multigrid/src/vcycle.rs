@@ -118,8 +118,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(10);
         let b = Grid2d::random_uniform(15, -1.0, 1.0, &mut rng);
         let mut u = Grid2d::zeros(15);
-        let cycles =
-            solve_to_tolerance(&mut u, &b, 1e-8, 50, &VcycleOptions::default());
+        let cycles = solve_to_tolerance(&mut u, &b, 1e-8, 50, &VcycleOptions::default());
         assert!(cycles < 20, "needed {cycles} cycles");
         assert!(poisson2d::residual(&u, &b).rms() < 1e-8 * b.rms() * 10.0);
     }

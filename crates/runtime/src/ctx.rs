@@ -39,7 +39,12 @@ pub struct TraceNode {
 impl TraceNode {
     /// Total number of point events in this subtree.
     pub fn total_points(&self) -> usize {
-        self.points.len() + self.children.iter().map(TraceNode::total_points).sum::<usize>()
+        self.points.len()
+            + self
+                .children
+                .iter()
+                .map(TraceNode::total_points)
+                .sum::<usize>()
     }
 
     /// Maximum scope depth below this node (0 for a leaf).

@@ -211,7 +211,9 @@ mod tests {
             .iter()
             .map(|&(t, level)| {
                 let mut config = schema.default_config();
-                config.set_by_name(&schema, "level", Value::Int(level)).unwrap();
+                config
+                    .set_by_name(&schema, "level", Value::Int(level))
+                    .unwrap();
                 TunedEntry {
                     target: t,
                     config,

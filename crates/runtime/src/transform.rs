@@ -170,7 +170,13 @@ impl<T: Transform> TransformRunner<T> {
         self.cost_model
     }
 
-    fn run_inner(&self, config: &Config, n: u64, seed: u64, traced: bool) -> (TrialOutcome, TraceNode) {
+    fn run_inner(
+        &self,
+        config: &Config,
+        n: u64,
+        seed: u64,
+        traced: bool,
+    ) -> (TrialOutcome, TraceNode) {
         // Input generation and execution use decorrelated seeds so that
         // the same input can be re-used across candidates while the
         // execution's internal randomness still varies with `seed`.
@@ -195,7 +201,11 @@ impl<T: Transform> TransformRunner<T> {
             virtual_cost,
             accuracy,
         };
-        let tree = if traced { ctx.trace_tree() } else { TraceNode::default() };
+        let tree = if traced {
+            ctx.trace_tree()
+        } else {
+            TraceNode::default()
+        };
         (outcome, tree)
     }
 

@@ -165,8 +165,16 @@ impl Comparator {
 
             // Step 4: one more trial on the candidate with the highest
             // expected standard-error reduction that still has budget.
-            let gain_a = if a_full { f64::NEG_INFINITY } else { se_reduction(a_stats) };
-            let gain_b = if b_full { f64::NEG_INFINITY } else { se_reduction(b_stats) };
+            let gain_a = if a_full {
+                f64::NEG_INFINITY
+            } else {
+                se_reduction(a_stats)
+            };
+            let gain_b = if b_full {
+                f64::NEG_INFINITY
+            } else {
+                se_reduction(b_stats)
+            };
             if gain_a >= gain_b {
                 a_stats.push(a_source.draw());
             } else {
@@ -215,7 +223,10 @@ mod tests {
 
     impl Lcg {
         fn next_f64(&mut self) -> f64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((self.0 >> 33) as f64) / (u32::MAX as f64 * 2.0)
         }
     }
@@ -316,6 +327,9 @@ mod tests {
             move || 5.0 + 0.01 * rng.next_f64(),
             move || 5.0 + 4.0 * rng2.next_f64(),
         );
-        assert!(nb >= na, "noisy candidate should be sampled at least as much: na={na} nb={nb}");
+        assert!(
+            nb >= na,
+            "noisy candidate should be sampled at least as much: na={na} nb={nb}"
+        );
     }
 }

@@ -37,7 +37,7 @@ pub mod online;
 pub mod special;
 pub mod ttest;
 
-pub use compare::{CompareOutcome, Comparator, ComparatorConfig, SampleSource};
+pub use compare::{Comparator, ComparatorConfig, CompareOutcome, SampleSource};
 pub use lsq::{linear_fit, LinearFit};
 pub use normal::Normal;
 pub use online::OnlineStats;

@@ -58,7 +58,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "all x values are identical; the fit is singular");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,

@@ -38,7 +38,10 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is NaN.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(!mean.is_nan() && !std_dev.is_nan(), "parameters must not be NaN");
+        assert!(
+            !mean.is_nan() && !std_dev.is_nan(),
+            "parameters must not be NaN"
+        );
         assert!(std_dev >= 0.0, "standard deviation must be non-negative");
         Normal {
             mean,
@@ -62,7 +65,10 @@ impl Normal {
     ///
     /// Panics if `samples` is empty.
     pub fn fit(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "cannot fit a distribution to no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit a distribution to no samples"
+        );
         let stats: OnlineStats = samples.iter().copied().collect();
         Normal::from_stats(&stats)
     }
@@ -142,7 +148,10 @@ impl Normal {
     /// uses such bounds to state "with 95% confidence the accuracy is at
     /// least X" for statistical accuracy guarantees (§3.3).
     pub fn lower_confidence_bound(&self, confidence: f64) -> f64 {
-        assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
         if self.is_point() || self.samples <= 1 {
             return self.mean;
         }
@@ -153,7 +162,10 @@ impl Normal {
 
     /// One-sided upper confidence bound on the distribution mean.
     pub fn upper_confidence_bound(&self, confidence: f64) -> f64 {
-        assert!(confidence > 0.0 && confidence < 1.0, "confidence must be in (0, 1)");
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
         if self.is_point() || self.samples <= 1 {
             return self.mean;
         }

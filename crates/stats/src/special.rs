@@ -104,7 +104,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "beta_inc requires positive shape parameters");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "beta_inc requires positive shape parameters"
+    );
     assert!((0.0..=1.0).contains(&x), "beta_inc requires x in [0, 1]");
     if x == 0.0 {
         return 0.0;
@@ -112,8 +115,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
@@ -216,10 +218,7 @@ mod tests {
             if n > 1 {
                 fact *= (n - 1) as f64;
             }
-            assert!(
-                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-10,
-                "n={n}"
-            );
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-10, "n={n}");
         }
     }
 

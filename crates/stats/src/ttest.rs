@@ -116,12 +116,11 @@ mod tests {
         // Reference values computed independently from the Welch
         // formulas: t = -2.70778, df = 26.9527, p ~ 0.0116.
         let a = stats(&[
-            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0,
-            21.7, 21.4,
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
         ]);
         let b = stats(&[
-            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9,
-            30.5,
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5,
         ]);
         let test = welch_t_test(&a, &b);
         assert!((test.t - (-2.70778)).abs() < 1e-4, "t = {}", test.t);

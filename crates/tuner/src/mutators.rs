@@ -522,7 +522,14 @@ mod tests {
         let mut config = s.default_config();
         let mut rng = SmallRng::seed_from_u64(7);
         let rec = pool
-            .apply(Mutator::TreeAddLevel { site }, &mut config, &s, 1000, &mut rng, None)
+            .apply(
+                Mutator::TreeAddLevel { site },
+                &mut config,
+                &s,
+                1000,
+                &mut rng,
+                None,
+            )
             .unwrap();
         let tree = config.get(site).as_tree().unwrap();
         assert_eq!(tree.depth(), 1);
@@ -540,7 +547,14 @@ mod tests {
         let mut config = s.default_config();
         let mut rng = SmallRng::seed_from_u64(7);
         assert!(pool
-            .apply(Mutator::TreeRemoveLevel { site }, &mut config, &s, 8, &mut rng, None)
+            .apply(
+                Mutator::TreeRemoveLevel { site },
+                &mut config,
+                &s,
+                8,
+                &mut rng,
+                None
+            )
             .is_none());
     }
 
@@ -553,8 +567,15 @@ mod tests {
         for _ in 0..50 {
             let mut config = s.default_config();
             let before = config.get(site).as_tree().unwrap().top_choice();
-            pool.apply(Mutator::TreeChangeChoice { site }, &mut config, &s, 8, &mut rng, None)
-                .unwrap();
+            pool.apply(
+                Mutator::TreeChangeChoice { site },
+                &mut config,
+                &s,
+                8,
+                &mut rng,
+                None,
+            )
+            .unwrap();
             let after = config.get(site).as_tree().unwrap().top_choice();
             assert_ne!(before, after);
         }
@@ -586,6 +607,10 @@ mod tests {
         let pool = MutatorPool::from_schema(&s);
         let (id, _) = s.tunable("iters").unwrap();
         let mut config = s.default_config();
+        // Start mid-range so scaling in either direction stays in
+        // bounds and the mutation is never clamped into a no-op,
+        // whatever the RNG stream produces.
+        config.set(id, Value::Int(50));
         let mut rng = SmallRng::seed_from_u64(3);
         let before = config.clone();
         let rec = pool
@@ -597,8 +622,15 @@ mod tests {
             .unwrap();
         assert_eq!(config, before);
         // Undoing the undo restores the mutated state.
-        pool.apply(Mutator::MetaUndo, &mut config, &s, 8, &mut rng, Some(&undo_rec))
-            .unwrap();
+        pool.apply(
+            Mutator::MetaUndo,
+            &mut config,
+            &s,
+            8,
+            &mut rng,
+            Some(&undo_rec),
+        )
+        .unwrap();
         assert_ne!(config, before);
     }
 
@@ -621,9 +653,7 @@ mod tests {
         let mut max_changes = 0;
         for _ in 0..20 {
             let mut config = s.default_config();
-            if let Some(rec) =
-                pool.apply(Mutator::MetaMany, &mut config, &s, 64, &mut rng, None)
-            {
+            if let Some(rec) = pool.apply(Mutator::MetaMany, &mut config, &s, 64, &mut rng, None) {
                 max_changes = max_changes.max(rec.changes.len());
             }
         }

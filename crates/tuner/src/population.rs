@@ -17,7 +17,7 @@
 use crate::candidate::{trial_seed, Candidate, SizeStats};
 use pb_config::AccuracyBins;
 use pb_runtime::TrialRunner;
-use pb_stats::{CompareOutcome, Comparator};
+use pb_stats::{Comparator, CompareOutcome};
 use std::collections::BTreeSet;
 
 /// The tuner's population of candidate algorithms.
@@ -200,7 +200,10 @@ impl Population {
             let qualifying: Vec<usize> = (0..self.candidates.len())
                 .filter(|&i| self.candidates[i].meets_target(n, target))
                 .collect();
-            for &i in self.fastest_k(qualifying, keep_per_bin, n, runner, comparator).iter() {
+            for &i in self
+                .fastest_k(qualifying, keep_per_bin, n, runner, comparator)
+                .iter()
+            {
                 keep.insert(i);
             }
         }
@@ -302,7 +305,9 @@ mod tests {
         let mut pop = Population::new();
         for (i, &level) in levels.iter().enumerate() {
             let mut config = schema.default_config();
-            config.set_by_name(schema, "level", Value::Int(level)).unwrap();
+            config
+                .set_by_name(schema, "level", Value::Int(level))
+                .unwrap();
             pop.add(Candidate::new(i as u64, config));
         }
         pop.test_all(runner, n, 3);
@@ -372,7 +377,10 @@ mod tests {
         pop.prune(8, &bins, 2, &runner, &comparator);
         assert_eq!(pop.len(), 1, "best-accuracy candidate survives");
         assert_eq!(
-            pop.candidates()[0].config.int(runner.schema(), "level").unwrap(),
+            pop.candidates()[0]
+                .config
+                .int(runner.schema(), "level")
+                .unwrap(),
             2
         );
     }
@@ -383,7 +391,10 @@ mod tests {
         let pop = population_with_levels(&runner, &[2, 5, 9], 8);
         let idx = pop.fastest_meeting(8, 0.5).unwrap();
         assert_eq!(
-            pop.candidates()[idx].config.int(runner.schema(), "level").unwrap(),
+            pop.candidates()[idx]
+                .config
+                .int(runner.schema(), "level")
+                .unwrap(),
             5
         );
         assert!(pop.fastest_meeting(8, 0.95).is_none());

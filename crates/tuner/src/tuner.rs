@@ -23,7 +23,7 @@ use crate::mutators::MutatorPool;
 use crate::population::Population;
 use pb_config::{AccuracyBins, Config, Schema, TunableKind, Value};
 use pb_runtime::{TrialOutcome, TrialRunner, TunedEntry, TunedProgram};
-use pb_stats::{welch_t_test, CompareOutcome, Comparator, ComparatorConfig};
+use pb_stats::{welch_t_test, Comparator, ComparatorConfig, CompareOutcome};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -269,7 +269,13 @@ impl<'a> Autotuner<'a> {
         for _ in 0..self.options.initial_random {
             let mut config = schema.default_config();
             if pool
-                .apply_random(&mut config, &schema, self.options.initial_size, &mut rng, None)
+                .apply_random(
+                    &mut config,
+                    &schema,
+                    self.options.initial_size,
+                    &mut rng,
+                    None,
+                )
                 .is_some()
             {
                 pop.add(Candidate::new(alloc_id(), config));
@@ -281,13 +287,25 @@ impl<'a> Autotuner<'a> {
             pop.test_all(&counting, n, self.options.min_trials);
             for _round in 0..self.options.rounds_per_size {
                 self.random_mutation(
-                    &counting, &schema, &pool, &comparator, &mut pop, n, &mut rng, &mut stats,
+                    &counting,
+                    &schema,
+                    &pool,
+                    &comparator,
+                    &mut pop,
+                    n,
+                    &mut rng,
+                    &mut stats,
                     &mut alloc_id,
                 );
                 if self.targets_not_reached(&pop, n) {
                     stats.guided_runs += 1;
                     self.guided_mutation(
-                        &counting, &schema, &mut pop, n, &mut stats, &mut alloc_id,
+                        &counting,
+                        &schema,
+                        &mut pop,
+                        n,
+                        &mut stats,
+                        &mut alloc_id,
                     );
                 }
                 stats.pruned += pop.prune(
@@ -309,7 +327,12 @@ impl<'a> Autotuner<'a> {
                 None => {
                     // Last-resort guided mutation aimed at this target.
                     self.guided_mutation(
-                        &counting, &schema, &mut pop, final_n, &mut stats, &mut alloc_id,
+                        &counting,
+                        &schema,
+                        &mut pop,
+                        final_n,
+                        &mut stats,
+                        &mut alloc_id,
                     );
                     pop.fastest_meeting(final_n, target).ok_or_else(|| {
                         let best = pop
@@ -372,8 +395,7 @@ impl<'a> Autotuner<'a> {
             let parent = &pop.candidates()[parent_idx];
             let mut config = parent.config.clone();
             let prev = parent.last_mutation.clone();
-            let Some(record) = pool.apply_random(&mut config, schema, n, rng, prev.as_ref())
-            else {
+            let Some(record) = pool.apply_random(&mut config, schema, n, rng, prev.as_ref()) else {
                 continue;
             };
             let mut child = Candidate::new(alloc_id(), config);
@@ -582,7 +604,10 @@ mod tests {
         let i0 = tuned.entry(0).config.int(schema, "iters").unwrap();
         let i1 = tuned.entry(1).config.int(schema, "iters").unwrap();
         let i2 = tuned.entry(2).config.int(schema, "iters").unwrap();
-        assert!(i0 <= i1 && i1 <= i2, "iters should grow with accuracy: {i0} {i1} {i2}");
+        assert!(
+            i0 <= i1 && i1 <= i2,
+            "iters should grow with accuracy: {i0} {i1} {i2}"
+        );
         // Minimum feasible iters: 1 for 0.5, 9 for 0.9, 999 for 0.999.
         assert!(i0 >= 1 && i1 >= 9 && i2 >= 999);
         // And the tuner should not grossly overshoot (cost pressure).
@@ -615,7 +640,10 @@ mod tests {
             .tune()
             .unwrap_err();
         match err {
-            TunerError::AccuracyUnreachable { target, best_achieved } => {
+            TunerError::AccuracyUnreachable {
+                target,
+                best_achieved,
+            } => {
                 assert_eq!(target, 2.0);
                 assert!(best_achieved < 1.01);
             }

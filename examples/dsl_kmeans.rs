@@ -86,7 +86,11 @@ fn main() {
             let mut inputs = HashMap::new();
             inputs.insert(
                 "Points".to_string(),
-                Value::Arr2 { rows: 2, cols: n, data },
+                Value::Arr2 {
+                    rows: 2,
+                    cols: n,
+                    data,
+                },
             );
             inputs
         }),

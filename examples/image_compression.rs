@@ -28,11 +28,7 @@ fn main() {
         let solver = entry.config.choice(schema, "eigensolver", 32).unwrap();
         println!(
             "  target {:>4}: rank k = {:>3}, eigensolver = {:<18} (observed {:.2}, cost {:.2e})",
-            entry.target,
-            k,
-            SOLVER_NAMES[solver],
-            entry.observed_accuracy,
-            entry.observed_time,
+            entry.target, k, SOLVER_NAMES[solver], entry.observed_accuracy, entry.observed_time,
         );
     }
 
@@ -40,8 +36,8 @@ fn main() {
     // verify the reconstruction meets 0.5 orders, escalating if not.
     let mut rng = SmallRng::seed_from_u64(123);
     let image = petabricks::linalg::Matrix::random_uniform(32, 32, &mut rng);
-    let run = run_verified(&runner, &tuned, &image, 32, 0.5, 2, 7)
-        .expect("a trained bin covers 0.5");
+    let run =
+        run_verified(&runner, &tuned, &image, 32, 0.5, 2, 7).expect("a trained bin covers 0.5");
     println!(
         "\nruntime-checked compression: accuracy {:.2} with bin {} after {} attempt(s), rank {}",
         run.accuracy,

@@ -76,5 +76,8 @@ fn main() {
     let schema = runner.schema();
     let mut ctx = ExecCtx::new(schema, &entry.config, 1, 0);
     let pi = PiSeries.execute(&(), &mut ctx);
-    println!("requested >= 3 digits, got {pi} (cost {})", ctx.virtual_cost());
+    println!(
+        "requested >= 3 digits, got {pi} (cost {})",
+        ctx.virtual_cost()
+    );
 }

@@ -1,6 +1,8 @@
 //! Cross-crate property tests (proptest) over the invariants called
 //! out in DESIGN.md §5.
 
+#![allow(clippy::needless_range_loop)]
+
 use petabricks::benchmarks::binpacking::{generate_input, pack_with, ALGORITHM_NAMES};
 use petabricks::benchmarks::BinPacking;
 use petabricks::config::{DecisionTree, Schema};

@@ -1,0 +1,596 @@
+//! Differential tests: the register VM must produce *bit-identical*
+//! outputs — and identical virtual cost, which proves the execution
+//! traces match statement for statement — to the tree-walking
+//! interpreter, for every DSL program the repository ships
+//! (`tests/dsl_end_to_end.rs`'s refine and Figure-3 kmeans,
+//! `examples/dsl_kmeans.rs`'s host-function kmeans) plus synthetic
+//! programs covering each language construct, across several
+//! configurations, input sizes, and RNG seeds.
+
+use petabricks::config::{Config, Schema, Value as ConfigValue};
+use petabricks::lang::interp::Value;
+use petabricks::lang::{check_program, compile_program, parse_program, Interpreter};
+use petabricks::runtime::ExecCtx;
+use std::collections::HashMap;
+
+/// Runs `transform` through both executors under the same config and
+/// seed and asserts outputs and virtual cost are identical.
+#[allow(clippy::too_many_arguments)]
+fn assert_identical(
+    src: &str,
+    transform: &str,
+    schema: &Schema,
+    config: &Config,
+    inputs: &HashMap<String, Value>,
+    n: u64,
+    seed: u64,
+    hosts: &dyn Fn(&mut Interpreter),
+) {
+    let program = parse_program(src).expect("parses");
+    check_program(&program).expect("well-formed");
+
+    let mut tree = Interpreter::new(program.clone());
+    hosts(&mut tree);
+    let mut vm = Interpreter::new_compiled(program);
+    hosts(&mut vm);
+
+    let mut tree_ctx = ExecCtx::new(schema, config, n, seed);
+    let tree_out = tree
+        .run(transform, inputs, &mut tree_ctx)
+        .expect("interpreter run succeeds");
+    let mut vm_ctx = ExecCtx::new(schema, config, n, seed);
+    let vm_out = vm
+        .run(transform, inputs, &mut vm_ctx)
+        .expect("VM run succeeds");
+
+    assert_eq!(
+        tree_out, vm_out,
+        "outputs diverge for `{transform}` (n={n}, seed={seed})"
+    );
+    assert_eq!(
+        tree_ctx.virtual_cost(),
+        vm_ctx.virtual_cost(),
+        "virtual cost diverges for `{transform}` (n={n}, seed={seed})"
+    );
+}
+
+fn no_hosts(_: &mut Interpreter) {}
+
+/// The refine program from `tests/dsl_end_to_end.rs`: `for_enough`
+/// wrapping an `either…or` over scalar data.
+const REFINE: &str = r#"
+    transform refine
+    accuracy_metric refineacc
+    from In[n]
+    to Err, Work
+    {
+        to (Err e, Work w) from (In a) {
+            e = 1;
+            for_enough {
+                either {
+                    e = e / 2;
+                    w = w + 1;
+                } or {
+                    e = e / 4;
+                    w = w + 10;
+                }
+            }
+        }
+    }
+
+    transform refineacc
+    from Err, In[n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Err e, In a) {
+            acc = 0 - log(e) / log(10);
+        }
+    }
+"#;
+
+#[test]
+fn refine_matches_across_configs_and_sizes() {
+    let program = parse_program(REFINE).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "refine");
+    for n in [1u64, 4, 64] {
+        let inputs: HashMap<String, Value> =
+            [("In".to_string(), Value::Arr1(vec![0.0; n as usize]))].into();
+        for iters in [1i64, 2, 7, 23] {
+            for branch in [0usize, 1] {
+                let mut config = schema.default_config();
+                config
+                    .set_by_name(&schema, "for_enough_0", ConfigValue::Int(iters))
+                    .unwrap();
+                config
+                    .set_by_name(
+                        &schema,
+                        "either_0",
+                        ConfigValue::Tree(petabricks::config::DecisionTree::single(branch)),
+                    )
+                    .unwrap();
+                assert_identical(
+                    REFINE, "refine", &schema, &config, &inputs, n, 42, &no_hosts,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn refine_metric_matches_too() {
+    let program = parse_program(REFINE).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "refineacc");
+    let config = schema.default_config();
+    let inputs: HashMap<String, Value> = [
+        ("Err".to_string(), Value::Num(0.125)),
+        ("In".to_string(), Value::Arr1(vec![0.0; 4])),
+    ]
+    .into();
+    assert_identical(
+        REFINE,
+        "refineacc",
+        &schema,
+        &config,
+        &inputs,
+        4,
+        0,
+        &no_hosts,
+    );
+}
+
+/// The Figure-3 kmeans program from `tests/dsl_end_to_end.rs`: a
+/// two-producer choice site (`rule_Centroids`), `rand` in rule bodies,
+/// 2-D indexing, and an accuracy-variable-sized intermediate.
+const KMEANS_FIG3: &str = r#"
+    transform kmeans
+    accuracy_metric kmeansaccuracy
+    accuracy_variable k 1 64
+    from Points[2, n]
+    through Centroids[2, k]
+    to Assignments[n]
+    {
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = floor(rand(0, cols(p)));
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = i * cols(p) / cols(c);
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Assignments a) from (Points p, Centroids c) {
+            for_enough {
+                for (i in 0 .. len(a)) {
+                    a[i] = i % cols(c);
+                }
+            }
+        }
+    }
+    transform kmeansaccuracy
+    from Assignments[n], Points[2, n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Assignments a, Points p) {
+            acc = 1;
+        }
+    }
+"#;
+
+fn points(n: usize) -> HashMap<String, Value> {
+    [(
+        "Points".to_string(),
+        Value::Arr2 {
+            rows: 2,
+            cols: n,
+            data: (0..2 * n)
+                .map(|i| (i as f64 * 0.37).sin() * 100.0)
+                .collect(),
+        },
+    )]
+    .into()
+}
+
+#[test]
+fn kmeans_fig3_matches_across_rules_sizes_and_seeds() {
+    let program = parse_program(KMEANS_FIG3).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "kmeans");
+    for n in [8usize, 32, 128] {
+        let inputs = points(n);
+        for rule in [0usize, 1] {
+            for seed in [0u64, 1, 99] {
+                let mut config = schema.default_config();
+                config
+                    .set_by_name(&schema, "k", ConfigValue::Int(5))
+                    .unwrap();
+                config
+                    .set_by_name(&schema, "for_enough_0", ConfigValue::Int(3))
+                    .unwrap();
+                config
+                    .set_by_name(
+                        &schema,
+                        "rule_Centroids",
+                        ConfigValue::Tree(petabricks::config::DecisionTree::single(rule)),
+                    )
+                    .unwrap();
+                assert_identical(
+                    KMEANS_FIG3,
+                    "kmeans",
+                    &schema,
+                    &config,
+                    &inputs,
+                    n as u64,
+                    seed,
+                    &no_hosts,
+                );
+            }
+        }
+    }
+}
+
+/// The host-function kmeans of `examples/dsl_kmeans.rs` (same program
+/// text, same helper semantics): host calls with mutable first
+/// arguments, early `return` out of a `for_enough`, and a
+/// sub-expression host call in the metric.
+const KMEANS_HOSTED: &str = r#"
+    transform kmeans
+    accuracy_metric kmeansaccuracy
+    accuracy_variable k 1 64
+    from Points[2, n]
+    through Centroids[2, k]
+    to Assignments[n]
+    {
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = floor(rand(0, cols(p)));
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+
+        to (Centroids c) from (Points p) {
+            CenterPlus(c, p);
+        }
+
+        to (Assignments a) from (Points p, Centroids c) {
+            for_enough {
+                let change = AssignClusters(a, p, c);
+                if (change == 0) { return; }
+                NewClusterLocations(c, p, a);
+            }
+        }
+    }
+
+    transform kmeansaccuracy
+    from Assignments[n], Points[2, n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Assignments a, Points p) {
+            acc = sqrt(2 * len(a) / SumClusterDistanceSquared(a, p));
+        }
+    }
+"#;
+
+fn arr2(v: &Value) -> (&Vec<f64>, usize) {
+    match v {
+        Value::Arr2 { data, cols, .. } => (data, *cols),
+        _ => panic!("expected a 2-D array"),
+    }
+}
+
+/// The example's host helpers, registered identically on both
+/// executors.
+fn kmeans_hosts(interp: &mut Interpreter) {
+    interp.register_host_fn(
+        "CenterPlus",
+        Box::new(|centroids, rest| {
+            let (p, n) = arr2(&rest[0]);
+            if let Value::Arr2 { data, cols, .. } = centroids {
+                let k = *cols;
+                for i in 0..k {
+                    let src = i * n.max(1) / k.max(1);
+                    data[i] = p[src];
+                    data[k + i] = p[n + src];
+                }
+            }
+            Ok(Value::Num(0.0))
+        }),
+    );
+    interp.register_host_fn(
+        "AssignClusters",
+        Box::new(|assignments, rest| {
+            let (p, n) = arr2(&rest[0]);
+            let (c, k) = arr2(&rest[1]);
+            let mut changed = 0.0;
+            if let Value::Arr1(a) = assignments {
+                for i in 0..n {
+                    let (x, y) = (p[i], p[n + i]);
+                    let mut best = 0usize;
+                    let mut best_d = f64::INFINITY;
+                    for j in 0..k {
+                        let dx = x - c[j];
+                        let dy = y - c[k + j];
+                        let d = dx * dx + dy * dy;
+                        if d < best_d {
+                            best_d = d;
+                            best = j;
+                        }
+                    }
+                    if a[i] != best as f64 {
+                        a[i] = best as f64;
+                        changed += 1.0;
+                    }
+                }
+            }
+            Ok(Value::Num(changed))
+        }),
+    );
+    interp.register_host_fn(
+        "NewClusterLocations",
+        Box::new(|centroids, rest| {
+            let (p, n) = arr2(&rest[0]);
+            let a = match &rest[1] {
+                Value::Arr1(a) => a.clone(),
+                _ => return Err("assignments must be 1-D".into()),
+            };
+            if let Value::Arr2 { data, cols, .. } = centroids {
+                let k = *cols;
+                let mut sx = vec![0.0; k];
+                let mut sy = vec![0.0; k];
+                let mut count = vec![0.0; k];
+                for i in 0..n {
+                    let j = (a[i] as usize).min(k - 1);
+                    sx[j] += p[i];
+                    sy[j] += p[n + i];
+                    count[j] += 1.0;
+                }
+                for j in 0..k {
+                    if count[j] > 0.0 {
+                        data[j] = sx[j] / count[j];
+                        data[k + j] = sy[j] / count[j];
+                    }
+                }
+            }
+            Ok(Value::Num(0.0))
+        }),
+    );
+    interp.register_host_fn(
+        "SumClusterDistanceSquared",
+        Box::new(|assignments, rest| {
+            let a = match assignments {
+                Value::Arr1(a) => a.clone(),
+                _ => return Err("assignments must be 1-D".into()),
+            };
+            let (p, n) = arr2(&rest[0]);
+            let k = a.iter().fold(0usize, |m, &v| m.max(v as usize)) + 1;
+            let mut sx = vec![0.0; k];
+            let mut sy = vec![0.0; k];
+            let mut count = vec![0.0; k];
+            for i in 0..n {
+                let j = a[i] as usize;
+                sx[j] += p[i];
+                sy[j] += p[n + i];
+                count[j] += 1.0;
+            }
+            let mut ssd = 0.0;
+            for i in 0..n {
+                let j = a[i] as usize;
+                if count[j] > 0.0 {
+                    let dx = p[i] - sx[j] / count[j];
+                    let dy = p[n + i] - sy[j] / count[j];
+                    ssd += dx * dx + dy * dy;
+                }
+            }
+            Ok(Value::Num(ssd.max(f64::MIN_POSITIVE)))
+        }),
+    );
+}
+
+#[test]
+fn hosted_kmeans_matches_across_configs() {
+    let program = parse_program(KMEANS_HOSTED).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "kmeans");
+    for n in [8usize, 64] {
+        let inputs = points(n);
+        for (rule, iters, k) in [(0, 2, 3i64), (1, 5, 4), (0, 9, 2), (1, 1, 8)] {
+            let mut config = schema.default_config();
+            config
+                .set_by_name(&schema, "k", ConfigValue::Int(k))
+                .unwrap();
+            config
+                .set_by_name(&schema, "for_enough_0", ConfigValue::Int(iters))
+                .unwrap();
+            config
+                .set_by_name(
+                    &schema,
+                    "rule_Centroids",
+                    ConfigValue::Tree(petabricks::config::DecisionTree::single(rule)),
+                )
+                .unwrap();
+            assert_identical(
+                KMEANS_HOSTED,
+                "kmeans",
+                &schema,
+                &config,
+                &inputs,
+                n as u64,
+                7,
+                &kmeans_hosts,
+            );
+        }
+    }
+}
+
+#[test]
+fn hosted_kmeans_metric_matches() {
+    let program = parse_program(KMEANS_HOSTED).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "kmeansaccuracy");
+    let config = schema.default_config();
+    let mut inputs = points(16);
+    inputs.insert(
+        "Assignments".to_string(),
+        Value::Arr1((0..16).map(|i| (i % 3) as f64).collect()),
+    );
+    assert_identical(
+        KMEANS_HOSTED,
+        "kmeansaccuracy",
+        &schema,
+        &config,
+        &inputs,
+        16,
+        0,
+        &kmeans_hosts,
+    );
+}
+
+/// A stress program touching every remaining construct: `while`,
+/// `if`/`else`, nested `either`, short-circuit logic whose right-hand
+/// side consumes RNG (ordering must match exactly), builtins, scalar
+/// sub-transform calls under accuracy variables, and `verify_accuracy`.
+const STRESS: &str = r#"
+    transform stress
+    accuracy_variable depth 1 8
+    from In[n]
+    to Out[n], Flag
+    {
+        to (Out o, Flag f) from (In a) {
+            verify_accuracy;
+            let j = 0;
+            while (j < len(a)) {
+                if (a[j] > 0.5) { o[j] = helper(a[j]); } else { o[j] = 0 - helper(a[j]); }
+                j = j + 1;
+            }
+            f = a[0] > 0.25 && rand(0, 1) > 0.5;
+            f = f || rand(0, 1) > 0.9;
+            either {
+                either { f = f + 10; } or { f = f + 20; }
+            } or {
+                f = f + depth;
+            }
+            o[0] = min(max(o[0], 0 - 2), 2) + pow(2, 3) + floor(1.7) + ceil(1.2)
+                 + abs(0 - 1) + exp(0) + log(1) + sqrt(4);
+        }
+    }
+
+    transform helper
+    from X
+    to Y
+    {
+        to (Y y) from (X x) { y = x * 3 + 1; }
+    }
+"#;
+
+#[test]
+fn stress_program_matches_across_choice_paths() {
+    let program = parse_program(STRESS).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "stress");
+    let inputs: HashMap<String, Value> = [(
+        "In".to_string(),
+        Value::Arr1((0..24).map(|i| (i as f64 * 0.21).fract()).collect()),
+    )]
+    .into();
+    for outer in [0usize, 1] {
+        for inner in [0usize, 1] {
+            for seed in [0u64, 3, 17] {
+                let mut config = schema.default_config();
+                config
+                    .set_by_name(
+                        &schema,
+                        "either_0",
+                        ConfigValue::Tree(petabricks::config::DecisionTree::single(outer)),
+                    )
+                    .unwrap();
+                config
+                    .set_by_name(
+                        &schema,
+                        "either_1",
+                        ConfigValue::Tree(petabricks::config::DecisionTree::single(inner)),
+                    )
+                    .unwrap();
+                config
+                    .set_by_name(&schema, "depth", ConfigValue::Int(4))
+                    .unwrap();
+                assert_identical(
+                    STRESS, "stress", &schema, &config, &inputs, 24, seed, &no_hosts,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shipped_programs_compile_fully() {
+    // Every rule of every shipped DSL program must lower to bytecode —
+    // no silent interpreter fallbacks on the hot paths.
+    for src in [REFINE, KMEANS_FIG3, KMEANS_HOSTED, STRESS] {
+        let program = parse_program(src).unwrap();
+        let compiled = compile_program(&program);
+        let (done, total) = compiled.coverage();
+        assert_eq!(done, total, "uncompiled rules in a shipped program");
+    }
+}
+
+/// Regression: a *later* argument containing a host call that mutates
+/// a variable must not affect the value an *earlier* argument already
+/// captured — the interpreter snapshots each argument at its
+/// evaluation point, and the VM must too (slot operands get
+/// evaluation-point `CopySlot` snapshots when a later argument can
+/// mutate).
+const MUTATING_ARGS: &str = r#"
+    transform t from In[n] to Out[n] {
+        to (Out o) from (In a) {
+            let x = 1;
+            o[0] = Probe(o, x, Bump(x));
+            o[1] = x;
+            o[2] = inner(x, Bump(x));
+        }
+    }
+    transform inner from P, Q to R {
+        to (R r) from (P p, Q q) { r = p * 1000 + q; }
+    }
+"#;
+
+fn mutating_hosts(interp: &mut Interpreter) {
+    // Bump(v): overwrites its first argument with 100, returns 7.
+    interp.register_host_fn(
+        "Bump",
+        Box::new(|first, _rest| {
+            *first = Value::Num(100.0);
+            Ok(Value::Num(7.0))
+        }),
+    );
+    // Probe(o, x, y): returns x (what the caller captured for x).
+    interp.register_host_fn("Probe", Box::new(|_first, rest| Ok(rest[0].clone())));
+}
+
+#[test]
+fn argument_snapshots_survive_mutating_later_arguments() {
+    let program = parse_program(MUTATING_ARGS).unwrap();
+    let schema = petabricks::lang::extract_schema(&program, "t");
+    let config = schema.default_config();
+    let inputs: HashMap<String, Value> = [("In".to_string(), Value::Arr1(vec![0.0; 4]))].into();
+    assert_identical(
+        MUTATING_ARGS,
+        "t",
+        &schema,
+        &config,
+        &inputs,
+        4,
+        0,
+        &mutating_hosts,
+    );
+
+    // And pin the interpreter-defined ground truth explicitly:
+    // Probe sees x = 1 (captured before Bump runs), x itself ends at
+    // 100, and inner receives p = 100 (x after the first statement's
+    // Bump) captured before the second Bump.
+    let mut vm = Interpreter::new_compiled(program);
+    mutating_hosts(&mut vm);
+    let mut ctx = ExecCtx::new(&schema, &config, 4, 0);
+    let out = vm.run("t", &inputs, &mut ctx).unwrap();
+    assert_eq!(out["Out"], Value::Arr1(vec![1.0, 100.0, 100_007.0, 0.0]));
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, and
+//! [`black_box`] — over a simple wall-clock harness: per sample the
+//! closure runs in a timed batch, and the mean/min/max across samples
+//! are printed. No statistics beyond that, but real measured time, so
+//! relative comparisons (e.g. interpreter vs VM) remain meaningful.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function_name.into()))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Things usable as a benchmark id.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean time per iteration of the last `iter` call.
+    last_mean: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: aim for ~5ms per batch.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.results.push(start.elapsed() / batch as u32);
+        }
+        let total: Duration = self.results.iter().sum();
+        self.last_mean = total / self.results.len().max(1) as u32;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into_id(), |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+            results: Vec::new(),
+        };
+        f(&mut bencher);
+        let (mut lo, mut hi) = (Duration::MAX, Duration::ZERO);
+        for &d in &bencher.results {
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if bencher.results.is_empty() {
+            lo = Duration::ZERO;
+        }
+        let full = format!("{}/{}", self.name, id);
+        println!(
+            "{full:<48} time: [{} {} {}]",
+            fmt_duration(lo),
+            fmt_duration(bencher.last_mean),
+            fmt_duration(hi),
+        );
+        self.criterion.measurements.push((full, bencher.last_mean));
+    }
+
+    /// Ends the group (API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full name, mean time)` per benchmark, in run order.
+    pub measurements: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the single API this workspace
+//! uses — implemented on top of `std::thread::scope` (stabilized after
+//! crossbeam popularized the pattern).
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope
+        /// handle (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before it returns.
+    ///
+    /// Unlike crossbeam, a panicking child thread propagates its panic
+    /// on join (std semantics) instead of surfacing it in the `Err`
+    /// variant; callers that `.expect()` the result behave identically.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (see above); the `Result` exists for
+    /// crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1, 2, 3, 4];
+            let mut out = vec![0; 4];
+            super::scope(|s| {
+                for (i, o) in data.iter().zip(out.chunks_mut(1)) {
+                    s.spawn(move |_| o[0] = i * 10);
+                }
+            })
+            .unwrap();
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

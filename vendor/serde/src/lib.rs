@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this crate provides
+//! the minimal serialization surface the workspace uses: a JSON value
+//! tree ([`json::Value`]), [`Serialize`]/[`Deserialize`] traits over
+//! it, and `#[derive(Serialize, Deserialize)]` macros (re-exported from
+//! the sibling `serde_derive` stand-in). It is *not* the real serde
+//! data model — only round-tripping through `serde_json` is supported,
+//! which is all the workspace's persistence layer needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! The JSON value tree both traits serialize through.
+
+    /// A parsed/in-memory JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// A number written without fraction or exponent.
+        Int(i64),
+        /// Any other number.
+        Float(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in insertion order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64` (integers widen).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64` (floats with zero fraction narrow).
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Int(i) => Some(*i),
+                Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+                _ => None,
+            }
+        }
+    }
+}
+
+use json::Value;
+
+/// Serialization into the JSON value tree.
+pub trait Serialize {
+    /// This value as JSON.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization out of the JSON value tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds the value from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the JSON shape does not
+    /// match the type.
+    fn from_json(v: &Value) -> Result<Self, String>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, String> {
+                let i = v.as_i64().ok_or_else(|| format!(
+                    "expected integer, found {v:?}"
+                ))?;
+                <$t>::try_from(i).map_err(|_| format!(
+                    "integer {i} out of range for {}", stringify!($t)
+                ))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl Serialize for u64 {
+    fn to_json(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| format!("negative integer {i} for u64")),
+            Value::Float(f) if *f >= 0.0 && f.fract() == 0.0 => Ok(*f as u64),
+            other => Err(format!("expected unsigned integer, found {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, String> {
+                v.as_f64().map(|f| f as $t).ok_or_else(|| format!(
+                    "expected number, found {v:?}"
+                ))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(format!("expected string, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (*self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(format!("expected array, found {other:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Arr(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(format!("expected 2-element array, found {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_json(&self) -> Value {
+        // Sorted for stable output.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Obj(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(format!("expected object, found {other:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            other => Err(format!("expected object, found {other:?}")),
+        }
+    }
+}

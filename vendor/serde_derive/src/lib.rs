@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` /
+//! `serde::Deserialize` traits (JSON-value based) for plain structs and
+//! enums. Supported shapes — the ones this workspace derives on:
+//!
+//! * named-field structs (with `#[serde(skip)]` fields, rebuilt via
+//!   `Default` on deserialization),
+//! * tuple structs (newtype → transparent; otherwise an array),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! No generics, lifetimes, or other serde attributes — the macro
+//! fails loudly on anything it does not understand rather than
+//! generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple(String, usize),
+    Struct(String, Vec<Field>),
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match ident_at(&tokens, i) {
+        Some(k) if k == "struct" || k == "enum" => k,
+        other => panic!("serde stand-in derive: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = ident_at(&tokens, i).expect("serde stand-in derive: missing type name");
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic types are not supported");
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde stand-in derive: unsupported struct body {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in derive: unsupported enum body {other:?}"),
+        }
+    };
+
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&name, &shape),
+        Direction::Deserialize => gen_deserialize(&name, &shape),
+    };
+    code.parse()
+        .expect("serde stand-in derive: generated code must parse")
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Whether an attribute group (the `[...]` content) is `serde(skip)`.
+fn is_skip_attr(tokens: &[TokenTree], i: usize) -> bool {
+    let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) = (tokens.get(i), tokens.get(i + 1))
+    else {
+        return false;
+    };
+    if p.as_char() != '#' || g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(t, TokenTree::Ident(ref id) if id.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skips one type expression: everything up to a top-level `,`
+/// (angle-bracket depth aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut skip = false;
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            skip |= is_skip_attr(&tokens, i);
+            i += 2;
+        }
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_at(&tokens, i) else {
+            break;
+        };
+        i += 1;
+        assert!(
+            matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde stand-in derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        i += 1; // the comma
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // Trailing comma adds no field.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(name) = ident_at(&tokens, i) else {
+            break;
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                variants.push(Variant::Tuple(name, count_tuple_fields(g.stream())));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g.stream())));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let mut s =
+                String::from("let mut fields: Vec<(String, ::serde::json::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((\"{0}\".to_string(), ::serde::Serialize::to_json(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::json::Value::Obj(fields)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json(&self.{k})"))
+                .collect();
+            format!("::serde::json::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Variant::Tuple(vn, 1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::json::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_json(f0))]),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::json::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::json::Value::Arr(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{0}: __f_{0}", f.name))
+                            .collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_json(__f_{0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::json::Value::Obj(vec![(\"{vn}\".to_string(), ::serde::json::Value::Obj(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::json::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::Deserialize::from_json(v.get(\"{0}\").ok_or_else(|| \
+                             format!(\"missing field `{0}` in {name}\"))?)?",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_json(&items[{k}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::Arr(items) if items.len() == {n} => Ok({name}({})),\n\
+                 other => Err(format!(\"expected {n}-element array for {name}, found {{other:?}}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    Variant::Tuple(vn, 1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_json(inner)?)),\n"
+                    )),
+                    Variant::Tuple(vn, n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_json(&items[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                             ::serde::json::Value::Arr(items) if items.len() == {n} => Ok({name}::{vn}({})),\n\
+                             other => Err(format!(\"expected {n}-element array for {name}::{vn}, found {{other:?}}\")),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!(
+                                        "{0}: ::serde::Deserialize::from_json(inner.get(\"{0}\").ok_or_else(|| \
+                                         format!(\"missing field `{0}` in {name}::{vn}\"))?)?",
+                                        f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::json::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(format!(\"unknown unit variant `{{other}}` of {name}\")),\n\
+                 }},\n\
+                 ::serde::json::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(format!(\"unknown variant `{{other}}` of {name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(format!(\"bad JSON shape for enum {name}: {{other:?}}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::json::Value) -> Result<Self, String> {{\n{body}\n}}\n}}\n"
+    )
+}
