@@ -1,0 +1,191 @@
+//! Tuner throughput: trials/sec in sequential vs parallel evaluation
+//! mode, plus trial-cache effectiveness, for the kmeans and
+//! bin-packing tuning workloads.
+//!
+//! Writes `BENCH_tuner.json` (in the working directory) so the perf
+//! trajectory is recorded across PRs, and prints a human-readable
+//! summary. Every run also cross-checks the determinism guarantee:
+//! the parallel tuned program must equal the sequential one bitwise.
+//!
+//! Usage: `tuner_throughput [--smoke]`
+//!
+//! `--smoke` shrinks the workloads for CI; the JSON is still written.
+
+use pb_benchmarks::binpacking::ratio_to_accuracy;
+use pb_benchmarks::{BinPacking, Clustering};
+use pb_config::AccuracyBins;
+use pb_runtime::parallel::available_threads;
+use pb_runtime::{CostModel, Transform, TransformRunner};
+use pb_tuner::{Autotuner, TunerOptions, TuningOutcome};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed tuning run.
+#[derive(Debug, Serialize)]
+struct ModeReport {
+    wall_seconds: f64,
+    /// Trials actually executed (cache misses + uncached paths).
+    trials_executed: u64,
+    /// Executed trials per wall-clock second.
+    trials_per_sec: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// `hits / (hits + misses)`.
+    cache_hit_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    name: String,
+    max_size: u64,
+    sequential: ModeReport,
+    parallel: ModeReport,
+    /// `parallel.trials_per_sec / sequential.trials_per_sec`.
+    speedup: f64,
+    /// Whether the two modes produced bitwise-equal tuned programs
+    /// and run statistics (they must).
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    threads: usize,
+    smoke: bool,
+    /// Context for reading the speedup numbers (e.g. flags a
+    /// single-thread budget, where parallel mode runs inline and
+    /// speedup is ~1.0 by construction).
+    note: String,
+    workloads: Vec<WorkloadReport>,
+}
+
+/// Tuning runs are deterministic, so repeated runs produce identical
+/// outcomes; we keep the best wall time to damp scheduler noise.
+const TIMING_RUNS: usize = 3;
+
+fn timed_tune<T>(
+    transform: T,
+    bins: &[f64],
+    max_size: u64,
+    seed: u64,
+    parallel: bool,
+) -> (TuningOutcome, ModeReport)
+where
+    T: Transform + Send + Sync + Copy,
+{
+    let mut best: Option<(TuningOutcome, f64)> = None;
+    for _ in 0..TIMING_RUNS {
+        let runner = TransformRunner::new(transform, CostModel::Virtual);
+        let mut options = TunerOptions::fast_preset(max_size, seed);
+        options.parallel_trials = parallel;
+        let start = Instant::now();
+        let outcome = Autotuner::new(&runner, AccuracyBins::new(bins.to_vec()), options)
+            .tune_outcome()
+            .unwrap_or_else(|e| panic!("tuning failed: {e}"));
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        if best.as_ref().map(|(_, w)| wall < *w).unwrap_or(true) {
+            best = Some((outcome, wall));
+        }
+    }
+    let (outcome, wall) = best.expect("at least one timing run");
+    let stats = outcome.stats;
+    let requested = stats.cache_hits + stats.cache_misses;
+    let report = ModeReport {
+        wall_seconds: wall,
+        trials_executed: stats.trials,
+        trials_per_sec: stats.trials as f64 / wall,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        cache_hit_rate: if requested > 0 {
+            stats.cache_hits as f64 / requested as f64
+        } else {
+            0.0
+        },
+    };
+    (outcome, report)
+}
+
+fn workload<T>(name: &str, transform: T, bins: &[f64], max_size: u64) -> WorkloadReport
+where
+    T: Transform + Send + Sync + Copy,
+{
+    let seed = 0x7B5;
+    let (seq_outcome, sequential) = timed_tune(transform, bins, max_size, seed, false);
+    let (par_outcome, parallel) = timed_tune(transform, bins, max_size, seed, true);
+    let bit_identical = seq_outcome.program == par_outcome.program
+        && seq_outcome.stats == par_outcome.stats
+        && seq_outcome.final_population == par_outcome.final_population;
+    assert!(
+        bit_identical,
+        "{name}: parallel evaluation diverged from sequential"
+    );
+    let speedup = parallel.trials_per_sec / sequential.trials_per_sec.max(1e-9);
+    WorkloadReport {
+        name: name.to_string(),
+        max_size,
+        sequential,
+        parallel,
+        speedup,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (kmeans_size, binpack_size) = if smoke { (64, 128) } else { (512, 2048) };
+
+    // Spawn the pool's workers before any timed region.
+    let _ = available_threads();
+
+    let workloads = vec![
+        workload("kmeans", Clustering, &[0.05, 0.2], kmeans_size),
+        workload(
+            "binpacking",
+            BinPacking,
+            &[ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)],
+            binpack_size,
+        ),
+    ];
+
+    let threads = available_threads();
+    let note = if threads < 2 {
+        "single-thread pool budget: the parallel path runs inline, so \
+         speedup ~1.0 is expected here; run on a multi-core host (or \
+         set PB_POOL_THREADS) to measure real parallel speedup"
+            .to_string()
+    } else {
+        format!(
+            "pool budget of {threads} threads (1 caller + {} workers)",
+            threads - 1
+        )
+    };
+    let report = Report {
+        threads,
+        smoke,
+        note,
+        workloads,
+    };
+
+    println!(
+        "# tuner throughput ({} threads{})",
+        report.threads,
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>9} {:>10}",
+        "workload", "seq trials/s", "par trials/s", "speedup", "hit rate"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:>12} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}%",
+            w.name,
+            w.sequential.trials_per_sec,
+            w.parallel.trials_per_sec,
+            w.speedup,
+            100.0 * w.parallel.cache_hit_rate,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_tuner.json", &json).expect("write BENCH_tuner.json");
+    println!("\nwrote BENCH_tuner.json");
+}

@@ -8,8 +8,14 @@
 //! iteration policy (once / iterate until fewer than a tunable
 //! percentage of assignments change / iterate to a fixed point).
 //! Accuracy metric: `√(2n / Σ Dᵢ²)`.
+//!
+//! The nearest-centroid distance computation — the kernel's hot loop —
+//! runs through [`pb_runtime::parallel::parallel_gen`] with a tunable
+//! `par_cutoff`, so the tuner sets the parallel/sequential switch-over
+//! point of the work-stealing scheduler exactly as in paper §5.2.
 
 use pb_config::Schema;
+use pb_runtime::parallel::{available_threads, parallel_engages, parallel_gen};
 use pb_runtime::{ExecCtx, Transform};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -128,32 +134,62 @@ fn init_kmeanspp(points: &Points, k: usize, rng: &mut SmallRng, ctx: &mut ExecCt
     Points { x: cx, y: cy }
 }
 
+/// Nearest centroid to point `i` (pure: safe to evaluate in parallel).
+fn nearest_centroid(points: &Points, centroids: &Points, i: usize) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for c in 0..centroids.len() {
+        let d = dist2(points, i, centroids.x[c], centroids.y[c]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Virtual-cost units modelling the fixed overhead of dispatching a
+/// batch to the work-stealing pool (wakeups, chunking, the join).
+/// Gives `par_cutoff` the same tradeoff the real scheduler has: below
+/// the crossover the dispatch overhead outweighs the divided work.
+const PAR_DISPATCH_COST: f64 = 512.0;
+
 /// Assigns every point to its nearest centroid; returns the number of
 /// changed assignments.
+///
+/// The per-point distance scans split across the work-stealing pool
+/// when the input reaches `par_cutoff` points (paper §5.2's tuned
+/// switch-over). Each point's result is a pure function of the
+/// inputs, so the *assignments* are identical in both regimes; the
+/// *virtual cost* models the schedule — parallel execution divides
+/// the scan across the pool's threads but pays [`PAR_DISPATCH_COST`]
+/// — so the tuner can find the crossover deterministically, the way
+/// wall-clock measurements would on real hardware. The thread count
+/// is the pool's cached budget: constant within a process, so
+/// parallel-vs-sequential evaluator modes stay bit-identical.
 fn assign(
     points: &Points,
     centroids: &Points,
     assignments: &mut [usize],
+    par_cutoff: usize,
     ctx: &mut ExecCtx<'_>,
 ) -> usize {
-    let k = centroids.len();
+    let nearest = parallel_gen(points.len(), par_cutoff, |i| {
+        nearest_centroid(points, centroids, i)
+    });
     let mut changed = 0;
-    for i in 0..points.len() {
-        let mut best = 0;
-        let mut best_d = f64::INFINITY;
-        for c in 0..k {
-            let d = dist2(points, i, centroids.x[c], centroids.y[c]);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        if assignments[i] != best {
-            assignments[i] = best;
+    for (slot, best) in assignments.iter_mut().zip(nearest) {
+        if *slot != best {
+            *slot = best;
             changed += 1;
         }
     }
-    ctx.charge((points.len() * k) as f64);
+    let work = (points.len() * centroids.len()) as f64;
+    if parallel_engages(points.len(), par_cutoff) {
+        ctx.charge(work / available_threads() as f64 + PAR_DISPATCH_COST);
+    } else {
+        ctx.charge(work);
+    }
     changed
 }
 
@@ -228,6 +264,7 @@ impl Transform for Clustering {
         s.add_choice_site("iteration", ITERATION_NAMES.len());
         s.add_accuracy_variable("stabilize_pct", 1, 100);
         s.add_accuracy_variable("max_iters", 1, 200);
+        s.add_cutoff("par_cutoff", 16, 1 << 16);
         s
     }
 
@@ -242,6 +279,7 @@ impl Transform for Clustering {
         let policy = ctx.choice("iteration").expect("schema declares iteration");
         let pct = ctx.param("stabilize_pct").expect("schema") as f64 / 100.0;
         let max_iters = ctx.for_enough("max_iters").expect("schema");
+        let par_cutoff = ctx.param("par_cutoff").expect("schema").max(1) as usize;
 
         let mut seed_rng = {
             use rand::SeedableRng;
@@ -257,7 +295,7 @@ impl Transform for Clustering {
 
         let mut assignments = vec![usize::MAX; n];
         // The first assignment counts every point as changed.
-        let mut changed = assign(input, &centroids, &mut assignments, ctx);
+        let mut changed = assign(input, &centroids, &mut assignments, par_cutoff, ctx);
         let mut iters = 1u64;
         loop {
             let stop = match policy {
@@ -269,7 +307,7 @@ impl Transform for Clustering {
                 break;
             }
             update_centroids(input, &mut centroids, &assignments, ctx);
-            changed = assign(input, &centroids, &mut assignments, ctx);
+            changed = assign(input, &centroids, &mut assignments, par_cutoff, ctx);
             iters += 1;
         }
         ClusterAssignment {
@@ -370,8 +408,45 @@ mod tests {
         // point.
         let mut assignments = out.assignments.clone();
         let mut ctx2 = ExecCtx::new(&schema, &config, 128, 3);
-        let changed = assign(&input, &out.centroids, &mut assignments, &mut ctx2);
+        let changed = assign(&input, &out.centroids, &mut assignments, 16, &mut ctx2);
         assert_eq!(changed, 0);
+    }
+
+    #[test]
+    fn par_cutoff_changes_schedule_not_results() {
+        let t = Clustering;
+        let schema = t.schema();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let input = t.generate_input(512, &mut rng);
+        let mut outputs = Vec::new();
+        // Always-parallel vs never-parallel must agree bit-for-bit on
+        // the clustering itself: the cutoff tunes the scheduler, not
+        // the algorithm.
+        for cutoff in [16i64, 1 << 16] {
+            let mut config = schema.default_config();
+            config.set_by_name(&schema, "k", Value::Int(8)).unwrap();
+            config
+                .set_by_name(&schema, "par_cutoff", Value::Int(cutoff))
+                .unwrap();
+            let mut ctx = ExecCtx::new(&schema, &config, 512, 11);
+            let out = t.execute(&input, &mut ctx);
+            outputs.push((out, ctx.virtual_cost()));
+        }
+        assert_eq!(outputs[0].0, outputs[1].0);
+        // The virtual cost *sees* the schedule: with a multi-thread
+        // pool the always-parallel run (cutoff 16, 512 points, k = 8:
+        // work well past the dispatch overhead) must be modelled
+        // cheaper; with one thread both regimes are sequential.
+        if pb_runtime::parallel::available_threads() >= 2 {
+            assert!(
+                outputs[0].1 < outputs[1].1,
+                "parallel schedule should cost less: {} vs {}",
+                outputs[0].1,
+                outputs[1].1
+            );
+        } else {
+            assert_eq!(outputs[0].1, outputs[1].1);
+        }
     }
 
     #[test]

@@ -94,6 +94,11 @@ impl Config {
         self.values.is_empty()
     }
 
+    /// All values in schema (tunable-id) order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
     /// Returns the value for a tunable id.
     ///
     /// # Panics

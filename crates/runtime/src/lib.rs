@@ -20,14 +20,18 @@
 //!   obtain a requested accuracy" (§4.2).
 //! * [`guarantee`] — statistical, runtime-checked (`verify_accuracy`),
 //!   and domain-specific accuracy guarantees (§3.3).
+//! * [`pool`] / [`parallel`] — the persistent work-stealing scheduler
+//!   and the tunable-cutoff data-parallel helpers built on it (§5.2).
 
 pub mod ctx;
 pub mod guarantee;
 pub mod parallel;
+pub mod pool;
 pub mod transform;
 pub mod tuned;
 
 pub use ctx::{ExecCtx, TraceEvent, TraceNode};
 pub use guarantee::{GuaranteeError, GuaranteeKind, VerifiedRun};
+pub use pool::Pool;
 pub use transform::{CostModel, Transform, TransformRunner, TrialOutcome, TrialRunner};
 pub use tuned::{TunedEntry, TunedProgram};

@@ -1,20 +1,89 @@
-//! Minimal parallel-execution helpers.
+//! Data-parallel helpers with tunable sequential cutoffs.
 //!
 //! The original PetaBricks runtime automatically parallelized rule
 //! applications with a work-stealing scheduler and tuned the
 //! sequential/parallel cutoff. We reproduce the essential behaviour: a
-//! data-parallel map with a tunable sequential cutoff, built on
-//! crossbeam's scoped threads. Benchmarks call [`parallel_map`] with a
-//! cutoff read from their configuration, so the tuner controls the
-//! switch-over point exactly as in the paper (§5.2 "switching points
-//! from a parallel work stealing scheduler to sequential code").
+//! data-parallel map with a tunable sequential cutoff, built on the
+//! persistent work-stealing [`Pool`](crate::pool::Pool). Benchmarks
+//! call [`parallel_map`] (or [`parallel_gen`]) with a cutoff read from
+//! their configuration, so the tuner controls the switch-over point
+//! exactly as in the paper (§5.2 "switching points from a parallel
+//! work stealing scheduler to sequential code").
+
+use crate::pool::Pool;
+
+/// A raw output pointer that may cross thread boundaries.
+///
+/// Tasks write disjoint slots (`ptr.add(i)` for distinct `i`), which is
+/// what makes sharing the pointer sound.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Builds a `Vec` whose `i`-th element is `f(i)`, splitting across the
+/// global pool when at least `sequential_cutoff` elements are
+/// requested.
+///
+/// With fewer elements than the cutoff (or a single-thread budget) the
+/// map runs sequentially on the calling thread, which is the tuned
+/// fast path for small inputs. Results are written straight into their
+/// final slots — no intermediate `Vec<Option<O>>`.
+///
+/// # Panics
+///
+/// Propagates the first panic from `f`. Elements already produced by
+/// other tasks are leaked (not dropped) in that case.
+///
+/// # Examples
+///
+/// ```
+/// use pb_runtime::parallel::parallel_gen;
+///
+/// let squares = parallel_gen(4, 2, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9]);
+/// ```
+/// Whether a map of `count` elements with the given cutoff runs on
+/// the pool (as opposed to inline on the calling thread).
+///
+/// This is the single source of truth for the switch-over decision:
+/// [`parallel_gen`] / [`parallel_map`] branch on it, and cost models
+/// that charge for the schedule (e.g. the clustering benchmark's
+/// `par_cutoff` tunable) query it rather than duplicating the
+/// condition.
+pub fn parallel_engages(count: usize, sequential_cutoff: usize) -> bool {
+    count >= sequential_cutoff.max(2) && Pool::global().threads() >= 2
+}
+
+pub fn parallel_gen<O, F>(count: usize, sequential_cutoff: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if !parallel_engages(count, sequential_cutoff) {
+        return (0..count).map(f).collect();
+    }
+    let pool = Pool::global();
+    let mut out: Vec<O> = Vec::with_capacity(count);
+    let slots = SendPtr(out.as_mut_ptr());
+    let slots = &slots;
+    pool.run_indexed(count, |i| {
+        // SAFETY: `i` values are distinct across tasks, so each slot
+        // is written exactly once, within the Vec's capacity, while
+        // `out` (len 0) is fenced by `run_indexed`'s completion.
+        unsafe { slots.0.add(i).write(f(i)) };
+    });
+    // SAFETY: `run_indexed` returned without panicking, so all `count`
+    // slots were initialized.
+    unsafe { out.set_len(count) };
+    out
+}
 
 /// Applies `f` to every element, splitting across threads when the
 /// input is at least `sequential_cutoff` elements long.
 ///
-/// Results are returned in input order. With fewer elements than the
-/// cutoff (or a cutoff of 0 threads available) the map runs sequentially
-/// on the calling thread.
+/// Results are returned in input order. See [`parallel_gen`] for the
+/// cutoff and panic semantics.
 ///
 /// # Examples
 ///
@@ -30,34 +99,13 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    let threads = available_threads();
-    if items.len() < sequential_cutoff.max(2) || threads < 2 {
-        return items.iter().map(&f).collect();
-    }
-    let chunk = items.len().div_ceil(threads);
-    let mut out: Vec<Option<O>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    crossbeam::thread::scope(|scope| {
-        for (in_chunk, out_chunk) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (i, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                    *o = Some(f(i));
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    out.into_iter()
-        .map(|o| o.expect("all slots filled by workers"))
-        .collect()
+    parallel_gen(items.len(), sequential_cutoff, |i| f(&items[i]))
 }
 
-/// Number of hardware threads to use for parallel maps.
+/// Number of hardware threads the global pool uses (cached in the
+/// pool; no syscall per query).
 pub fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    Pool::global().threads()
 }
 
 #[cfg(test)]
@@ -96,5 +144,17 @@ mod tests {
         let par = parallel_map(&input, 4, |&x| x.sqrt().sin());
         let seq: Vec<f64> = input.iter().map(|&x| x.sqrt().sin()).collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn gen_handles_non_copy_outputs() {
+        let out = parallel_gen(100, 2, |i| vec![i; 3]);
+        assert!(out.iter().enumerate().all(|(i, v)| v == &vec![i; 3]));
+    }
+
+    #[test]
+    fn available_threads_is_stable() {
+        assert_eq!(available_threads(), available_threads());
+        assert!(available_threads() >= 1);
     }
 }

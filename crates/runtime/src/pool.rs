@@ -1,0 +1,455 @@
+//! A persistent work-stealing thread pool.
+//!
+//! The paper's runtime executes rule applications on "a parallel work
+//! stealing scheduler" whose sequential/parallel switch-over points are
+//! exposed to the autotuner (§5.2). This module is that scheduler's
+//! equivalent: a lazily initialized global [`Pool`] of worker threads
+//! fed through a shared `crossbeam`-style injector, with per-worker
+//! deques that refill in batches and steal from each other when dry.
+//!
+//! Design points:
+//!
+//! * **Persistent workers.** Threads are spawned once (on first use)
+//!   and parked between batches, replacing the fresh
+//!   `crossbeam::thread::scope` spawns the old `parallel_map` paid on
+//!   every call. The hardware thread count is queried once and cached.
+//! * **Caller participation.** [`Pool::run_indexed`] blocks until the
+//!   batch completes, but the calling thread executes queued tasks
+//!   while it waits. This both uses the caller as an extra worker and
+//!   makes nested batches (a pool task that itself calls
+//!   `run_indexed`) deadlock-free: the inner caller drains work
+//!   instead of sleeping while holding a worker slot.
+//! * **Panic propagation.** A panicking task aborts its batch's
+//!   remaining tasks (best effort), and the panic payload is re-thrown
+//!   on the calling thread once the batch has drained, mirroring the
+//!   behaviour of scoped threads.
+//!
+//! The pool runs *tasks*, not futures: closures over an index range.
+//! Data-parallel helpers ([`crate::parallel::parallel_map`]) are built
+//! on top and keep the tunable `sequential_cutoff` semantics the
+//! autotuner relies on.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// One schedulable unit: a contiguous index range of some batch.
+struct Job {
+    /// The batch this job belongs to. The submitting thread keeps the
+    /// `BatchState` alive until every job of the batch has finished
+    /// (it blocks in [`Pool::run_indexed`]), so the pointer is valid
+    /// for the job's whole lifetime.
+    batch: *const BatchState,
+    start: usize,
+    end: usize,
+}
+
+// SAFETY: `Job` moves raw `BatchState` pointers between threads. The
+// state outlives the job (see `Job::batch`) and all of its fields are
+// `Sync` (atomics, mutexes, and a `Sync` task closure).
+unsafe impl Send for Job {}
+
+/// Shared bookkeeping for one `run_indexed` call.
+struct BatchState {
+    /// The task closure, as a raw wide pointer so `BatchState` can be
+    /// stored behind `'static` jobs. Valid while the submitter blocks.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Jobs not yet finished.
+    remaining: AtomicUsize,
+    /// Set by the first panicking job; later jobs in the batch
+    /// early-exit instead of doing work whose result will be thrown
+    /// away by the propagated panic.
+    poisoned: AtomicBool,
+    /// The first panic payload, re-thrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Signals the submitter when `remaining` reaches zero.
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+// SAFETY: see the field docs — the raw pointers are only dereferenced
+// while the submitting thread (which owns the referents) blocks.
+unsafe impl Send for BatchState {}
+unsafe impl Sync for BatchState {}
+
+impl BatchState {
+    fn execute(&self, start: usize, end: usize) {
+        if !self.poisoned.load(Ordering::Relaxed) {
+            // SAFETY: the submitter keeps the closure alive until the
+            // batch completes (it blocks in `run_indexed`).
+            let task = unsafe { &*self.task };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for i in start..end {
+                    if self.poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    task(i);
+                }
+            }));
+            if let Err(payload) = result {
+                self.poisoned.store(true, Ordering::Relaxed);
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_lock.lock().expect("done lock poisoned");
+            self.done.notify_all();
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    /// Sleeping workers wait here; submitters notify on new work.
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    /// Set by [`Pool::drop`]; workers exit once the queues drain.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Takes one job from anywhere: the injector first (optionally
+    /// refilling `local`), then other workers' deques.
+    fn find_job(&self, local: Option<&Worker<Job>>) -> Option<Job> {
+        loop {
+            let stolen = match local {
+                Some(worker) => self.injector.steal_batch_and_pop(worker),
+                None => self.injector.steal(),
+            };
+            match stolen {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => continue,
+                Steal::Empty => {}
+            }
+            for stealer in &self.stealers {
+                if let Steal::Success(job) = stealer.steal() {
+                    return Some(job);
+                }
+            }
+            return None;
+        }
+    }
+}
+
+/// A work-stealing thread pool (see the module docs).
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Cached hardware thread budget (including the calling thread).
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// The environment variable overriding the global pool's thread count
+/// (useful for determinism tests on small machines and for pinning CI).
+pub const THREADS_ENV: &str = "PB_POOL_THREADS";
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// The lazily initialized process-wide pool.
+    ///
+    /// Sized to `std::thread::available_parallelism()` unless the
+    /// `PB_POOL_THREADS` environment variable overrides it. The first
+    /// caller fixes the size for the life of the process.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                });
+            Pool::with_threads(threads)
+        })
+    }
+
+    /// Creates a pool with an explicit thread budget of `threads`
+    /// (counting the submitting thread: `threads - 1` workers are
+    /// spawned, and `threads < 2` means "run everything inline").
+    pub fn with_threads(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers: Vec<Worker<Job>> = (1..threads).map(|_| Worker::new_fifo()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers: workers.iter().map(Worker::stealer).collect(),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        for worker in workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("pb-pool-worker".into())
+                .spawn(move || worker_loop(&shared, worker))
+                .expect("failed to spawn pool worker");
+        }
+        Pool { shared, threads }
+    }
+
+    /// The pool's thread budget (cached; no syscall per query).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` for every `i` in `0..count` and blocks until all
+    /// calls complete. Calls may run concurrently and in any order;
+    /// the caller's thread participates.
+    ///
+    /// # Panics
+    ///
+    /// If any `task(i)` panics, the first panic payload is re-thrown
+    /// here after the batch drains (remaining tasks are skipped on a
+    /// best-effort basis).
+    pub fn run_indexed<F>(&self, count: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if count == 0 {
+            return;
+        }
+        if self.threads < 2 || count == 1 {
+            for i in 0..count {
+                task(i);
+            }
+            return;
+        }
+
+        // Split into more chunks than threads so idle workers can
+        // steal from long-running ones.
+        let chunks = count.min(self.threads * 4);
+        let chunk_len = count.div_ceil(chunks);
+        let chunks = count.div_ceil(chunk_len);
+
+        // Erase the closure's lifetime so jobs can carry it through
+        // the 'static queues. Sound because this function does not
+        // return until every job of the batch has executed.
+        let task_obj: &(dyn Fn(usize) + Sync) = &task;
+        let task_ptr: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_obj) };
+        let state = BatchState {
+            task: task_ptr,
+            remaining: AtomicUsize::new(chunks),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        };
+
+        let mut start = 0;
+        while start < count {
+            let end = (start + chunk_len).min(count);
+            self.shared.injector.push(Job {
+                batch: &state,
+                start,
+                end,
+            });
+            start = end;
+        }
+        {
+            let _guard = self.shared.sleep_lock.lock().expect("sleep lock poisoned");
+            self.shared.wake.notify_all();
+        }
+
+        // Help: execute queued jobs (ours or anyone's) while waiting.
+        while state.remaining.load(Ordering::Acquire) != 0 {
+            match self.shared.find_job(None) {
+                Some(job) => {
+                    // SAFETY: every job's batch state is alive (its
+                    // submitter is blocked like we are).
+                    unsafe { (*job.batch).execute(job.start, job.end) };
+                }
+                None => {
+                    let guard = self.shared.sleep_lock.lock().expect("sleep lock poisoned");
+                    // Re-check under the lock: a worker may have
+                    // finished the last job before we locked.
+                    if state.remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    drop(guard);
+                    let guard = state.done_lock.lock().expect("done lock poisoned");
+                    if state.remaining.load(Ordering::Acquire) != 0 {
+                        // Timed wait: our remaining jobs might be
+                        // *queued* (not running) if workers raced to
+                        // sleep; wake up periodically to help.
+                        let _ = state
+                            .done
+                            .wait_timeout(guard, Duration::from_millis(1))
+                            .expect("done condvar poisoned");
+                    }
+                }
+            }
+        }
+
+        let payload = state.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    /// Signals workers to drain and exit, so non-global pools (tests,
+    /// ad-hoc instances) do not leak threads. The process-wide pool
+    /// from [`Pool::global`] lives in a static and is never dropped.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        let _guard = self.shared.sleep_lock.lock().expect("sleep lock poisoned");
+        self.shared.wake.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared, local: Worker<Job>) {
+    loop {
+        if let Some(job) = local.pop().or_else(|| shared.find_job(Some(&local))) {
+            // SAFETY: every job's batch state is alive (its submitter
+            // blocks in `run_indexed` until the batch completes).
+            unsafe { (*job.batch).execute(job.start, job.end) };
+            continue;
+        }
+        // Drain-then-exit: only stop once no work is reachable, so a
+        // dropped pool still completes any in-flight batch.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let guard = shared.sleep_lock.lock().expect("sleep lock poisoned");
+        if shared.injector.is_empty() {
+            // Timed wait so a notify racing ahead of this lock cannot
+            // strand a worker while jobs sit queued.
+            let _ = shared
+                .wake
+                .wait_timeout(guard, Duration::from_millis(10))
+                .expect("wake condvar poisoned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let pool = Pool::with_threads(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        pool.run_indexed(1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_budget_runs_inline() {
+        let pool = Pool::with_threads(1);
+        let caller = std::thread::current().id();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run_indexed(64, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert!(seen.contains(&caller));
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        let pool = Pool::with_threads(4);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run_indexed(256, |_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Enough work per task that workers wake before it's over.
+            std::thread::sleep(Duration::from_micros(200));
+        });
+        // Even on a single-core host the 3 workers plus the caller
+        // timeshare; requiring >= 2 distinct threads keeps the test
+        // robust while still proving jobs leave the calling thread.
+        assert!(seen.into_inner().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let pool = Pool::with_threads(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(100, |i| {
+                if i == 37 {
+                    panic!("task 37 exploded");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task 37 exploded");
+        // The pool survives a panicked batch.
+        let count = AtomicU64::new(0);
+        pool.run_indexed(10, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        let pool = Pool::with_threads(3);
+        let count = AtomicU64::new(0);
+        pool.run_indexed(8, |_| {
+            pool.run_indexed(8, |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = Pool::with_threads(4);
+        pool.run_indexed(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn dropping_a_pool_stops_its_workers() {
+        let pool = Pool::with_threads(3);
+        let count = AtomicU64::new(0);
+        pool.run_indexed(16, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+        let weak = Arc::downgrade(&pool.shared);
+        drop(pool);
+        // Workers hold the only other Arc<Shared> references; once
+        // they exit, the weak handle dangles.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while weak.upgrade().is_some() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            weak.upgrade().is_none(),
+            "worker threads must exit after the pool is dropped"
+        );
+    }
+
+    #[test]
+    fn global_pool_threads_are_cached_and_positive() {
+        let a = Pool::global().threads();
+        let b = Pool::global().threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+        assert!(std::ptr::eq(Pool::global(), Pool::global()));
+    }
+}

@@ -84,6 +84,14 @@ pub trait TrialRunner: Send + Sync {
     /// The tunable schema.
     fn schema(&self) -> &Schema;
 
+    /// Whether [`TrialRunner::run_trial`] is a pure function of
+    /// `(config, n, seed)` — true for the virtual cost model, false
+    /// for wall-clock measurement. The tuner only memoizes trial
+    /// outcomes when this holds; the conservative default is `false`.
+    fn deterministic(&self) -> bool {
+        false
+    }
+
     /// Runs one trial: generate an input of size `n` from `seed`,
     /// execute under `config`, measure cost and accuracy.
     fn run_trial(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome;
@@ -226,6 +234,10 @@ where
 
     fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    fn deterministic(&self) -> bool {
+        self.cost_model == CostModel::Virtual
     }
 
     fn run_trial(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {

@@ -5,9 +5,10 @@
 //! trial's result is cached on the candidate for its lifetime in the
 //! population, keyed by input size.
 
+use crate::exec::TrialRequest;
 use crate::mutators::MutationRecord;
 use pb_config::Config;
-use pb_runtime::TrialRunner;
+use pb_runtime::{TrialOutcome, TrialRunner};
 use pb_stats::OnlineStats;
 use std::collections::BTreeMap;
 
@@ -98,6 +99,28 @@ impl Candidate {
         while self.trials(n) < min_trials {
             self.run_one_trial(runner, n);
         }
+    }
+
+    /// Plans the trials needed to reach `min_trials` cached trials at
+    /// size `n` (the *plan* half of plan-then-execute; outcomes are
+    /// merged back with [`Candidate::absorb`] in trial-index order).
+    /// The configuration is cloned and fingerprinted once for the
+    /// whole plan.
+    pub fn plan_trials(&self, n: u64, min_trials: u64) -> Vec<TrialRequest> {
+        TrialRequest::batch_for(
+            &self.config,
+            n,
+            (self.trials(n)..min_trials).map(|index| trial_seed(n, index)),
+        )
+    }
+
+    /// Merges one planned trial's outcome into the size-`n` statistics.
+    /// Callers must absorb outcomes in the trial-index order they were
+    /// planned, which keeps parallel runs bit-identical to sequential.
+    pub fn absorb(&mut self, n: u64, outcome: &TrialOutcome) {
+        let stats = self.stats_mut(n);
+        stats.time.push(outcome.time);
+        stats.accuracy.push(outcome.accuracy);
     }
 
     /// Runs exactly one more trial at size `n` and returns the measured

@@ -1,0 +1,466 @@
+//! Plan-then-execute trial evaluation: batching, parallelism, and
+//! memoization.
+//!
+//! "The dominant time requirement of our autotuner is testing candidate
+//! algorithms by running them on training inputs" (§5.5.1). The tuner
+//! therefore separates *planning* which trials a generation needs from
+//! *executing* them: phases collect [`TrialRequest`]s and hand them to
+//! an [`Evaluator`], which
+//!
+//! * executes whole batches on the work-stealing
+//!   [`pb_runtime::pool::Pool`] (or sequentially, when forced), and
+//! * memoizes outcomes in a fingerprint cache keyed on
+//!   `(canonical config hash, n, seed)`, so duplicate candidates and
+//!   mutate-then-revert configurations never re-execute a trial.
+//!
+//! Because trial seeds are a deterministic function of the input size
+//! and trial index, and trials are pure under the virtual cost model,
+//! parallel execution is **bit-identical** to sequential execution:
+//! only the wall-clock schedule differs, never an outcome or a merge
+//! order.
+//!
+//! The evaluator also implements [`TrialRunner`], so the adaptive
+//! comparator's demand-driven extra trials (§5.5.1) flow through the
+//! same cache — they execute immediately on the calling thread, the
+//! single-trial fallback path.
+
+use pb_config::{Config, Value};
+use pb_runtime::parallel::parallel_map;
+use pb_runtime::{TraceNode, TrialOutcome, TrialRunner};
+use pb_stats::OnlineStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How an [`Evaluator`] executes a batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvalMode {
+    /// Batches run on the global work-stealing pool.
+    #[default]
+    Parallel,
+    /// Batches run one trial at a time on the calling thread (forced
+    /// sequential mode; the determinism baseline).
+    Sequential,
+}
+
+/// One planned trial: a configuration to run at input size `n` with a
+/// deterministic seed.
+///
+/// The configuration is shared (`Arc`) and its fingerprint is
+/// computed once per plan, so a candidate's `min_trials` requests —
+/// and `run_batch`'s internal bookkeeping — never re-clone or re-hash
+/// the config.
+#[derive(Debug, Clone)]
+pub struct TrialRequest {
+    config: Arc<Config>,
+    fingerprint: u64,
+    /// Input size.
+    pub n: u64,
+    /// Deterministic trial seed (derived from `n` and the trial
+    /// index, shared across candidates).
+    pub seed: u64,
+}
+
+impl TrialRequest {
+    /// Plans one trial, fingerprinting the configuration.
+    pub fn new(config: Arc<Config>, n: u64, seed: u64) -> Self {
+        let fingerprint = config_fingerprint(&config);
+        TrialRequest {
+            config,
+            fingerprint,
+            n,
+            seed,
+        }
+    }
+
+    /// Plans a run of trials over `seeds` for one configuration,
+    /// fingerprinting it once.
+    pub fn batch_for(config: &Config, n: u64, seeds: impl Iterator<Item = u64>) -> Vec<Self> {
+        let config = Arc::new(config.clone());
+        let fingerprint = config_fingerprint(&config);
+        seeds
+            .map(|seed| TrialRequest {
+                config: Arc::clone(&config),
+                fingerprint,
+                n,
+                seed,
+            })
+            .collect()
+    }
+
+    /// The configuration to execute.
+    pub fn config(&self) -> &Config {
+        &self.config
+    }
+}
+
+/// 64-bit FNV-1a over a configuration's canonical structure.
+///
+/// Canonical because [`Config`] stores its values in schema order; two
+/// configurations reachable by different mutation paths but equal
+/// value-for-value hash identically (the mutate-then-revert case).
+/// Hashes the values directly — no serialization — because this runs
+/// for every trial request and comparator draw.
+pub fn config_fingerprint(config: &Config) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    // FNV-1a, one byte at a time, so every bit of `word` stirs.
+    fn mix(hash: &mut u64, word: u64) {
+        for shift in (0..64).step_by(8) {
+            *hash ^= (word >> shift) & 0xFF;
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in config.transform().as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    for value in config.values() {
+        match value {
+            Value::Int(v) => {
+                mix(&mut hash, 1);
+                mix(&mut hash, *v as u64);
+            }
+            Value::Float(v) => {
+                mix(&mut hash, 2);
+                mix(&mut hash, v.to_bits());
+            }
+            Value::Switch(v) => {
+                mix(&mut hash, 3);
+                mix(&mut hash, *v as u64);
+            }
+            Value::Tree(tree) => {
+                mix(&mut hash, 4);
+                mix(&mut hash, tree.top_choice() as u64);
+                for level in tree.levels() {
+                    mix(&mut hash, level.cutoff);
+                    mix(&mut hash, level.choice as u64);
+                }
+            }
+        }
+    }
+    hash
+}
+
+type CacheKey = (u64, u64, u64);
+
+/// The trial memo: `(config fingerprint, n, seed) → outcome`.
+#[derive(Debug, Default)]
+struct TrialCache {
+    map: Mutex<HashMap<CacheKey, TrialOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Executes trials for the tuner: batched, optionally parallel,
+/// optionally memoized.
+///
+/// Implements [`TrialRunner`] so existing demand-driven call sites
+/// (the adaptive comparator, `ensure_tested`) transparently share the
+/// cache.
+pub struct Evaluator<'a> {
+    runner: &'a dyn TrialRunner,
+    mode: EvalMode,
+    cache: Option<TrialCache>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Wraps `runner`. `memoize` enables the trial cache — sound
+    /// whenever trials are deterministic functions of
+    /// `(config, n, seed)`, i.e. under the virtual cost model; disable
+    /// it when tuning on wall-clock time, where repeated measurements
+    /// genuinely differ.
+    pub fn new(runner: &'a dyn TrialRunner, mode: EvalMode, memoize: bool) -> Self {
+        Evaluator {
+            runner,
+            mode,
+            cache: memoize.then(TrialCache::default),
+        }
+    }
+
+    /// The active execution mode.
+    pub fn mode(&self) -> EvalMode {
+        self.mode
+    }
+
+    /// Requests served from the cache without executing a trial.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.hits.load(Ordering::Relaxed))
+    }
+
+    /// Requests that had to execute a trial.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.misses.load(Ordering::Relaxed))
+    }
+
+    /// Runs every request and returns outcomes in request order.
+    ///
+    /// Cache hits (including duplicates *within* the batch) never
+    /// re-execute; the remaining unique trials run on the pool in
+    /// parallel mode or in order in sequential mode. Identical
+    /// results and identical final cache state either way.
+    pub fn run_batch(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
+        let Some(cache) = &self.cache else {
+            return self.execute(requests);
+        };
+
+        let keys: Vec<CacheKey> = requests
+            .iter()
+            .map(|r| (r.fingerprint, r.n, r.seed))
+            .collect();
+        // Partition into already-cached slots and unique misses.
+        let mut slots: Vec<Option<TrialOutcome>> = vec![None; requests.len()];
+        // For non-cached requests: index into `miss_requests`.
+        let mut pending: Vec<usize> = vec![usize::MAX; requests.len()];
+        let mut miss_of_key: HashMap<CacheKey, usize> = HashMap::new();
+        let mut miss_requests: Vec<TrialRequest> = Vec::new();
+        let mut hits = 0;
+        {
+            let map = cache.map.lock().expect("trial cache poisoned");
+            for (i, (request, key)) in requests.iter().zip(&keys).enumerate() {
+                if let Some(outcome) = map.get(key) {
+                    slots[i] = Some(*outcome);
+                    hits += 1;
+                } else if let Some(&mi) = miss_of_key.get(key) {
+                    // Duplicate within the batch: executes once.
+                    pending[i] = mi;
+                    hits += 1;
+                } else {
+                    let mi = miss_requests.len();
+                    miss_of_key.insert(*key, mi);
+                    miss_requests.push(request.clone());
+                    pending[i] = mi;
+                }
+            }
+        }
+        cache.hits.fetch_add(hits, Ordering::Relaxed);
+        cache
+            .misses
+            .fetch_add(miss_requests.len() as u64, Ordering::Relaxed);
+
+        let executed = self.execute(&miss_requests);
+        {
+            let mut map = cache.map.lock().expect("trial cache poisoned");
+            for (key, &mi) in &miss_of_key {
+                map.insert(*key, executed[mi]);
+            }
+        }
+
+        slots
+            .into_iter()
+            .zip(pending)
+            .map(|(slot, mi)| slot.unwrap_or_else(|| executed[mi]))
+            .collect()
+    }
+
+    /// Executes every request (no cache involvement), parallel or
+    /// sequential per the mode.
+    fn execute(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
+        match self.mode {
+            EvalMode::Sequential => requests
+                .iter()
+                .map(|r| self.runner.run_trial(r.config(), r.n, r.seed))
+                .collect(),
+            EvalMode::Parallel => parallel_map(requests, 2, |r| {
+                self.runner.run_trial(r.config(), r.n, r.seed)
+            }),
+        }
+    }
+
+    /// Mean accuracy of `config` over trials `0..trials` at size `n`
+    /// (a batched replacement for probe candidates).
+    pub fn mean_accuracy(&self, config: &Config, n: u64, trials: u64) -> f64 {
+        let requests = TrialRequest::batch_for(
+            config,
+            n,
+            (0..trials).map(|index| crate::candidate::trial_seed(n, index)),
+        );
+        let mut acc = OnlineStats::new();
+        for outcome in self.run_batch(&requests) {
+            acc.push(outcome.accuracy);
+        }
+        acc.mean()
+    }
+}
+
+impl TrialRunner for Evaluator<'_> {
+    fn name(&self) -> &str {
+        self.runner.name()
+    }
+
+    fn schema(&self) -> &pb_config::Schema {
+        self.runner.schema()
+    }
+
+    fn deterministic(&self) -> bool {
+        self.runner.deterministic()
+    }
+
+    /// Single-trial execution: the fallback path for demand-driven
+    /// draws. Served from the cache when possible; executes on the
+    /// calling thread otherwise.
+    fn run_trial(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
+        let Some(cache) = &self.cache else {
+            return self.runner.run_trial(config, n, seed);
+        };
+        let key = (config_fingerprint(config), n, seed);
+        {
+            let map = cache.map.lock().expect("trial cache poisoned");
+            if let Some(outcome) = map.get(&key) {
+                cache.hits.fetch_add(1, Ordering::Relaxed);
+                return *outcome;
+            }
+        }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.runner.run_trial(config, n, seed);
+        cache
+            .map
+            .lock()
+            .expect("trial cache poisoned")
+            .insert(key, outcome);
+        outcome
+    }
+
+    /// Traced runs are never cached (the trace is not memoized).
+    fn run_traced(&self, config: &Config, n: u64, seed: u64) -> (TrialOutcome, TraceNode) {
+        self.runner.run_traced(config, n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::trial_seed;
+    use pb_config::{Schema, Value};
+    use pb_runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+    use rand::rngs::SmallRng;
+
+    struct Linear;
+
+    impl Transform for Linear {
+        type Input = ();
+        type Output = ();
+        fn name(&self) -> &str {
+            "linear"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("linear");
+            s.add_accuracy_variable("v", 1, 100);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+            let v = ctx.param("v").unwrap() as f64;
+            ctx.charge(v * ctx.size() as f64);
+        }
+        fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+            0.5
+        }
+    }
+
+    fn request(config: &Config, n: u64, index: u64) -> TrialRequest {
+        TrialRequest::new(Arc::new(config.clone()), n, trial_seed(n, index))
+    }
+
+    #[test]
+    fn duplicate_config_hits_the_cache() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let config = runner.schema().default_config();
+        let reqs = vec![request(&config, 8, 0), request(&config, 8, 1)];
+        let first = eval.run_batch(&reqs);
+        assert_eq!(eval.cache_misses(), 2);
+        assert_eq!(eval.cache_hits(), 0);
+        // A duplicate candidate re-requests the exact same trials.
+        let second = eval.run_batch(&reqs);
+        assert_eq!(eval.cache_misses(), 2, "no re-execution");
+        assert_eq!(eval.cache_hits(), 2);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn duplicates_within_one_batch_execute_once() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let config = runner.schema().default_config();
+        let reqs = vec![
+            request(&config, 8, 0),
+            request(&config, 8, 0),
+            request(&config, 8, 0),
+        ];
+        let out = eval.run_batch(&reqs);
+        assert_eq!(eval.cache_misses(), 1);
+        assert_eq!(eval.cache_hits(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(out[1], out[2]);
+    }
+
+    #[test]
+    fn mutation_changes_the_fingerprint() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let schema = runner.schema();
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let base = schema.default_config();
+        eval.run_batch(&[request(&base, 8, 0)]);
+        assert_eq!(eval.cache_misses(), 1);
+        // A mutated config misses …
+        let mut mutated = base.clone();
+        mutated.set_by_name(schema, "v", Value::Int(7)).unwrap();
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&mutated));
+        eval.run_batch(&[request(&mutated, 8, 0)]);
+        assert_eq!(eval.cache_misses(), 2);
+        // … but reverting the mutation hits again.
+        let mut reverted = mutated.clone();
+        reverted.set_by_name(schema, "v", Value::Int(1)).unwrap();
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&reverted));
+        eval.run_batch(&[request(&reverted, 8, 0)]);
+        assert_eq!(eval.cache_misses(), 2);
+        assert_eq!(eval.cache_hits(), 1);
+    }
+
+    #[test]
+    fn demand_driven_single_trials_share_the_cache() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let config = runner.schema().default_config();
+        eval.run_batch(&[request(&config, 16, 0)]);
+        // The comparator-style single draw for the same trial hits.
+        let outcome = eval.run_trial(&config, 16, trial_seed(16, 0));
+        assert_eq!(eval.cache_hits(), 1);
+        assert_eq!(outcome.time, 16.0);
+    }
+
+    #[test]
+    fn memoization_can_be_disabled() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, false);
+        let config = runner.schema().default_config();
+        let reqs = vec![request(&config, 8, 0), request(&config, 8, 0)];
+        eval.run_batch(&reqs);
+        eval.run_batch(&reqs);
+        assert_eq!(eval.cache_hits(), 0);
+        assert_eq!(eval.cache_misses(), 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let config = runner.schema().default_config();
+        let reqs: Vec<TrialRequest> = (0..64).map(|i| request(&config, 32, i)).collect();
+        let seq = Evaluator::new(&runner, EvalMode::Sequential, true).run_batch(&reqs);
+        let par = Evaluator::new(&runner, EvalMode::Parallel, true).run_batch(&reqs);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            // `wall_seconds` is a real clock measurement and differs
+            // run to run even sequentially; everything the tuner
+            // consumes must agree bitwise.
+            assert_eq!(s.time, p.time);
+            assert_eq!(s.virtual_cost, p.virtual_cost);
+            assert_eq!(s.accuracy, p.accuracy);
+        }
+    }
+}

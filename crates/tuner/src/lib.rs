@@ -63,11 +63,13 @@
 //! ```
 
 pub mod candidate;
+pub mod exec;
 pub mod mutators;
 pub mod population;
 pub mod tuner;
 
 pub use candidate::{Candidate, SizeStats};
+pub use exec::{config_fingerprint, EvalMode, Evaluator, TrialRequest};
 pub use mutators::{MutationRecord, Mutator, MutatorPool};
 pub use population::Population;
 pub use tuner::{Autotuner, TunerError, TunerOptions, TunerStats, TuningOutcome};

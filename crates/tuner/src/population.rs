@@ -15,6 +15,7 @@
 //! 6. keep the first `K`.
 
 use crate::candidate::{trial_seed, Candidate, SizeStats};
+use crate::exec::Evaluator;
 use pb_config::AccuracyBins;
 use pb_runtime::TrialRunner;
 use pb_stats::{Comparator, CompareOutcome};
@@ -89,9 +90,32 @@ impl Population {
 
     /// Ensures every candidate has at least `min_trials` cached at `n`
     /// (the *testPopulation* phase of Figure 5).
-    pub fn test_all(&mut self, runner: &dyn TrialRunner, n: u64, min_trials: u64) {
-        for c in &mut self.candidates {
-            c.ensure_tested(runner, n, min_trials);
+    ///
+    /// Plan-then-execute: the whole population's missing trials are
+    /// collected into one batch, executed through `evaluator` (on the
+    /// work-stealing pool in parallel mode), and merged back per
+    /// candidate in trial-index order — bit-identical to testing each
+    /// candidate sequentially.
+    pub fn test_all(&mut self, evaluator: &Evaluator<'_>, n: u64, min_trials: u64) {
+        let mut requests = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (i, c) in self.candidates.iter().enumerate() {
+            let plan = c.plan_trials(n, min_trials);
+            if !plan.is_empty() {
+                spans.push((i, plan.len()));
+                requests.extend(plan);
+            }
+        }
+        if requests.is_empty() {
+            return;
+        }
+        let outcomes = evaluator.run_batch(&requests);
+        let mut offset = 0;
+        for (i, count) in spans {
+            for outcome in &outcomes[offset..offset + count] {
+                self.candidates[i].absorb(n, outcome);
+            }
+            offset += count;
         }
     }
 
@@ -310,7 +334,8 @@ mod tests {
                 .unwrap();
             pop.add(Candidate::new(i as u64, config));
         }
-        pop.test_all(runner, n, 3);
+        let evaluator = Evaluator::new(runner, crate::exec::EvalMode::Sequential, true);
+        pop.test_all(&evaluator, n, 3);
         pop
     }
 

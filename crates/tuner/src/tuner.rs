@@ -19,6 +19,7 @@
 //! the fastest `K` per accuracy bin (§5.5.4).
 
 use crate::candidate::Candidate;
+use crate::exec::{EvalMode, Evaluator};
 use crate::mutators::MutatorPool;
 use crate::population::Population;
 use pb_config::{AccuracyBins, Config, Schema, TunableKind, Value};
@@ -88,6 +89,18 @@ pub struct TunerOptions {
     pub initial_random: usize,
     /// Master seed for the tuner's own randomness.
     pub seed: u64,
+    /// Execute trial batches on the work-stealing pool. `false` forces
+    /// sequential execution; results are bit-identical either way
+    /// (trial seeds are deterministic and merge order is fixed), so
+    /// this is a performance switch and a determinism-test lever, not
+    /// a semantic one.
+    pub parallel_trials: bool,
+    /// Memoize trial outcomes by `(config fingerprint, n, seed)`.
+    /// Only takes effect when the runner reports
+    /// [`TrialRunner::deterministic`] trials (the virtual cost
+    /// model); wall-clock runners are never memoized, since their
+    /// repeated measurements genuinely differ.
+    pub memoize_trials: bool,
 }
 
 impl Default for TunerOptions {
@@ -104,6 +117,8 @@ impl Default for TunerOptions {
             guided_max_steps: 64,
             initial_random: 3,
             seed: 0x5EED,
+            parallel_trials: true,
+            memoize_trials: true,
         }
     }
 }
@@ -128,6 +143,8 @@ impl TunerOptions {
             guided_max_steps: 48,
             initial_random: 2,
             seed,
+            parallel_trials: true,
+            memoize_trials: true,
         }
     }
 
@@ -158,6 +175,12 @@ pub struct TunerStats {
     pub guided_runs: u64,
     /// Candidates removed by pruning.
     pub pruned: u64,
+    /// Trial requests served from the memo cache without executing.
+    pub cache_hits: u64,
+    /// Trial requests that executed a trial (equals `trials` when
+    /// memoization is on and all execution flows through the
+    /// evaluator).
+    pub cache_misses: u64,
 }
 
 /// A tuned program plus the run's statistics and frontier summary.
@@ -196,6 +219,9 @@ impl TrialRunner for CountingRunner<'_> {
     }
     fn schema(&self) -> &Schema {
         self.inner.schema()
+    }
+    fn deterministic(&self) -> bool {
+        self.inner.deterministic()
     }
     fn run_trial(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
         self.trials.fetch_add(1, Ordering::Relaxed);
@@ -252,6 +278,17 @@ impl<'a> Autotuner<'a> {
         if schema.is_empty() {
             return Err(TunerError::NothingToTune);
         }
+        let mode = if self.options.parallel_trials {
+            EvalMode::Parallel
+        } else {
+            EvalMode::Sequential
+        };
+        // Memoization requires trials to be pure functions of
+        // (config, n, seed); a wall-clock runner says it is not, and
+        // serving it cached timings would feed the comparator
+        // zero-variance samples.
+        let memoize = self.options.memoize_trials && counting.deterministic();
+        let evaluator = Evaluator::new(&counting, mode, memoize);
         let pool = MutatorPool::from_schema(&schema);
         let comparator = Comparator::new(self.options.comparator);
         let mut rng = SmallRng::seed_from_u64(self.options.seed);
@@ -284,10 +321,10 @@ impl<'a> Autotuner<'a> {
 
         let sizes = self.options.size_schedule();
         for &n in &sizes {
-            pop.test_all(&counting, n, self.options.min_trials);
+            pop.test_all(&evaluator, n, self.options.min_trials);
             for _round in 0..self.options.rounds_per_size {
                 self.random_mutation(
-                    &counting,
+                    &evaluator,
                     &schema,
                     &pool,
                     &comparator,
@@ -300,7 +337,7 @@ impl<'a> Autotuner<'a> {
                 if self.targets_not_reached(&pop, n) {
                     stats.guided_runs += 1;
                     self.guided_mutation(
-                        &counting,
+                        &evaluator,
                         &schema,
                         &mut pop,
                         n,
@@ -312,7 +349,7 @@ impl<'a> Autotuner<'a> {
                     n,
                     &self.bins,
                     self.options.keep_per_bin,
-                    &counting,
+                    &evaluator,
                     &comparator,
                 ) as u64;
             }
@@ -327,7 +364,7 @@ impl<'a> Autotuner<'a> {
                 None => {
                     // Last-resort guided mutation aimed at this target.
                     self.guided_mutation(
-                        &counting,
+                        &evaluator,
                         &schema,
                         &mut pop,
                         final_n,
@@ -355,6 +392,8 @@ impl<'a> Autotuner<'a> {
             });
         }
         stats.trials = counting.count();
+        stats.cache_hits = evaluator.cache_hits();
+        stats.cache_misses = evaluator.cache_misses();
         Ok(TuningOutcome {
             program: TunedProgram::new(schema.name(), self.bins, entries),
             stats,
@@ -371,13 +410,26 @@ impl<'a> Autotuner<'a> {
             .any(|&t| pop.fastest_meeting(n, t).is_none())
     }
 
-    /// The random-mutation phase (§5.5.2): repeatedly pick a random
-    /// parent and mutator; keep the child if it beats the parent in
-    /// either time or accuracy.
+    /// The random-mutation phase (§5.5.2) in plan-then-execute form:
+    ///
+    /// 1. **Plan** — draw every mutation attempt of the round against
+    ///    the round-start population: pick a random parent and
+    ///    mutator, build the child configuration. No trials run.
+    /// 2. **Execute** — batch all planned children's initial trials
+    ///    through the evaluator (the work-stealing pool in parallel
+    ///    mode).
+    /// 3. **Merge** — in plan order, append each child and keep it if
+    ///    it beats its parent in either time or accuracy; the adaptive
+    ///    comparator's demand-driven extra trials fall back to
+    ///    single-trial execution through the same evaluator.
+    ///
+    /// All randomness is consumed in the plan phase and all decisions
+    /// happen in the fixed merge order, so parallel execution is
+    /// bit-identical to sequential.
     #[allow(clippy::too_many_arguments)]
     fn random_mutation(
         &self,
-        runner: &dyn TrialRunner,
+        evaluator: &Evaluator<'_>,
         schema: &Schema,
         pool: &MutatorPool,
         comparator: &Comparator,
@@ -387,11 +439,16 @@ impl<'a> Autotuner<'a> {
         stats: &mut TunerStats,
         alloc_id: &mut impl FnMut() -> u64,
     ) {
+        if pop.is_empty() {
+            return;
+        }
+        // Phase 1 — plan. Parents are drawn from the round-start
+        // population (accepted children join the parent pool next
+        // round).
+        let parent_count = pop.len();
+        let mut planned: Vec<(usize, Candidate)> = Vec::new();
         for _ in 0..self.options.mutation_attempts {
-            if pop.is_empty() {
-                return;
-            }
-            let parent_idx = rng.gen_range(0..pop.len());
+            let parent_idx = rng.gen_range(0..parent_count);
             let parent = &pop.candidates()[parent_idx];
             let mut config = parent.config.clone();
             let prev = parent.last_mutation.clone();
@@ -400,12 +457,32 @@ impl<'a> Autotuner<'a> {
             };
             let mut child = Candidate::new(alloc_id(), config);
             child.last_mutation = Some(record);
-            child.ensure_tested(runner, n, self.options.min_trials);
-            stats.children_created += 1;
+            planned.push((parent_idx, child));
+        }
 
+        // Phase 2 — execute the whole round's initial trials at once.
+        let mut requests = Vec::new();
+        let mut spans = Vec::new();
+        for (_, child) in &planned {
+            let plan = child.plan_trials(n, self.options.min_trials);
+            spans.push(plan.len());
+            requests.extend(plan);
+        }
+        let outcomes = evaluator.run_batch(&requests);
+        let mut offset = 0;
+        for ((_, child), count) in planned.iter_mut().zip(&spans) {
+            for outcome in &outcomes[offset..offset + *count] {
+                child.absorb(n, outcome);
+            }
+            offset += count;
+        }
+
+        // Phase 3 — merge in plan order.
+        for (parent_idx, child) in planned {
+            stats.children_created += 1;
             pop.add(child);
             let child_idx = pop.len() - 1;
-            let faster = pop.compare_time(child_idx, parent_idx, n, runner, comparator)
+            let faster = pop.compare_time(child_idx, parent_idx, n, evaluator, comparator)
                 == CompareOutcome::Less;
             let more_accurate = {
                 let child_stats = pop.candidates()[child_idx]
@@ -431,9 +508,14 @@ impl<'a> Autotuner<'a> {
     /// The guided-mutation phase (§5.5.3): hill climbing on the
     /// accuracy tunables of the best-accuracy candidate toward the
     /// lowest unmet bin target.
+    ///
+    /// Each hill-climbing step's neighbour probes are independent, so
+    /// their trials execute as one batch; the winning probe is picked
+    /// in the fixed (tunable, neighbour) iteration order, keeping
+    /// parallel execution bit-identical to sequential.
     fn guided_mutation(
         &self,
-        runner: &dyn TrialRunner,
+        evaluator: &Evaluator<'_>,
         schema: &Schema,
         pop: &mut Population,
         n: u64,
@@ -457,14 +539,15 @@ impl<'a> Autotuner<'a> {
         }
 
         let mut current = pop.candidates()[base_idx].config.clone();
-        let mut current_acc = self.measure_accuracy(runner, &current, n);
+        let mut current_acc = evaluator.mean_accuracy(&current, n, self.options.min_trials);
         let mut improved_any = false;
 
         for _ in 0..self.options.guided_max_steps {
             if current_acc >= target {
                 break;
             }
-            let mut best: Option<(Config, f64)> = None;
+            // Plan the step's probes …
+            let mut probes: Vec<Config> = Vec::new();
             for &id in &accuracy_ids {
                 for neighbor in neighbor_values(schema, &current, id) {
                     let mut probe = current.clone();
@@ -472,10 +555,31 @@ impl<'a> Autotuner<'a> {
                     if probe == current {
                         continue;
                     }
-                    let acc = self.measure_accuracy(runner, &probe, n);
-                    if best.as_ref().map(|(_, a)| acc > *a).unwrap_or(true) {
-                        best = Some((probe, acc));
-                    }
+                    probes.push(probe);
+                }
+            }
+            // … execute their trials as one batch …
+            let mut requests = Vec::new();
+            for probe in &probes {
+                requests.extend(crate::exec::TrialRequest::batch_for(
+                    probe,
+                    n,
+                    (0..self.options.min_trials).map(|i| crate::candidate::trial_seed(n, i)),
+                ));
+            }
+            let outcomes = evaluator.run_batch(&requests);
+            // … and pick the winner in plan order.
+            let trials = self.options.min_trials as usize;
+            let mut best: Option<(Config, f64)> = None;
+            for (k, probe) in probes.into_iter().enumerate() {
+                let span = &outcomes[k * trials..(k + 1) * trials];
+                let mut acc_stats = pb_stats::OnlineStats::new();
+                for outcome in span {
+                    acc_stats.push(outcome.accuracy);
+                }
+                let acc = acc_stats.mean();
+                if best.as_ref().map(|(_, a)| acc > *a).unwrap_or(true) {
+                    best = Some((probe, acc));
                 }
             }
             match best {
@@ -490,18 +594,11 @@ impl<'a> Autotuner<'a> {
 
         if improved_any || current_acc >= target {
             let mut candidate = Candidate::new(alloc_id(), current);
-            candidate.ensure_tested(runner, n, self.options.min_trials);
+            candidate.ensure_tested(evaluator, n, self.options.min_trials);
             stats.children_created += 1;
             stats.children_accepted += 1;
             pop.add(candidate);
         }
-    }
-
-    /// Mean accuracy of `config` over `min_trials` trials at size `n`.
-    fn measure_accuracy(&self, runner: &dyn TrialRunner, config: &Config, n: u64) -> f64 {
-        let mut probe = Candidate::new(u64::MAX, config.clone());
-        probe.ensure_tested(runner, n, self.options.min_trials);
-        probe.mean_accuracy(n)
     }
 }
 
@@ -690,6 +787,23 @@ mod tests {
         assert!(outcome.stats.trials > 0);
         assert!(outcome.stats.children_created > 0);
         assert!(outcome.final_population >= 1);
+    }
+
+    #[test]
+    fn wall_clock_runners_are_never_memoized() {
+        let runner = TransformRunner::new(Iterate, CostModel::WallClock);
+        let bins = AccuracyBins::new(vec![0.5]);
+        let mut options = TunerOptions::fast_preset(8, 2);
+        options.memoize_trials = true; // requested, but the runner is nondeterministic
+        let outcome = Autotuner::new(&runner, bins, options)
+            .tune_outcome()
+            .unwrap();
+        assert!(outcome.stats.trials > 0);
+        assert_eq!(
+            (outcome.stats.cache_hits, outcome.stats.cache_misses),
+            (0, 0),
+            "wall-clock timings must never be served from the memo cache"
+        );
     }
 
     #[test]

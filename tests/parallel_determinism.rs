@@ -1,0 +1,107 @@
+//! Parallel candidate evaluation must be **bit-identical** to forced
+//! sequential evaluation.
+//!
+//! Trial seeds are a deterministic function of `(input size, trial
+//! index)`, trials are pure under the virtual cost model, and every
+//! tuner decision happens in a fixed merge order — so switching the
+//! evaluator between the work-stealing pool and a sequential loop may
+//! change only the wall-clock schedule, never a configuration, a
+//! statistic, or a prune decision. These tests pin that guarantee
+//! across multiple seeds and two real tuning workloads.
+
+use petabricks::benchmarks::binpacking::ratio_to_accuracy;
+use petabricks::benchmarks::{BinPacking, Clustering};
+use petabricks::config::AccuracyBins;
+use petabricks::runtime::pool::THREADS_ENV;
+use petabricks::runtime::{CostModel, Transform, TransformRunner};
+use petabricks::tuner::{Autotuner, TunerOptions, TuningOutcome};
+
+/// Forces a multi-threaded pool even on single-core CI runners, so the
+/// parallel path genuinely executes trials concurrently.
+///
+/// Guarded by a [`Once`] because libtest runs the `#[test]` fns on
+/// separate threads: the variable is written exactly once, and every
+/// test synchronizes on that write before its first pool use (the
+/// pool's own `OnceLock` then reads it exactly once).
+fn force_parallel_pool() {
+    static FORCE: std::sync::Once = std::sync::Once::new();
+    // SAFETY: the Once serializes the single write; all reads happen
+    // through Pool::global()'s one-time init, after some call to this
+    // function (and therefore the write) has completed.
+    FORCE.call_once(|| unsafe { std::env::set_var(THREADS_ENV, "4") });
+}
+
+fn tune<T>(transform: T, bins: Vec<f64>, max_size: u64, seed: u64, parallel: bool) -> TuningOutcome
+where
+    T: Transform + Send + Sync,
+{
+    let runner = TransformRunner::new(transform, CostModel::Virtual);
+    let mut options = TunerOptions::fast_preset(max_size, seed);
+    options.parallel_trials = parallel;
+    Autotuner::new(&runner, AccuracyBins::new(bins), options)
+        .tune_outcome()
+        .unwrap_or_else(|e| panic!("tuning failed: {e}"))
+}
+
+fn assert_bit_identical(seq: &TuningOutcome, par: &TuningOutcome) {
+    // The tuned frontier: identical configurations and identical
+    // observed statistics (f64-exact, no tolerance).
+    assert_eq!(seq.program, par.program);
+    // Every counter the run accumulated: same trials executed, same
+    // children created/accepted, same prune decisions, same cache
+    // behaviour.
+    assert_eq!(seq.stats, par.stats);
+    // And the surviving population is the same size.
+    assert_eq!(seq.final_population, par.final_population);
+}
+
+#[test]
+fn clustering_parallel_matches_sequential_across_seeds() {
+    force_parallel_pool();
+    for seed in [11u64, 0xE2E] {
+        let seq = tune(Clustering, vec![0.05, 0.2], 64, seed, false);
+        let par = tune(Clustering, vec![0.05, 0.2], 64, seed, true);
+        assert_bit_identical(&seq, &par);
+    }
+}
+
+#[test]
+fn binpacking_parallel_matches_sequential_across_seeds() {
+    force_parallel_pool();
+    for seed in [7u64, 42] {
+        let bins = vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)];
+        let seq = tune(BinPacking, bins.clone(), 256, seed, false);
+        let par = tune(BinPacking, bins, 256, seed, true);
+        assert_bit_identical(&seq, &par);
+    }
+}
+
+#[test]
+fn memoization_does_not_change_results_only_work() {
+    force_parallel_pool();
+    let runner = TransformRunner::new(Clustering, CostModel::Virtual);
+    let bins = AccuracyBins::new(vec![0.05, 0.2]);
+    let mut memo_on = TunerOptions::fast_preset(64, 3);
+    memo_on.memoize_trials = true;
+    let mut memo_off = memo_on;
+    memo_off.memoize_trials = false;
+    let with_cache = Autotuner::new(&runner, bins.clone(), memo_on)
+        .tune_outcome()
+        .unwrap();
+    let without_cache = Autotuner::new(&runner, bins, memo_off)
+        .tune_outcome()
+        .unwrap();
+    assert_eq!(with_cache.program, without_cache.program);
+    assert!(
+        with_cache.stats.cache_hits > 0,
+        "a real tuning run re-requests trials (duplicate candidates, \
+         comparator redraws): {:?}",
+        with_cache.stats
+    );
+    assert!(
+        with_cache.stats.trials < without_cache.stats.trials,
+        "memoization must reduce executed trials: {} vs {}",
+        with_cache.stats.trials,
+        without_cache.stats.trials
+    );
+}

@@ -1,8 +1,15 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only [`thread::scope`] is provided — the single API this workspace
-//! uses — implemented on top of `std::thread::scope` (stabilized after
-//! crossbeam popularized the pattern).
+//! Two APIs are provided — the subset this workspace uses:
+//!
+//! * [`thread::scope`], implemented on top of `std::thread::scope`
+//!   (stabilized after crossbeam popularized the pattern);
+//! * [`deque`], the work-stealing building blocks ([`deque::Injector`],
+//!   [`deque::Worker`], [`deque::Stealer`]) behind
+//!   `pb_runtime`'s thread pool. The stand-in uses mutex-protected
+//!   queues rather than crossbeam's lock-free Chase-Lev deques; the
+//!   API and ownership model match, only the synchronization strategy
+//!   differs.
 
 pub mod thread {
     //! Scoped threads.
@@ -58,6 +65,234 @@ pub mod thread {
             })
             .unwrap();
             assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing queues: a shared [`Injector`] plus per-worker
+    //! [`Worker`] deques with [`Stealer`] handles.
+    //!
+    //! The surface mirrors `crossbeam-deque`: workers pop their own
+    //! queue cheaply, steal from the injector (optionally moving a
+    //! batch into their local queue first), and steal single items
+    //! from each other when both run dry.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        ///
+        /// The mutex-based stand-in never loses races, but callers
+        /// written against crossbeam handle this variant, so it is
+        /// kept for API fidelity.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// The global FIFO queue tasks are injected into.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .expect("injector poisoned")
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steals a batch of tasks into `dest`'s local queue and pops
+        /// one of them (the crossbeam idiom for refilling a worker).
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut queue = self.queue.lock().expect("injector poisoned");
+            let first = match queue.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half of the remainder over with the popped task.
+            let batch = queue.len().div_ceil(2).min(16);
+            let mut dest_queue = dest.queue.lock().expect("worker poisoned");
+            for _ in 0..batch {
+                match queue.pop_front() {
+                    Some(t) => dest_queue.push_back(t),
+                    None => break,
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("injector poisoned").is_empty()
+        }
+    }
+
+    /// A worker's own FIFO queue. Owned by one thread; other threads
+    /// take tasks through [`Stealer`] handles.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end of the queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().expect("worker poisoned").push_back(task);
+        }
+
+        /// Pops a task from the owner's end of the queue.
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("worker poisoned").pop_front()
+        }
+
+        /// Creates a steal handle for other threads.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+    }
+
+    /// Steals single tasks from the opposite end of a [`Worker`]'s
+    /// queue.
+    #[derive(Debug, Clone)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the victim's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("worker poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().expect("worker poisoned").is_empty()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Empty);
+        }
+
+        #[test]
+        fn steal_batch_refills_worker() {
+            let inj = Injector::new();
+            for i in 0..6 {
+                inj.push(i);
+            }
+            let w: Worker<i32> = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            assert!(!w.is_empty(), "a batch moved into the worker queue");
+            let mut drained = Vec::new();
+            while let Some(t) = w.pop() {
+                drained.push(t);
+            }
+            // The rest is still reachable through the injector.
+            while let Steal::Success(t) = inj.steal() {
+                drained.push(t);
+            }
+            drained.sort_unstable();
+            assert_eq!(drained, vec![1, 2, 3, 4, 5]);
+        }
+
+        #[test]
+        fn stealer_takes_from_opposite_end() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+        }
+
+        #[test]
+        fn stealers_work_across_threads() {
+            let w = Worker::new_fifo();
+            for i in 0..100 {
+                w.push(i);
+            }
+            let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+            let total: usize = std::thread::scope(|scope| {
+                stealers
+                    .into_iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            let mut n = 0;
+                            while s.steal().success().is_some() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(total + w.queue.lock().unwrap().len(), 100);
         }
     }
 }
