@@ -30,8 +30,19 @@ struct ModeReport {
     trials_per_sec: f64,
     cache_hits: u64,
     cache_misses: u64,
-    /// `hits / (hits + misses)`.
+    /// Intra-batch duplicates that shared another request's execution
+    /// (neither hits nor misses).
+    cache_coalesced: u64,
+    /// `hits / (hits + misses + coalesced)`: true cache reuse.
     cache_hit_rate: f64,
+    /// Tournament-pruning rounds that issued a trial batch (§5.5.4).
+    prune_rounds: u64,
+    /// Comparator draws executed through pruning batches.
+    prune_draws: u64,
+    /// `draws / rounds`: average pruning batch size.
+    prune_draws_per_round: f64,
+    /// Largest single pruning batch.
+    prune_max_batch: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -88,18 +99,27 @@ where
     }
     let (outcome, wall) = best.expect("at least one timing run");
     let stats = outcome.stats;
-    let requested = stats.cache_hits + stats.cache_misses;
+    let requested = stats.cache_hits + stats.cache_misses + stats.cache_coalesced;
     let report = ModeReport {
         wall_seconds: wall,
         trials_executed: stats.trials,
         trials_per_sec: stats.trials as f64 / wall,
         cache_hits: stats.cache_hits,
         cache_misses: stats.cache_misses,
+        cache_coalesced: stats.cache_coalesced,
         cache_hit_rate: if requested > 0 {
             stats.cache_hits as f64 / requested as f64
         } else {
             0.0
         },
+        prune_rounds: stats.prune_rounds,
+        prune_draws: stats.prune_draws,
+        prune_draws_per_round: if stats.prune_rounds > 0 {
+            stats.prune_draws as f64 / stats.prune_rounds as f64
+        } else {
+            0.0
+        },
+        prune_max_batch: stats.prune_max_batch,
     };
     (outcome, report)
 }
@@ -171,17 +191,25 @@ fn main() {
         if smoke { ", smoke" } else { "" }
     );
     println!(
-        "{:>12} {:>14} {:>14} {:>9} {:>10}",
-        "workload", "seq trials/s", "par trials/s", "speedup", "hit rate"
+        "{:>12} {:>14} {:>14} {:>9} {:>10} {:>12} {:>12}",
+        "workload",
+        "seq trials/s",
+        "par trials/s",
+        "speedup",
+        "hit rate",
+        "prune rounds",
+        "draws/round"
     );
     for w in &report.workloads {
         println!(
-            "{:>12} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}%",
+            "{:>12} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}% {:>12} {:>12.2}",
             w.name,
             w.sequential.trials_per_sec,
             w.parallel.trials_per_sec,
             w.speedup,
             100.0 * w.parallel.cache_hit_rate,
+            w.parallel.prune_rounds,
+            w.parallel.prune_draws_per_round,
         );
     }
 

@@ -27,6 +27,38 @@ pub enum CompareOutcome {
     Same,
 }
 
+/// Which side of a comparison the protocol wants more data on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Which {
+    /// The first candidate.
+    A,
+    /// The second candidate.
+    B,
+}
+
+/// One step of the resumable comparison protocol: either the decision
+/// is already determined by the accumulated statistics, or the
+/// protocol needs more trials on one side before it can re-decide.
+///
+/// This is the *decision core* of §5.5.1 with the trial execution
+/// factored out, so a scheduler can collect many comparisons' pending
+/// draws into one batch (see `pb_tuner`'s tournament pruning) instead
+/// of running them one at a time on the calling thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareStep {
+    /// The comparison is decided; no further trials are needed.
+    Decided(CompareOutcome),
+    /// Run `draws` more trial(s) on `which`, fold them into that
+    /// side's statistics, and call [`Comparator::decide`] again.
+    NeedMore {
+        /// The side that should receive the next trial(s).
+        which: Which,
+        /// How many trials to run before re-deciding (more than one
+        /// only while a side is below the minimum trial count).
+        draws: u64,
+    },
+}
+
 impl CompareOutcome {
     /// Flips `Less` and `Greater` (for comparing in the opposite order).
     pub fn reverse(self) -> Self {
@@ -116,12 +148,84 @@ impl Comparator {
         &self.config
     }
 
+    /// The decision core of §5.5.1: given both candidates' accumulated
+    /// statistics, either the comparison is already decided or the
+    /// protocol names the side that should run more trials.
+    ///
+    /// Pure in the statistics — no trials run here — so a scheduler
+    /// can evaluate many comparisons' pending draws as one batch and
+    /// re-decide after merging the outcomes. [`Comparator::compare`]
+    /// is the blocking wrapper that consumes these steps one at a
+    /// time, so the two paths request identical draw sequences.
+    pub fn decide(&self, a_stats: &OnlineStats, b_stats: &OnlineStats) -> CompareStep {
+        let cfg = &self.config;
+        // Bring both candidates up to the minimum trial count (A
+        // first, matching the blocking loop's fill order).
+        if a_stats.count() < cfg.min_trials {
+            return CompareStep::NeedMore {
+                which: Which::A,
+                draws: cfg.min_trials - a_stats.count(),
+            };
+        }
+        if b_stats.count() < cfg.min_trials {
+            return CompareStep::NeedMore {
+                which: Which::B,
+                draws: cfg.min_trials - b_stats.count(),
+            };
+        }
+
+        // Step 1: t-test for difference.
+        let test = welch_t_test(a_stats, b_stats);
+        if test.rejects_equality(cfg.alpha) {
+            return CompareStep::Decided(if a_stats.mean() < b_stats.mean() {
+                CompareOutcome::Less
+            } else {
+                CompareOutcome::Greater
+            });
+        }
+
+        // Step 2: is the relative difference negligible with high
+        // probability? Fit a normal to the percentage difference of
+        // the means via error propagation.
+        if self.relative_difference_negligible(a_stats, b_stats) {
+            return CompareStep::Decided(CompareOutcome::Same);
+        }
+
+        // Step 3: both candidates exhausted their budget.
+        let a_full = a_stats.count() >= cfg.max_trials;
+        let b_full = b_stats.count() >= cfg.max_trials;
+        if a_full && b_full {
+            return CompareStep::Decided(CompareOutcome::Same);
+        }
+
+        // Step 4: one more trial on the candidate with the highest
+        // expected standard-error reduction that still has budget.
+        let gain_a = if a_full {
+            f64::NEG_INFINITY
+        } else {
+            se_reduction(a_stats)
+        };
+        let gain_b = if b_full {
+            f64::NEG_INFINITY
+        } else {
+            se_reduction(b_stats)
+        };
+        CompareStep::NeedMore {
+            which: if gain_a >= gain_b { Which::A } else { Which::B },
+            draws: 1,
+        }
+    }
+
     /// Compares two candidates, drawing extra samples on demand.
     ///
     /// `a_stats` / `b_stats` accumulate every drawn observation, so
     /// repeated comparisons against other candidates reuse earlier
     /// trials — mirroring the paper, where tests on a candidate are
     /// cached for its lifetime in the population.
+    ///
+    /// A thin blocking wrapper over [`Comparator::decide`]: it draws
+    /// exactly the trials the decision core requests, in the order it
+    /// requests them.
     pub fn compare(
         &self,
         a_stats: &mut OnlineStats,
@@ -129,56 +233,25 @@ impl Comparator {
         b_stats: &mut OnlineStats,
         b_source: &mut dyn SampleSource,
     ) -> CompareOutcome {
-        let cfg = &self.config;
-        // Bring both candidates up to the minimum trial count.
-        while a_stats.count() < cfg.min_trials {
-            a_stats.push(a_source.draw());
-        }
-        while b_stats.count() < cfg.min_trials {
-            b_stats.push(b_source.draw());
-        }
-
         loop {
-            // Step 1: t-test for difference.
-            let test = welch_t_test(a_stats, b_stats);
-            if test.rejects_equality(cfg.alpha) {
-                return if a_stats.mean() < b_stats.mean() {
-                    CompareOutcome::Less
-                } else {
-                    CompareOutcome::Greater
-                };
-            }
-
-            // Step 2: is the relative difference negligible with high
-            // probability? Fit a normal to the percentage difference of
-            // the means via error propagation.
-            if self.relative_difference_negligible(a_stats, b_stats) {
-                return CompareOutcome::Same;
-            }
-
-            // Step 3: both candidates exhausted their budget.
-            let a_full = a_stats.count() >= cfg.max_trials;
-            let b_full = b_stats.count() >= cfg.max_trials;
-            if a_full && b_full {
-                return CompareOutcome::Same;
-            }
-
-            // Step 4: one more trial on the candidate with the highest
-            // expected standard-error reduction that still has budget.
-            let gain_a = if a_full {
-                f64::NEG_INFINITY
-            } else {
-                se_reduction(a_stats)
-            };
-            let gain_b = if b_full {
-                f64::NEG_INFINITY
-            } else {
-                se_reduction(b_stats)
-            };
-            if gain_a >= gain_b {
-                a_stats.push(a_source.draw());
-            } else {
-                b_stats.push(b_source.draw());
+            match self.decide(a_stats, b_stats) {
+                CompareStep::Decided(outcome) => return outcome,
+                CompareStep::NeedMore {
+                    which: Which::A,
+                    draws,
+                } => {
+                    for _ in 0..draws {
+                        a_stats.push(a_source.draw());
+                    }
+                }
+                CompareStep::NeedMore {
+                    which: Which::B,
+                    draws,
+                } => {
+                    for _ in 0..draws {
+                        b_stats.push(b_source.draw());
+                    }
+                }
             }
         }
     }
@@ -312,6 +385,67 @@ mod tests {
         assert_eq!(out, CompareOutcome::Same);
         assert_eq!(na, 3);
         assert_eq!(nb, 3);
+    }
+
+    /// Drives `decide` by hand the way a batch scheduler would and
+    /// checks it reproduces `compare` exactly: same outcome, same
+    /// number of draws on each side.
+    #[test]
+    fn decide_steps_replay_compare_exactly() {
+        for (seed_a, seed_b, offset) in [(1u64, 2u64, 9.0), (3, 4, 0.0), (5, 6, 0.05)] {
+            let comparator = Comparator::new(ComparatorConfig {
+                max_trials: 10,
+                ..ComparatorConfig::default()
+            });
+            let mut rng_a = Lcg(seed_a);
+            let mut rng_b = Lcg(seed_b);
+            let mut gen_a = move || 1.0 + rng_a.next_f64();
+            let mut gen_b = move || 1.0 + offset + rng_b.next_f64();
+            let (blocking, na, nb) = run_compare(&comparator, &mut gen_a, &mut gen_b);
+
+            // Replay: identical sources, but stepped via `decide`.
+            let mut rng_a = Lcg(seed_a);
+            let mut rng_b = Lcg(seed_b);
+            let mut a = OnlineStats::new();
+            let mut b = OnlineStats::new();
+            let stepped = loop {
+                match comparator.decide(&a, &b) {
+                    CompareStep::Decided(outcome) => break outcome,
+                    CompareStep::NeedMore {
+                        which: Which::A,
+                        draws,
+                    } => (0..draws).for_each(|_| a.push(1.0 + rng_a.next_f64())),
+                    CompareStep::NeedMore {
+                        which: Which::B,
+                        draws,
+                    } => (0..draws).for_each(|_| b.push(1.0 + offset + rng_b.next_f64())),
+                }
+            };
+            assert_eq!(stepped, blocking);
+            assert_eq!(a.count(), na);
+            assert_eq!(b.count(), nb);
+        }
+    }
+
+    #[test]
+    fn decide_requests_min_trials_in_bulk() {
+        let comparator = Comparator::default();
+        let empty = OnlineStats::new();
+        assert_eq!(
+            comparator.decide(&empty, &empty),
+            CompareStep::NeedMore {
+                which: Which::A,
+                draws: comparator.config().min_trials,
+            }
+        );
+        let full: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(
+            comparator.decide(&full, &empty),
+            CompareStep::NeedMore {
+                which: Which::B,
+                draws: comparator.config().min_trials,
+            }
+        );
     }
 
     #[test]

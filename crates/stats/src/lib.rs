@@ -34,11 +34,13 @@ pub mod compare;
 pub mod lsq;
 pub mod normal;
 pub mod online;
+pub mod order;
 pub mod special;
 pub mod ttest;
 
-pub use compare::{Comparator, ComparatorConfig, CompareOutcome, SampleSource};
+pub use compare::{Comparator, ComparatorConfig, CompareOutcome, CompareStep, SampleSource, Which};
 pub use lsq::{linear_fit, LinearFit};
 pub use normal::Normal;
 pub use online::OnlineStats;
+pub use order::{total_cmp_nan_first, total_cmp_nan_last};
 pub use ttest::{welch_t_test, TTest};

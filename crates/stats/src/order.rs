@@ -1,0 +1,79 @@
+//! Total orderings over `f64` metrics.
+//!
+//! Candidate selection (`best_accuracy_index`, `fastest_meeting`,
+//! rough sorts) must never let a NaN statistic shadow real
+//! measurements: `partial_cmp(..).unwrap_or(Equal)` is not a total
+//! order, and under `max_by`/`min_by` a NaN can win simply because
+//! every comparison against it reports `Equal`. These helpers build on
+//! [`f64::total_cmp`] with an explicit NaN rule so selection is total
+//! and NaN always loses.
+
+use std::cmp::Ordering;
+
+/// Ascending total order with every NaN sorting **after** every
+/// number (use with `min_by`/ascending sorts: NaN never wins a
+/// minimum).
+///
+/// Non-NaN values follow [`f64::total_cmp`], so `-0.0 < 0.0` and
+/// infinities order naturally.
+pub fn total_cmp_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Ascending total order with every NaN sorting **before** every
+/// number (use with `max_by`: NaN never wins a maximum).
+pub fn total_cmp_nan_first(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_last_sorts_nan_after_everything() {
+        let mut v = [f64::NAN, 1.0, f64::INFINITY, -1.0, f64::NEG_INFINITY];
+        v.sort_by(|a, b| total_cmp_nan_last(*a, *b));
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert_eq!(v[3], f64::INFINITY);
+        assert!(v[4].is_nan());
+    }
+
+    #[test]
+    fn nan_never_wins_min_or_max() {
+        let v = [f64::NAN, 3.0, 1.0, f64::NAN, 2.0];
+        let min = v
+            .iter()
+            .copied()
+            .min_by(|a, b| total_cmp_nan_last(*a, *b))
+            .unwrap();
+        assert_eq!(min, 1.0);
+        let max = v
+            .iter()
+            .copied()
+            .max_by(|a, b| total_cmp_nan_first(*a, *b))
+            .unwrap();
+        assert_eq!(max, 3.0);
+    }
+
+    #[test]
+    fn all_nan_is_still_total() {
+        assert_eq!(total_cmp_nan_last(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(total_cmp_nan_first(f64::NAN, f64::NAN), Ordering::Equal);
+    }
+
+    #[test]
+    fn negative_zero_orders_below_positive_zero() {
+        assert_eq!(total_cmp_nan_last(-0.0, 0.0), Ordering::Less);
+    }
+}

@@ -114,6 +114,20 @@ impl Candidate {
         )
     }
 
+    /// Plans `extra` additional trials beyond the ones already cached
+    /// at size `n` (the comparator-draw analogue of
+    /// [`Candidate::plan_trials`]; used by tournament pruning to batch
+    /// the adaptive comparator's requested draws). Outcomes must be
+    /// merged back with [`Candidate::absorb`] in plan order.
+    pub fn plan_more_trials(&self, n: u64, extra: u64) -> Vec<TrialRequest> {
+        let start = self.trials(n);
+        TrialRequest::batch_for(
+            &self.config,
+            n,
+            (start..start + extra).map(|index| trial_seed(n, index)),
+        )
+    }
+
     /// Merges one planned trial's outcome into the size-`n` statistics.
     /// Callers must absorb outcomes in the trial-index order they were
     /// planned, which keeps parallel runs bit-identical to sequential.

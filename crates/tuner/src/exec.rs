@@ -123,6 +123,10 @@ pub fn config_fingerprint(config: &Config) -> u64 {
             }
             Value::Float(v) => {
                 mix(&mut hash, 2);
+                // `-0.0 == 0.0`: equal configs must fingerprint
+                // identically, so normalize the sign of zero before
+                // taking bits.
+                let v = if *v == 0.0 { 0.0 } else { *v };
                 mix(&mut hash, v.to_bits());
             }
             Value::Switch(v) => {
@@ -150,6 +154,11 @@ struct TrialCache {
     map: Mutex<HashMap<CacheKey, TrialOutcome>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Intra-batch duplicates: requests that shared another request's
+    /// execution *within the same batch*. Not hits — nothing was in
+    /// the cache when the batch was planned — and not misses — they
+    /// did not execute a trial.
+    coalesced: AtomicU64,
 }
 
 /// Executes trials for the tuner: batched, optionally parallel,
@@ -197,12 +206,21 @@ impl<'a> Evaluator<'a> {
             .map_or(0, |c| c.misses.load(Ordering::Relaxed))
     }
 
+    /// Requests that duplicated another request in the same batch and
+    /// shared its execution (neither a hit nor a miss).
+    pub fn cache_coalesced(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.coalesced.load(Ordering::Relaxed))
+    }
+
     /// Runs every request and returns outcomes in request order.
     ///
-    /// Cache hits (including duplicates *within* the batch) never
-    /// re-execute; the remaining unique trials run on the pool in
-    /// parallel mode or in order in sequential mode. Identical
-    /// results and identical final cache state either way.
+    /// Cache hits and duplicates *within* the batch (counted
+    /// separately, as coalesced) never re-execute; the remaining
+    /// unique trials run on the pool in parallel mode or in order in
+    /// sequential mode. Identical results and identical final cache
+    /// state either way.
     pub fn run_batch(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
         let Some(cache) = &self.cache else {
             return self.execute(requests);
@@ -219,6 +237,7 @@ impl<'a> Evaluator<'a> {
         let mut miss_of_key: HashMap<CacheKey, usize> = HashMap::new();
         let mut miss_requests: Vec<TrialRequest> = Vec::new();
         let mut hits = 0;
+        let mut coalesced = 0;
         {
             let map = cache.map.lock().expect("trial cache poisoned");
             for (i, (request, key)) in requests.iter().zip(&keys).enumerate() {
@@ -226,9 +245,12 @@ impl<'a> Evaluator<'a> {
                     slots[i] = Some(*outcome);
                     hits += 1;
                 } else if let Some(&mi) = miss_of_key.get(key) {
-                    // Duplicate within the batch: executes once.
+                    // Duplicate within the batch: executes once, but
+                    // nothing was cached yet — count it as coalesced,
+                    // not as a hit, so the reported hit rate reflects
+                    // actual cache reuse.
                     pending[i] = mi;
-                    hits += 1;
+                    coalesced += 1;
                 } else {
                     let mi = miss_requests.len();
                     miss_of_key.insert(*key, mi);
@@ -238,6 +260,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         cache.hits.fetch_add(hits, Ordering::Relaxed);
+        cache.coalesced.fetch_add(coalesced, Ordering::Relaxed);
         cache
             .misses
             .fetch_add(miss_requests.len() as u64, Ordering::Relaxed);
@@ -394,9 +417,37 @@ mod tests {
         ];
         let out = eval.run_batch(&reqs);
         assert_eq!(eval.cache_misses(), 1);
-        assert_eq!(eval.cache_hits(), 2);
+        assert_eq!(
+            eval.cache_hits(),
+            0,
+            "nothing was cached when the batch was planned"
+        );
+        assert_eq!(eval.cache_coalesced(), 2);
         assert_eq!(out[0], out[1]);
         assert_eq!(out[1], out[2]);
+        // Re-running the same batch *is* cache reuse: all three hit.
+        eval.run_batch(&reqs);
+        assert_eq!(eval.cache_misses(), 1);
+        assert_eq!(eval.cache_hits(), 3);
+        assert_eq!(eval.cache_coalesced(), 2);
+    }
+
+    #[test]
+    fn negative_zero_fingerprints_like_positive_zero() {
+        let mut schema = Schema::new("zeroes");
+        schema.add_float_param("f", -1.0, 1.0);
+        let mut pos = schema.default_config();
+        pos.set_by_name(&schema, "f", Value::Float(0.0)).unwrap();
+        let mut neg = schema.default_config();
+        neg.set_by_name(&schema, "f", Value::Float(-0.0)).unwrap();
+        // The configs are equal …
+        assert_eq!(pos, neg);
+        // … so they must hit the same memo entry.
+        assert_eq!(config_fingerprint(&pos), config_fingerprint(&neg));
+        // A genuinely different float still fingerprints differently.
+        let mut other = schema.default_config();
+        other.set_by_name(&schema, "f", Value::Float(0.5)).unwrap();
+        assert_ne!(config_fingerprint(&pos), config_fingerprint(&other));
     }
 
     #[test]

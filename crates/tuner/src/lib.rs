@@ -17,6 +17,9 @@
 //! * [`candidate`] — a configuration plus its cached per-input-size
 //!   timing/accuracy statistics.
 //! * [`population`] — the accuracy-binned pruning procedure (§5.5.4).
+//! * [`tournament`] — the pruning procedure's comparisons laid out as
+//!   plan-then-execute tournament rounds, so the adaptive comparator's
+//!   trial draws batch onto the work-stealing pool.
 //! * [`tuner`] — the top-level loop (Figure 5): test, random mutation,
 //!   guided mutation, prune, over exponentially growing input sizes.
 //!
@@ -66,10 +69,12 @@ pub mod candidate;
 pub mod exec;
 pub mod mutators;
 pub mod population;
+pub mod tournament;
 pub mod tuner;
 
 pub use candidate::{Candidate, SizeStats};
 pub use exec::{config_fingerprint, EvalMode, Evaluator, TrialRequest};
 pub use mutators::{MutationRecord, Mutator, MutatorPool};
 pub use population::Population;
+pub use tournament::PruneReport;
 pub use tuner::{Autotuner, TunerError, TunerOptions, TunerStats, TuningOutcome};

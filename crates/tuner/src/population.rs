@@ -9,16 +9,22 @@
 //! 1. roughly sort by mean performance without extra trials;
 //! 2. split at the `K`-th element into KEEP and DISCARD;
 //! 3. fully sort KEEP with the adaptive comparator;
-//! 4. compare each DISCARD element to the `K`-th KEEP element, moving
-//!    any faster ones into KEEP;
+//! 4. compare each DISCARD element to the `K`-th KEEP element (a
+//!    fixed pivot, snapshotted before any promotion), moving any
+//!    faster ones into KEEP;
 //! 5. fully sort KEEP again;
 //! 6. keep the first `K`.
+//!
+//! The selection runs as tournament-batched rounds (see
+//! [`crate::tournament`]): all bins' pending comparator draws execute
+//! as one [`Evaluator`] batch per round on the work-stealing pool.
 
 use crate::candidate::{trial_seed, Candidate, SizeStats};
 use crate::exec::Evaluator;
+use crate::tournament::{run_selections, PruneReport, Selection};
 use pb_config::AccuracyBins;
 use pb_runtime::TrialRunner;
-use pb_stats::{Comparator, CompareOutcome};
+use pb_stats::{total_cmp_nan_first, total_cmp_nan_last, Comparator, CompareOutcome};
 use std::collections::BTreeSet;
 
 /// The tuner's population of candidate algorithms.
@@ -66,25 +72,31 @@ impl Population {
 
     /// Index of the candidate with the highest mean accuracy at size
     /// `n`, or `None` if empty.
+    ///
+    /// Selection is a total order (`f64::total_cmp`) with NaN sorting
+    /// last: a candidate whose mean accuracy is NaN can never shadow
+    /// one with a real measurement.
     pub fn best_accuracy_index(&self, n: u64) -> Option<usize> {
         (0..self.candidates.len()).max_by(|&a, &b| {
-            self.candidates[a]
-                .mean_accuracy(n)
-                .partial_cmp(&self.candidates[b].mean_accuracy(n))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            total_cmp_nan_first(
+                self.candidates[a].mean_accuracy(n),
+                self.candidates[b].mean_accuracy(n),
+            )
         })
     }
 
     /// Index of the fastest candidate meeting `target` accuracy at size
-    /// `n` (by cached means; no extra trials).
+    /// `n` (by cached means; no extra trials). NaN mean times sort
+    /// last, so a NaN-timed candidate is never reported as fastest
+    /// while a finitely-timed one qualifies.
     pub fn fastest_meeting(&self, n: u64, target: f64) -> Option<usize> {
         (0..self.candidates.len())
             .filter(|&i| self.candidates[i].meets_target(n, target))
             .min_by(|&a, &b| {
-                self.candidates[a]
-                    .mean_time(n)
-                    .partial_cmp(&self.candidates[b].mean_time(n))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                total_cmp_nan_last(
+                    self.candidates[a].mean_time(n),
+                    self.candidates[b].mean_time(n),
+                )
             })
     }
 
@@ -175,29 +187,6 @@ impl Population {
         outcome
     }
 
-    /// Sorts the index list ascending by time using the adaptive
-    /// comparator (stable insertion sort; `Same` keeps original order).
-    fn sort_indices_by_time(
-        &mut self,
-        indices: &mut [usize],
-        n: u64,
-        runner: &dyn TrialRunner,
-        comparator: &Comparator,
-    ) {
-        for i in 1..indices.len() {
-            let mut j = i;
-            while j > 0 {
-                let (a, b) = (indices[j - 1], indices[j]);
-                if self.compare_time(b, a, n, runner, comparator) == CompareOutcome::Less {
-                    indices.swap(j - 1, j);
-                    j -= 1;
-                } else {
-                    break;
-                }
-            }
-        }
-    }
-
     /// The pruning phase (§5.5.4): for each accuracy bin keep the
     /// fastest `keep_per_bin` candidates that meet the bin's target at
     /// size `n`; candidates in no keep-set are removed. The single
@@ -207,30 +196,43 @@ impl Population {
     /// the equivalent situation, which the tuner does at the end of
     /// training instead).
     ///
-    /// Returns the number of candidates removed.
+    /// All bins' fastest-K selections run as one tournament session:
+    /// each round's pending comparator draws — across every bin and
+    /// active pair — execute as a single [`Evaluator`] batch on the
+    /// pool, sharing the trial memo. Plan-then-execute with merges in
+    /// candidate-index order keeps parallel pruning bit-identical to
+    /// sequential.
     pub fn prune(
         &mut self,
         n: u64,
         bins: &AccuracyBins,
         keep_per_bin: usize,
-        runner: &dyn TrialRunner,
+        evaluator: &Evaluator<'_>,
         comparator: &Comparator,
-    ) -> usize {
+    ) -> PruneReport {
+        let mut report = PruneReport::default();
         if self.candidates.len() <= 1 {
-            return 0;
+            return report;
         }
-        let mut keep: BTreeSet<usize> = BTreeSet::new();
-        for &target in bins.targets() {
-            let qualifying: Vec<usize> = (0..self.candidates.len())
-                .filter(|&i| self.candidates[i].meets_target(n, target))
-                .collect();
-            for &i in self
-                .fastest_k(qualifying, keep_per_bin, n, runner, comparator)
-                .iter()
-            {
-                keep.insert(i);
-            }
-        }
+        let selections: Vec<Selection> = bins
+            .targets()
+            .iter()
+            .map(|&target| {
+                let qualifying: Vec<usize> = (0..self.candidates.len())
+                    .filter(|&i| self.candidates[i].meets_target(n, target))
+                    .collect();
+                Selection::new(&self.candidates, qualifying, keep_per_bin, n)
+            })
+            .collect();
+        let kept_per_bin = run_selections(
+            &mut self.candidates,
+            selections,
+            n,
+            evaluator,
+            comparator,
+            &mut report,
+        );
+        let mut keep: BTreeSet<usize> = kept_per_bin.into_iter().flatten().collect();
         if let Some(best) = self.best_accuracy_index(n) {
             keep.insert(best);
         }
@@ -241,49 +243,8 @@ impl Population {
             idx += 1;
             kept
         });
-        before - self.candidates.len()
-    }
-
-    /// The six-step fastest-K selection from §5.5.4.
-    fn fastest_k(
-        &mut self,
-        mut indices: Vec<usize>,
-        k: usize,
-        n: u64,
-        runner: &dyn TrialRunner,
-        comparator: &Comparator,
-    ) -> Vec<usize> {
-        if indices.len() <= k {
-            return indices;
-        }
-        // Step 1: rough sort by cached mean time (no extra trials).
-        indices.sort_by(|&a, &b| {
-            self.candidates[a]
-                .mean_time(n)
-                .partial_cmp(&self.candidates[b].mean_time(n))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        // Step 2: split at the Kth element.
-        let discard = indices.split_off(k);
-        let mut keep = indices;
-        // Step 3: fully sort KEEP with adaptive confidence.
-        self.sort_indices_by_time(&mut keep, n, runner, comparator);
-        // Step 4: promote any DISCARD element faster than the Kth.
-        let mut promoted = false;
-        for &d in &discard {
-            let kth = *keep.last().expect("keep has k elements");
-            if self.compare_time(d, kth, n, runner, comparator) == CompareOutcome::Less {
-                keep.push(d);
-                promoted = true;
-            }
-        }
-        // Step 5: re-sort if anything was promoted.
-        if promoted {
-            self.sort_indices_by_time(&mut keep, n, runner, comparator);
-        }
-        // Step 6: first K.
-        keep.truncate(k);
-        keep
+        report.removed = (before - self.candidates.len()) as u64;
+        report
     }
 }
 
@@ -361,7 +322,8 @@ mod tests {
         let mut pop = population_with_levels(&runner, &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 16);
         let bins = AccuracyBins::new(vec![0.2, 0.8]);
         let comparator = Comparator::default();
-        let removed = pop.prune(16, &bins, 1, &runner, &comparator);
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
+        let removed = pop.prune(16, &bins, 1, &evaluator, &comparator).removed;
         assert!(removed >= 7, "population should shrink, removed {removed}");
         // The fastest candidate meeting 0.2 is level 2; meeting 0.8 is
         // level 8; the best-accuracy safety net keeps level 10.
@@ -382,7 +344,8 @@ mod tests {
         let mut pop = population_with_levels(&runner, &[3, 4, 5, 6, 7], 8);
         let bins = AccuracyBins::new(vec![0.3]);
         let comparator = Comparator::default();
-        pop.prune(8, &bins, 3, &runner, &comparator);
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
+        pop.prune(8, &bins, 3, &evaluator, &comparator);
         let levels: Vec<i64> = pop
             .candidates()
             .iter()
@@ -399,7 +362,8 @@ mod tests {
         // Impossible bin: nothing qualifies.
         let bins = AccuracyBins::new(vec![99.0]);
         let comparator = Comparator::default();
-        pop.prune(8, &bins, 2, &runner, &comparator);
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
+        pop.prune(8, &bins, 2, &evaluator, &comparator);
         assert_eq!(pop.len(), 1, "best-accuracy candidate survives");
         assert_eq!(
             pop.candidates()[0]
@@ -423,5 +387,168 @@ mod tests {
             5
         );
         assert!(pop.fastest_meeting(8, 0.95).is_none());
+    }
+
+    #[test]
+    fn nan_statistics_never_shadow_the_frontier() {
+        let runner = TransformRunner::new(Frontier, CostModel::Virtual);
+        let mut pop = population_with_levels(&runner, &[2, 5], 8);
+        // A corrupted candidate: NaN mean accuracy and NaN mean time,
+        // but enough (bogus) accuracy mass that `meets_target` where a
+        // NaN would poison `partial_cmp`-based selection.
+        let mut config = runner.schema().default_config();
+        config
+            .set_by_name(runner.schema(), "level", Value::Int(9))
+            .unwrap();
+        let mut broken = Candidate::new(99, config);
+        let stats = broken.stats_mut(8);
+        stats.time.push(f64::NAN);
+        stats.accuracy.push(f64::NAN);
+        pop.add(broken);
+        // NaN accuracy loses `best_accuracy_index` to any real value.
+        let best = pop.best_accuracy_index(8).unwrap();
+        assert_eq!(
+            pop.candidates()[best]
+                .config
+                .int(runner.schema(), "level")
+                .unwrap(),
+            5
+        );
+        // NaN mean accuracy never qualifies, and even if a NaN-timed
+        // candidate qualified it must not be reported as fastest.
+        let idx = pop.fastest_meeting(8, 0.2).unwrap();
+        assert_eq!(
+            pop.candidates()[idx]
+                .config
+                .int(runner.schema(), "level")
+                .unwrap(),
+            2
+        );
+        // With *only* NaN candidates, selection still terminates.
+        let mut only_nan = Population::new();
+        let mut c = Candidate::new(0, runner.schema().default_config());
+        c.stats_mut(8).accuracy.push(f64::NAN);
+        c.stats_mut(8).time.push(f64::NAN);
+        only_nan.add(c);
+        assert_eq!(only_nan.best_accuracy_index(8), Some(0));
+    }
+
+    /// A transform with a wide, size-independent cost spread:
+    /// cost = `level`, accuracy = `level / 1000`.
+    struct Spread;
+
+    impl Transform for Spread {
+        type Input = ();
+        type Output = f64;
+        fn name(&self) -> &str {
+            "spread"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("spread");
+            s.add_accuracy_variable("level", 1, 1000);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) -> f64 {
+            let level = ctx.param("level").unwrap() as f64;
+            ctx.charge(level);
+            level / 1000.0
+        }
+        fn accuracy(&self, _i: &(), o: &f64) -> f64 {
+            *o
+        }
+    }
+
+    /// §5.5.4 step-4 regression: the promotion pivot must be the K-th
+    /// KEEP element, snapshotted *before* any promotion. The old code
+    /// compared each DISCARD element against a moving `keep.last()` —
+    /// the most recently promoted, unsorted element — so after a fast
+    /// candidate was promoted, later DISCARD elements were compared
+    /// against *it* instead of the K-th KEEP element and could be
+    /// wrongly rejected.
+    ///
+    /// Setup (K = 2, true costs in parentheses): cached means lie so
+    /// the rough sort keeps [a1 (500), a2 (900)] and discards
+    /// [p (10), d (20)] in that order. Promotions against the fixed
+    /// pivot a2 admit both p and d; the final sort + truncate keeps
+    /// {p, d}. The moving-pivot code compared d against the freshly
+    /// promoted p, could not distinguish them within budget, rejected
+    /// d, and kept {p, a1} — retaining a candidate 25x slower than d.
+    #[test]
+    fn promotion_pivot_is_fixed_not_moving() {
+        let runner = TransformRunner::new(Spread, CostModel::Virtual);
+        let schema = runner.schema();
+        let n = 4;
+        // (level = true cost, bogus cached time): rough order a1, a2, p, d.
+        let plan: [(i64, f64); 4] = [(500, 500.0), (900, 900.0), (10, 950.0), (20, 980.0)];
+        let mut pop = Population::new();
+        for (i, &(level, fake_time)) in plan.iter().enumerate() {
+            let mut config = schema.default_config();
+            config
+                .set_by_name(schema, "level", Value::Int(level))
+                .unwrap();
+            let mut c = Candidate::new(i as u64, config);
+            let stats = c.stats_mut(n);
+            stats.time.push(fake_time);
+            stats.accuracy.push(level as f64 / 1000.0);
+            pop.add(c);
+        }
+        let comparator = Comparator::new(pb_stats::ComparatorConfig {
+            min_trials: 10,
+            max_trials: 50,
+            ..pb_stats::ComparatorConfig::default()
+        });
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
+        let bins = AccuracyBins::new(vec![0.005]);
+        let report = pop.prune(n, &bins, 2, &evaluator, &comparator);
+        let mut levels: Vec<i64> = pop
+            .candidates()
+            .iter()
+            .map(|c| c.config.int(schema, "level").unwrap())
+            .collect();
+        levels.sort_unstable();
+        // Kept: the two truly fastest (10, 20) plus the best-accuracy
+        // safety net (900). The moving-pivot bug kept 500 instead of 20.
+        assert_eq!(levels, vec![10, 20, 900], "report: {report:?}");
+        assert!(report.rounds > 0, "adaptive draws must have batched");
+        assert!(report.draws > 0);
+    }
+
+    /// The prune path must execute its comparator draws through
+    /// `Evaluator::run_batch` — visible as batches larger than one
+    /// draw whenever several comparisons are pending at once.
+    #[test]
+    fn prune_batches_draws_across_pairs_and_bins() {
+        let runner = TransformRunner::new(Spread, CostModel::Virtual);
+        let schema = runner.schema();
+        let n = 4;
+        let mut pop = Population::new();
+        // Eight candidates with one misleading cached trial each, so
+        // every adaptive comparison needs fresh draws.
+        for (i, level) in [40i64, 80, 120, 160, 200, 240, 280, 320].iter().enumerate() {
+            let mut config = schema.default_config();
+            config
+                .set_by_name(schema, "level", Value::Int(*level))
+                .unwrap();
+            let mut c = Candidate::new(i as u64, config);
+            let stats = c.stats_mut(n);
+            stats.time.push(1000.0 - *level as f64);
+            stats.accuracy.push(*level as f64 / 1000.0);
+            pop.add(c);
+        }
+        let comparator = Comparator::new(pb_stats::ComparatorConfig {
+            min_trials: 5,
+            max_trials: 25,
+            ..pb_stats::ComparatorConfig::default()
+        });
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
+        let bins = AccuracyBins::new(vec![0.01, 0.2]);
+        let report = pop.prune(n, &bins, 2, &evaluator, &comparator);
+        assert!(report.rounds > 0);
+        assert!(
+            report.max_batch > 1,
+            "independent comparisons must batch their draws: {report:?}"
+        );
+        assert!(report.draws >= report.rounds);
     }
 }

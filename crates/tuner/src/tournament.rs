@@ -1,0 +1,378 @@
+//! Tournament-batched adaptive comparisons for pruning (§5.5.4 on the
+//! work-stealing pool).
+//!
+//! The §5.5.1 comparator decides `Less`/`Greater`/`Same` from the two
+//! candidates' accumulated statistics and otherwise names the side
+//! that needs another trial ([`pb_stats::CompareStep`]). Pruning used
+//! to consume those requests one `run_trial` at a time on the calling
+//! thread; this module restructures it as **plan-then-execute
+//! tournament rounds**:
+//!
+//! 1. **Advance** every bin's fastest-K selection as far as the
+//!    current statistics allow. Selections sort with a bottom-up
+//!    merge layout, so the pending head-to-head comparisons of
+//!    different merges — and of different bins — are independent.
+//! 2. **Plan** one [`TrialRequest`](crate::exec::TrialRequest) batch
+//!    covering every stalled comparison's requested draws (per
+//!    candidate, the largest request wins: draws extend the shared
+//!    statistics, so the union of relative requests is their max).
+//! 3. **Execute** the batch through [`Evaluator::run_batch`] — on the
+//!    pool in parallel mode, sharing the trial memo — and **merge**
+//!    outcomes back per candidate in plan (candidate-index) order.
+//!
+//! No randomness is consumed anywhere in a round (trial seeds are a
+//! deterministic function of each candidate's trial count) and merges
+//! happen in plan order, so parallel pruning is bit-identical to
+//! sequential pruning, the same way generation batches are.
+
+use crate::candidate::Candidate;
+use crate::exec::Evaluator;
+use pb_stats::{total_cmp_nan_last, Comparator, CompareOutcome, CompareStep, OnlineStats, Which};
+use std::collections::BTreeMap;
+
+/// What one [`Population::prune`](crate::Population::prune) call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Candidates removed from the population.
+    pub removed: u64,
+    /// Plan-then-execute rounds that issued a trial batch.
+    pub rounds: u64,
+    /// Comparator-requested trial draws executed via those batches.
+    pub draws: u64,
+    /// Largest single batch of draws.
+    pub max_batch: u64,
+}
+
+/// An in-progress merge of two sorted runs of candidate indices.
+///
+/// `advance` pulls from whichever head the comparator ranks faster
+/// (ties keep the left run's element first, preserving stability: a
+/// `Same` outcome keeps original order, exactly like the insertion
+/// sort this replaces).
+struct Merge {
+    left: Vec<usize>,
+    right: Vec<usize>,
+    li: usize,
+    ri: usize,
+    out: Vec<usize>,
+}
+
+impl Merge {
+    fn new(left: Vec<usize>, right: Vec<usize>) -> Self {
+        let out = Vec::with_capacity(left.len() + right.len());
+        Merge {
+            left,
+            right,
+            li: 0,
+            ri: 0,
+            out,
+        }
+    }
+
+    /// Advances until complete (returns `true`) or until `cmp` cannot
+    /// yet decide the current head-to-head (returns `false`).
+    /// Idempotent once complete.
+    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+        while self.li < self.left.len() && self.ri < self.right.len() {
+            let l = self.left[self.li];
+            let r = self.right[self.ri];
+            match cmp(r, l) {
+                None => return false,
+                Some(CompareOutcome::Less) => {
+                    self.out.push(r);
+                    self.ri += 1;
+                }
+                Some(_) => {
+                    self.out.push(l);
+                    self.li += 1;
+                }
+            }
+        }
+        self.out.extend_from_slice(&self.left[self.li..]);
+        self.li = self.left.len();
+        self.out.extend_from_slice(&self.right[self.ri..]);
+        self.ri = self.right.len();
+        true
+    }
+}
+
+/// Bottom-up merge sort whose comparisons are served lazily by the
+/// adaptive comparator. All merges of one level run "simultaneously":
+/// each stalled merge records its pending comparison's trial demand,
+/// so a whole level's draws batch together.
+struct MergeSort {
+    merges: Vec<Merge>,
+    /// Odd run carried (last) into the next level.
+    carry: Option<Vec<usize>>,
+    finished: Option<Vec<usize>>,
+}
+
+impl MergeSort {
+    fn new(indices: Vec<usize>) -> Self {
+        let runs: Vec<Vec<usize>> = indices.into_iter().map(|i| vec![i]).collect();
+        let mut sort = MergeSort {
+            merges: Vec::new(),
+            carry: None,
+            finished: None,
+        };
+        sort.start_level(runs);
+        sort
+    }
+
+    fn start_level(&mut self, mut runs: Vec<Vec<usize>>) {
+        if runs.len() <= 1 {
+            self.finished = Some(runs.pop().unwrap_or_default());
+            return;
+        }
+        let mut iter = runs.into_iter();
+        loop {
+            match (iter.next(), iter.next()) {
+                (Some(left), Some(right)) => self.merges.push(Merge::new(left, right)),
+                (Some(last), None) => {
+                    self.carry = Some(last);
+                    break;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Advances every active merge; when a whole level completes,
+    /// starts the next one within the same call (new comparisons may
+    /// already be decidable from existing statistics).
+    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+        if self.finished.is_some() {
+            return true;
+        }
+        loop {
+            let mut all_done = true;
+            for merge in &mut self.merges {
+                all_done &= merge.advance(cmp);
+            }
+            if !all_done {
+                return false;
+            }
+            let mut runs: Vec<Vec<usize>> = self.merges.drain(..).map(|m| m.out).collect();
+            if let Some(carry) = self.carry.take() {
+                runs.push(carry);
+            }
+            self.start_level(runs);
+            if self.finished.is_some() {
+                return true;
+            }
+        }
+    }
+
+    fn take_finished(&mut self) -> Vec<usize> {
+        self.finished.take().expect("merge sort not finished")
+    }
+}
+
+enum Phase {
+    /// Step 3: fully sort KEEP with adaptive confidence.
+    Sort(MergeSort),
+    /// Step 4: compare each DISCARD element against the **fixed** K-th
+    /// KEEP element (`keep[k-1]`, snapshotted before any promotion —
+    /// per §5.5.4; comparing against a moving `keep.last()` would make
+    /// promotion depend on DISCARD iteration order and wrongly reject
+    /// faster candidates).
+    Promote {
+        keep: Vec<usize>,
+        discard: Vec<usize>,
+        verdicts: Vec<Option<bool>>,
+    },
+    /// Step 5: re-sort KEEP after promotions.
+    Resort(MergeSort),
+    /// Step 6: the first K.
+    Done(Vec<usize>),
+}
+
+/// One accuracy bin's six-step fastest-K selection (§5.5.4), expressed
+/// as a resumable state machine so many selections can interleave
+/// their comparator draws into shared batches.
+pub(crate) struct Selection {
+    k: usize,
+    /// DISCARD half, stashed until the KEEP sort finishes.
+    discard: Vec<usize>,
+    phase: Phase,
+}
+
+impl Selection {
+    /// Steps 1–2: rough sort by cached mean time (no extra trials) and
+    /// split at the K-th element.
+    pub(crate) fn new(cands: &[Candidate], mut indices: Vec<usize>, k: usize, n: u64) -> Self {
+        if k == 0 || indices.len() <= k {
+            let kept = if k == 0 { Vec::new() } else { indices };
+            return Selection {
+                k,
+                discard: Vec::new(),
+                phase: Phase::Done(kept),
+            };
+        }
+        indices.sort_by(|&a, &b| total_cmp_nan_last(cands[a].mean_time(n), cands[b].mean_time(n)));
+        let discard = indices.split_off(k);
+        Selection {
+            k,
+            discard,
+            phase: Phase::Sort(MergeSort::new(indices)),
+        }
+    }
+
+    /// Advances through the phases as far as `cmp` can decide;
+    /// returns `true` once the selection is done.
+    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+        loop {
+            match &mut self.phase {
+                Phase::Done(_) => return true,
+                Phase::Sort(sort) => {
+                    if !sort.advance(cmp) {
+                        return false;
+                    }
+                    let keep = sort.take_finished();
+                    let discard = std::mem::take(&mut self.discard);
+                    let verdicts = vec![None; discard.len()];
+                    self.phase = Phase::Promote {
+                        keep,
+                        discard,
+                        verdicts,
+                    };
+                }
+                Phase::Promote {
+                    keep,
+                    discard,
+                    verdicts,
+                } => {
+                    let pivot = keep[self.k - 1];
+                    // The promotion comparisons are mutually
+                    // independent: record every stalled one's demand
+                    // before giving up the round.
+                    let mut stalled = false;
+                    for (&d, verdict) in discard.iter().zip(verdicts.iter_mut()) {
+                        if verdict.is_none() {
+                            match cmp(d, pivot) {
+                                Some(outcome) => *verdict = Some(outcome == CompareOutcome::Less),
+                                None => stalled = true,
+                            }
+                        }
+                    }
+                    if stalled {
+                        return false;
+                    }
+                    let promoted: Vec<usize> = discard
+                        .iter()
+                        .zip(verdicts.iter())
+                        .filter_map(|(&d, v)| v.expect("all verdicts in").then_some(d))
+                        .collect();
+                    let keep = std::mem::take(keep);
+                    if promoted.is_empty() {
+                        self.phase = Phase::Done(keep);
+                    } else {
+                        let mut all = keep;
+                        all.extend(promoted);
+                        self.phase = Phase::Resort(MergeSort::new(all));
+                    }
+                }
+                Phase::Resort(sort) => {
+                    if !sort.advance(cmp) {
+                        return false;
+                    }
+                    let mut sorted = sort.take_finished();
+                    sorted.truncate(self.k);
+                    self.phase = Phase::Done(sorted);
+                }
+            }
+        }
+    }
+
+    fn into_result(self) -> Vec<usize> {
+        match self.phase {
+            Phase::Done(kept) => kept,
+            _ => unreachable!("selection consumed before completion"),
+        }
+    }
+}
+
+/// Runs every selection to completion, executing the comparator's
+/// requested draws as [`Evaluator`] batches between rounds. Returns
+/// each selection's kept indices, in selection order.
+pub(crate) fn run_selections(
+    cands: &mut [Candidate],
+    mut selections: Vec<Selection>,
+    n: u64,
+    evaluator: &Evaluator<'_>,
+    comparator: &Comparator,
+    report: &mut PruneReport,
+) -> Vec<Vec<usize>> {
+    loop {
+        // Advance phase: all decisions from current statistics; every
+        // stalled comparison deposits its draw request in `demands`.
+        let mut demands: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut all_done = true;
+        {
+            let cands_ro: &[Candidate] = cands;
+            let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+                decide_or_demand(comparator, cands_ro, n, a, b, &mut demands)
+            };
+            for selection in &mut selections {
+                all_done &= selection.advance(&mut cmp);
+            }
+        }
+        if all_done {
+            return selections.into_iter().map(Selection::into_result).collect();
+        }
+        debug_assert!(!demands.is_empty(), "a stalled selection must demand draws");
+
+        // Plan: one batch for the whole round, spanning all bins and
+        // active pairs; candidate-index order fixes the merge order.
+        let mut requests = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        for (&ci, &extra) in &demands {
+            let plan = cands[ci].plan_more_trials(n, extra);
+            spans.push((ci, plan.len()));
+            requests.extend(plan);
+        }
+        report.rounds += 1;
+        report.draws += requests.len() as u64;
+        report.max_batch = report.max_batch.max(requests.len() as u64);
+
+        // Execute on the pool (or sequentially — bit-identical either
+        // way) and merge back in plan order.
+        let outcomes = evaluator.run_batch(&requests);
+        let mut offset = 0;
+        for (ci, count) in spans {
+            for outcome in &outcomes[offset..offset + count] {
+                cands[ci].absorb(n, outcome);
+            }
+            offset += count;
+        }
+    }
+}
+
+/// The decision core applied to two candidates' time statistics: a
+/// decided outcome passes through; a draw request is recorded against
+/// the candidate that needs it (max across the round's comparisons,
+/// since draws extend the shared per-candidate statistics).
+fn decide_or_demand(
+    comparator: &Comparator,
+    cands: &[Candidate],
+    n: u64,
+    a: usize,
+    b: usize,
+    demands: &mut BTreeMap<usize, u64>,
+) -> Option<CompareOutcome> {
+    let empty = OnlineStats::new();
+    let time_a = cands[a].stats(n).map(|s| &s.time).unwrap_or(&empty);
+    let time_b = cands[b].stats(n).map(|s| &s.time).unwrap_or(&empty);
+    match comparator.decide(time_a, time_b) {
+        CompareStep::Decided(outcome) => Some(outcome),
+        CompareStep::NeedMore { which, draws } => {
+            let target = match which {
+                Which::A => a,
+                Which::B => b,
+            };
+            let entry = demands.entry(target).or_insert(0);
+            *entry = (*entry).max(draws);
+            None
+        }
+    }
+}

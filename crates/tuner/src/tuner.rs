@@ -181,6 +181,16 @@ pub struct TunerStats {
     /// memoization is on and all execution flows through the
     /// evaluator).
     pub cache_misses: u64,
+    /// Trial requests that duplicated another request in the same
+    /// batch and shared its execution (neither hits nor misses).
+    pub cache_coalesced: u64,
+    /// Tournament-pruning rounds that issued a trial batch (§5.5.4 on
+    /// the pool).
+    pub prune_rounds: u64,
+    /// Comparator-requested trial draws executed via pruning batches.
+    pub prune_draws: u64,
+    /// Largest single pruning batch.
+    pub prune_max_batch: u64,
 }
 
 /// A tuned program plus the run's statistics and frontier summary.
@@ -345,13 +355,17 @@ impl<'a> Autotuner<'a> {
                         &mut alloc_id,
                     );
                 }
-                stats.pruned += pop.prune(
+                let report = pop.prune(
                     n,
                     &self.bins,
                     self.options.keep_per_bin,
                     &evaluator,
                     &comparator,
-                ) as u64;
+                );
+                stats.pruned += report.removed;
+                stats.prune_rounds += report.rounds;
+                stats.prune_draws += report.draws;
+                stats.prune_max_batch = stats.prune_max_batch.max(report.max_batch);
             }
         }
 
@@ -394,6 +408,7 @@ impl<'a> Autotuner<'a> {
         stats.trials = counting.count();
         stats.cache_hits = evaluator.cache_hits();
         stats.cache_misses = evaluator.cache_misses();
+        stats.cache_coalesced = evaluator.cache_coalesced();
         Ok(TuningOutcome {
             program: TunedProgram::new(schema.name(), self.bins, entries),
             stats,

@@ -76,6 +76,40 @@ fn binpacking_parallel_matches_sequential_across_seeds() {
     }
 }
 
+/// Tournament pruning consumes no randomness at execution time and
+/// merges comparator draws in plan order, so its rounds, draw counts,
+/// batch shapes, and prune decisions must be bit-identical between the
+/// forced-sequential evaluator and the 4-thread pool.
+#[test]
+fn pruning_is_bit_identical_and_batched() {
+    force_parallel_pool();
+    // Bin packing's seed-dependent trial noise keeps comparisons
+    // ambiguous, so pruning genuinely draws extra trials here
+    // (clustering's comparisons all decide from cached statistics).
+    for seed in [5u64, 0xBEE] {
+        let bins = vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)];
+        let seq = tune(BinPacking, bins.clone(), 256, seed, false);
+        let par = tune(BinPacking, bins, 256, seed, true);
+        assert_bit_identical(&seq, &par);
+        // `assert_bit_identical` already compares the full TunerStats;
+        // these spell out that the pruning path was really exercised
+        // through the batch machinery, not a degenerate no-op.
+        assert!(
+            seq.stats.prune_rounds > 0,
+            "pruning must have run batched rounds: {:?}",
+            seq.stats
+        );
+        assert!(
+            seq.stats.prune_draws > 0,
+            "pruning must have drawn comparator trials: {:?}",
+            seq.stats
+        );
+        assert_eq!(seq.stats.prune_rounds, par.stats.prune_rounds);
+        assert_eq!(seq.stats.prune_draws, par.stats.prune_draws);
+        assert_eq!(seq.stats.prune_max_batch, par.stats.prune_max_batch);
+    }
+}
+
 #[test]
 fn memoization_does_not_change_results_only_work() {
     force_parallel_pool();

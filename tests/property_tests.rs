@@ -5,14 +5,15 @@
 
 use petabricks::benchmarks::binpacking::{generate_input, pack_with, ALGORITHM_NAMES};
 use petabricks::benchmarks::BinPacking;
-use petabricks::config::{DecisionTree, Schema};
+use petabricks::config::{AccuracyBins, DecisionTree, Schema, Value};
 use petabricks::linalg::SymmetricBanded;
-use petabricks::runtime::{ExecCtx, Transform};
-use petabricks::stats::{welch_t_test, OnlineStats};
-use petabricks::tuner::MutatorPool;
+use petabricks::runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+use petabricks::stats::{welch_t_test, Comparator, CompareOutcome, OnlineStats};
+use petabricks::tuner::{Candidate, EvalMode, Evaluator, MutatorPool, Population};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::BTreeSet;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -136,6 +137,34 @@ proptest! {
         }
     }
 
+    /// Tournament-batched pruning (§5.5.4 on the pool) must select the
+    /// same kept set as a brute-force full adaptive sort of every
+    /// qualifying candidate, under the virtual cost model.
+    ///
+    /// Levels are powers of two (2x cost gaps) with ±1% deterministic
+    /// trial noise, so every distinct-level comparison is decisive and
+    /// equal-level candidates (which share trial seeds, hence
+    /// observations) resolve as `Same` — the adaptive comparator is a
+    /// consistent total preorder and both procedures must agree
+    /// exactly, including on tie-breaks (both are stable).
+    #[test]
+    fn tournament_prune_matches_brute_force_sort(
+        exponents in prop::collection::vec(0u32..6, 2..10),
+        bin_mask in 1usize..8,
+        k in 1usize..4,
+    ) {
+        let levels: Vec<i64> = exponents.iter().map(|&e| 1i64 << e).collect();
+        let all_targets = [0.01, 0.1, 0.4];
+        let bins: Vec<f64> = all_targets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bin_mask & (1 << i) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        let (tournament, brute) = prune_both_ways(&levels, &bins, k);
+        prop_assert_eq!(tournament, brute);
+    }
+
     /// The language round-trips numeric headers through the printer.
     #[test]
     fn dsl_accuracy_bins_round_trip(bins in prop::collection::vec(-10.0f64..10.0, 1..6)) {
@@ -152,4 +181,102 @@ proptest! {
             &reparsed.transforms[0].accuracy_bins
         );
     }
+}
+
+/// Cost = `level · n · (1 ± 1%)` with deterministic per-seed noise;
+/// accuracy = `level / 64`. Distinct levels differ by at least 2x, so
+/// the adaptive comparator always separates them; equal levels share
+/// trial seeds and therefore observations.
+#[derive(Clone, Copy)]
+struct NoisyLevels;
+
+impl Transform for NoisyLevels {
+    type Input = f64;
+    type Output = f64;
+    fn name(&self) -> &str {
+        "noisy_levels"
+    }
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("noisy_levels");
+        s.add_accuracy_variable("level", 1, 64);
+        s
+    }
+    fn generate_input(&self, _n: u64, rng: &mut SmallRng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(0.99..1.01)
+    }
+    fn execute(&self, noise: &f64, ctx: &mut ExecCtx<'_>) -> f64 {
+        let level = ctx.param("level").unwrap() as f64;
+        ctx.charge(level * ctx.size() as f64 * noise);
+        level / 64.0
+    }
+    fn accuracy(&self, _i: &f64, o: &f64) -> f64 {
+        *o
+    }
+}
+
+/// Runs the tournament-batched `Population::prune` and a brute-force
+/// reference (full stable adaptive insertion sort of every qualifying
+/// candidate per bin, take the first K, plus the best-accuracy safety
+/// net) on identically-built populations; returns both kept id sets.
+fn prune_both_ways(levels: &[i64], bins: &[f64], k: usize) -> (Vec<u64>, Vec<u64>) {
+    let runner = TransformRunner::new(NoisyLevels, CostModel::Virtual);
+    let schema = runner.schema();
+    let n = 8;
+    let comparator = Comparator::default();
+    let make_pop = || {
+        let mut pop = Population::new();
+        for (i, &level) in levels.iter().enumerate() {
+            let mut config = schema.default_config();
+            config
+                .set_by_name(schema, "level", Value::Int(level))
+                .unwrap();
+            pop.add(Candidate::new(i as u64, config));
+        }
+        pop
+    };
+
+    // Tournament-batched prune (the production path).
+    let mut pop_t = make_pop();
+    let eval_t = Evaluator::new(&runner, EvalMode::Sequential, true);
+    pop_t.test_all(&eval_t, n, 3);
+    pop_t.prune(
+        n,
+        &AccuracyBins::new(bins.to_vec()),
+        k,
+        &eval_t,
+        &comparator,
+    );
+    let kept_t: Vec<u64> = pop_t.candidates().iter().map(|c| c.id).collect();
+
+    // Brute force: fully sort every qualifying candidate adaptively.
+    let mut pop_b = make_pop();
+    let eval_b = Evaluator::new(&runner, EvalMode::Sequential, true);
+    pop_b.test_all(&eval_b, n, 3);
+    let mut keep: BTreeSet<usize> = BTreeSet::new();
+    for &target in bins {
+        let mut qual: Vec<usize> = (0..pop_b.len())
+            .filter(|&i| pop_b.candidates()[i].meets_target(n, target))
+            .collect();
+        // Stable adaptive insertion sort over the whole qualifying set.
+        for i in 1..qual.len() {
+            let mut j = i;
+            while j > 0 {
+                let (a, b) = (qual[j - 1], qual[j]);
+                if pop_b.compare_time(b, a, n, &eval_b, &comparator) == CompareOutcome::Less {
+                    qual.swap(j - 1, j);
+                    j -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        qual.truncate(k);
+        keep.extend(qual);
+    }
+    if let Some(best) = pop_b.best_accuracy_index(n) {
+        keep.insert(best);
+    }
+    let kept_b: Vec<u64> = keep.iter().map(|&i| pop_b.candidates()[i].id).collect();
+    (kept_t, kept_b)
 }
