@@ -1,0 +1,322 @@
+//! VM throughput: executions/sec of shipped DSL workloads on the
+//! tree-walking interpreter, the register VM on straight-from-lowering
+//! bytecode (`O0`), and the VM behind the full optimizer pipeline
+//! (`O2` — superinstruction fusion, charge folding, frame reuse and
+//! tunable-resolution caching are always on; only the bytecode level
+//! varies).
+//!
+//! Writes `BENCH_vm.json` (in the working directory) so the per-trial
+//! cost trajectory is recorded across PRs, and prints a human-readable
+//! summary. Every run cross-checks bit-identical outputs across all
+//! three engines before timing, and the process exits non-zero if the
+//! optimized VM fails to at least match the unoptimized VM — the CI
+//! smoke regression gate.
+//!
+//! Usage: `vm_opt [--smoke]`
+//!
+//! `--smoke` shrinks the measured run counts for CI; the JSON is
+//! still written.
+
+use pb_lang::interp::Value;
+use pb_lang::{check_program, extract_schema, parse_program, Interpreter, OptLevel};
+use pb_runtime::ExecCtx;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The Figure-3 kmeans program: choice-site rules, 2-D indexing,
+/// accuracy-variable-sized intermediates, `for_enough` — the
+/// dispatch-loop shape autotuning trials spend their time in.
+const KMEANS: &str = r#"
+    transform kmeans
+    accuracy_metric kmeansaccuracy
+    accuracy_variable k 1 64
+    from Points[2, n]
+    through Centroids[2, k]
+    to Assignments[n]
+    {
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = floor(rand(0, cols(p)));
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Centroids c) from (Points p) {
+            for (i in 0 .. cols(c)) {
+                let src = i * cols(p) / cols(c);
+                c[0, i] = p[0, src];
+                c[1, i] = p[1, src];
+            }
+        }
+        to (Assignments a) from (Points p, Centroids c) {
+            for_enough {
+                for (i in 0 .. len(a)) {
+                    a[i] = i % cols(c);
+                }
+            }
+        }
+    }
+    transform kmeansaccuracy
+    from Assignments[n], Points[2, n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Assignments a, Points p) {
+            acc = 1;
+        }
+    }
+"#;
+
+/// Scalar accumulator refinement: the `for_enough`/`either` shape
+/// whose `e = e / 2; w = w + 1` bodies fuse into slot
+/// superinstructions.
+const REFINE: &str = r#"
+    transform refine
+    accuracy_metric refineacc
+    from In[n]
+    to Err, Work
+    {
+        to (Err e, Work w) from (In a) {
+            e = 1;
+            for_enough {
+                either {
+                    e = e / 2;
+                    w = w + 1;
+                } or {
+                    e = e / 4;
+                    w = w + 10;
+                }
+            }
+        }
+    }
+    transform refineacc
+    from Err, In[n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Err e, In a) {
+            acc = 0 - log(e) / log(10);
+        }
+    }
+"#;
+
+#[derive(Debug, Serialize)]
+struct EngineReport {
+    wall_seconds: f64,
+    runs: u64,
+    runs_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct WorkloadReport {
+    name: String,
+    /// Input size (points / signal length).
+    n: u64,
+    interp: EngineReport,
+    vm: EngineReport,
+    vm_opt: EngineReport,
+    /// `vm.runs_per_sec / interp.runs_per_sec`.
+    vm_over_interp: f64,
+    /// `vm_opt.runs_per_sec / vm.runs_per_sec` — the optimizer's win.
+    opt_over_vm: f64,
+    /// All three engines produced bitwise-equal outputs.
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    smoke: bool,
+    workloads: Vec<WorkloadReport>,
+}
+
+fn outputs_eq(a: &HashMap<String, Value>, b: &HashMap<String, Value>) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .all(|(k, v)| b.get(k).map(|w| v.bits_eq(w)).unwrap_or(false))
+}
+
+struct Workload {
+    name: &'static str,
+    src: &'static str,
+    transform: &'static str,
+    n: u64,
+    configure: fn(&pb_config::Schema, &mut pb_config::Config),
+    inputs: fn(u64) -> HashMap<String, Value>,
+}
+
+/// Timed executions per measurement batch (scaled down by `--smoke`).
+const BATCHES: usize = 4;
+
+/// One timed pass of `runs` executions on one engine.
+fn time_batch(
+    interp: &Interpreter,
+    transform: &str,
+    schema: &pb_config::Schema,
+    config: &pb_config::Config,
+    inputs: &HashMap<String, Value>,
+    n: u64,
+    runs: u64,
+) -> f64 {
+    let start = Instant::now();
+    for seed in 0..runs {
+        let mut ctx = ExecCtx::new(schema, config, n, seed);
+        std::hint::black_box(interp.run(transform, inputs, &mut ctx).expect("runs"));
+    }
+    start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn run_workload(w: &Workload, runs: u64) -> WorkloadReport {
+    let program = parse_program(w.src).expect("parses");
+    check_program(&program).expect("well-formed");
+    let schema = extract_schema(&program, w.transform);
+    let mut config = schema.default_config();
+    (w.configure)(&schema, &mut config);
+    let inputs = (w.inputs)(w.n);
+
+    let tree = Interpreter::new(program.clone());
+    let vm0 = Interpreter::new_compiled_at(program.clone(), OptLevel::O0);
+    let vm2 = Interpreter::new_compiled_at(program, OptLevel::O2);
+    let (compiled, total) = vm2.compiled().expect("compiled").coverage();
+    assert_eq!(
+        compiled, total,
+        "{}: uncompiled rules on the hot path",
+        w.name
+    );
+    let engines = [&tree, &vm0, &vm2];
+
+    // Warm each engine (frames, caches, branch predictors) and collect
+    // its reference output for the cross-engine check.
+    let outs: Vec<HashMap<String, Value>> = engines
+        .iter()
+        .map(|e| {
+            let mut ctx = ExecCtx::new(&schema, &config, w.n, 7);
+            e.run(w.transform, &inputs, &mut ctx).expect("runs")
+        })
+        .collect();
+    let bit_identical = outputs_eq(&outs[0], &outs[1]) && outputs_eq(&outs[0], &outs[2]);
+    assert!(bit_identical, "{}: engines diverged", w.name);
+
+    // Engines interleave within each measurement round so ambient
+    // slowdowns hit all of them alike; best-of-rounds per engine then
+    // yields stable ratios even on busy single-core hosts.
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..BATCHES {
+        for (slot, engine) in engines.iter().enumerate() {
+            let t = time_batch(engine, w.transform, &schema, &config, &inputs, w.n, runs);
+            best[slot] = best[slot].min(t);
+        }
+    }
+    let report = |wall: f64| EngineReport {
+        wall_seconds: wall,
+        runs,
+        runs_per_sec: runs as f64 / wall,
+    };
+    let (interp, vm, vm_opt) = (report(best[0]), report(best[1]), report(best[2]));
+
+    WorkloadReport {
+        name: w.name.to_string(),
+        n: w.n,
+        vm_over_interp: vm.runs_per_sec / interp.runs_per_sec.max(1e-9),
+        opt_over_vm: vm_opt.runs_per_sec / vm.runs_per_sec.max(1e-9),
+        interp,
+        vm,
+        vm_opt,
+        bit_identical,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let runs: u64 = if smoke { 60 } else { 600 };
+
+    let workloads = [
+        Workload {
+            name: "kmeans",
+            src: KMEANS,
+            transform: "kmeans",
+            n: 256,
+            configure: |schema, config| {
+                config
+                    .set_by_name(schema, "k", pb_config::Value::Int(16))
+                    .unwrap();
+                config
+                    .set_by_name(schema, "for_enough_0", pb_config::Value::Int(100))
+                    .unwrap();
+            },
+            inputs: |n| {
+                [(
+                    "Points".to_string(),
+                    Value::Arr2 {
+                        rows: 2,
+                        cols: n as usize,
+                        data: (0..2 * n as usize)
+                            .map(|i| (i as f64 * 0.37).sin() * 100.0)
+                            .collect(),
+                    },
+                )]
+                .into()
+            },
+        },
+        Workload {
+            name: "refine",
+            src: REFINE,
+            transform: "refine",
+            n: 16,
+            configure: |schema, config| {
+                config
+                    .set_by_name(schema, "for_enough_0", pb_config::Value::Int(400))
+                    .unwrap();
+            },
+            inputs: |n| [("In".to_string(), Value::Arr1(vec![0.0; n as usize]))].into(),
+        },
+    ];
+
+    let report = Report {
+        smoke,
+        workloads: workloads.iter().map(|w| run_workload(w, runs)).collect(),
+    };
+
+    println!(
+        "# VM throughput ({} runs/engine{})",
+        runs,
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "{:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
+        "workload", "interp/s", "vm/s", "vm+opt/s", "vm/interp", "opt/vm"
+    );
+    for w in &report.workloads {
+        println!(
+            "{:>10} {:>14.0} {:>14.0} {:>14.0} {:>11.2}x {:>11.2}x",
+            w.name,
+            w.interp.runs_per_sec,
+            w.vm.runs_per_sec,
+            w.vm_opt.runs_per_sec,
+            w.vm_over_interp,
+            w.opt_over_vm,
+        );
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
+    println!("\nwrote BENCH_vm.json");
+
+    // Regression gate. Smoke (CI) runs only require the optimized VM
+    // to match the baseline — shared runners are too noisy for more.
+    // Full runs additionally protect the kmeans headline (README
+    // claims >= 1.5x; gate at 1.3x so honest jitter does not flake).
+    for w in &report.workloads {
+        assert!(
+            w.opt_over_vm >= 0.95,
+            "{}: VM+opt regressed below the VM baseline ({:.2}x)",
+            w.name,
+            w.opt_over_vm
+        );
+        if !smoke && w.name == "kmeans" {
+            assert!(
+                w.opt_over_vm >= 1.3,
+                "kmeans: VM+opt headline regressed ({:.2}x < 1.3x)",
+                w.opt_over_vm
+            );
+        }
+    }
+}

@@ -9,8 +9,18 @@
 //! The paper reports accuracy as `bins / OPT` (lower = better, range
 //! 1.0–1.5 in Fig. 7). The tuner's convention is larger-is-better, so
 //! the accuracy metric is `2 − bins/OPT` (see [`ratio_to_accuracy`]).
+//!
+//! The per-item placement scans — the kernels' hot loops — run through
+//! [`pb_runtime::parallel::parallel_gen`] when the number of open bins
+//! reaches the `par_cutoff` tunable, exposing the §5.2 work-stealing
+//! switch-over to the autotuner exactly like clustering's
+//! nearest-centroid scan. Below the cutoff the sequential code path
+//! (and its early-exit probe charging) is bit-identical to the
+//! pre-tunable behavior; above it the packing decisions are unchanged
+//! and only the virtual-cost schedule differs.
 
 use pb_config::Schema;
+use pb_runtime::parallel::{available_threads, parallel_engages, parallel_gen};
 use pb_runtime::{ExecCtx, Transform};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -108,33 +118,128 @@ impl Packing {
 /// `O(n·bins)` vs `O(n)` asymptotics that drive Fig. 6(a).
 const PROBE_COST: f64 = 1.0;
 
-fn pack_first_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
-    let mut p = Packing::default();
-    for &item in items {
-        let mut placed = false;
-        for b in 0..p.bins() {
+/// Virtual-cost units modelling the fixed overhead of dispatching a
+/// placement scan to the work-stealing pool (same constant as
+/// clustering, so `par_cutoff` has the same dispatch-vs-division
+/// tradeoff the real scheduler exhibits).
+const PAR_DISPATCH_COST: f64 = 512.0;
+
+/// Whether an item's scan over `bins` open bins goes to the pool.
+fn scan_engages(bins: usize, par_cutoff: usize) -> bool {
+    parallel_engages(bins, par_cutoff)
+}
+
+/// The shared parallel-regime prelude of every placement kernel:
+/// `Some(mask)` of `residual >= item - 1e-15` per open bin when the
+/// scan engages the pool, `None` when the kernel should probe (and
+/// charge) sequentially. One definition keeps the fit tolerance and
+/// engage condition in a single place.
+fn fit_mask_if_parallel(
+    p: &Packing,
+    item: f64,
+    par_cutoff: usize,
+    ctx: &mut ExecCtx<'_>,
+) -> Option<Vec<bool>> {
+    if scan_engages(p.bins(), par_cutoff) {
+        Some(parallel_fit_mask(p, par_cutoff, ctx, |r| r >= item - 1e-15))
+    } else {
+        None
+    }
+}
+
+/// Charges for one pool-dispatched scan over `bins` bins: the probe
+/// work divides across the pool's threads, plus the dispatch overhead.
+fn charge_parallel_scan(ctx: &mut ExecCtx<'_>, bins: usize) {
+    ctx.charge(bins as f64 * PROBE_COST / available_threads() as f64 + PAR_DISPATCH_COST);
+}
+
+/// Computes `pred(residual)` for every open bin on the pool. The
+/// per-bin probes are pure, so the mask (and thus every placement
+/// decision derived from it) is identical to a sequential scan.
+fn parallel_fit_mask(
+    p: &Packing,
+    par_cutoff: usize,
+    ctx: &mut ExecCtx<'_>,
+    pred: impl Fn(f64) -> bool + Sync,
+) -> Vec<bool> {
+    let mask = parallel_gen(p.bins(), par_cutoff, |b| pred(p.residuals[b]));
+    charge_parallel_scan(ctx, p.bins());
+    mask
+}
+
+/// Scan direction of a one-slot placement (first fitting bin vs last).
+#[derive(Clone, Copy, PartialEq)]
+enum ScanFrom {
+    Front,
+    Back,
+}
+
+/// Places `item` in the first (or last) bin it fits, opening a new bin
+/// otherwise — the shared per-item scan of FirstFit, LastFit, and
+/// MFFD's final FFD pass. Sequential scans probe (and charge) with
+/// early exit; at or above `par_cutoff` open bins the fit mask
+/// computes on the pool, with identical placement either way.
+fn place_one(p: &mut Packing, item: f64, from: ScanFrom, par_cutoff: usize, ctx: &mut ExecCtx<'_>) {
+    let placed = if let Some(fits) = fit_mask_if_parallel(p, item, par_cutoff, ctx) {
+        let hit = match from {
+            ScanFrom::Front => fits.iter().position(|&f| f),
+            ScanFrom::Back => fits.iter().rposition(|&f| f),
+        };
+        match hit {
+            Some(b) => {
+                p.place(b, item);
+                true
+            }
+            None => false,
+        }
+    } else {
+        // Concrete counted loops on the sequential path — this is the
+        // kernels' hottest scan, so no iterator indirection.
+        let probe = |p: &mut Packing, b: usize, ctx: &mut ExecCtx<'_>| {
             ctx.charge(PROBE_COST);
             if p.residuals[b] >= item - 1e-15 {
                 p.place(b, item);
-                placed = true;
-                break;
+                true
+            } else {
+                false
             }
+        };
+        let bins = p.bins();
+        match from {
+            ScanFrom::Front => (0..bins).any(|b| probe(p, b, ctx)),
+            ScanFrom::Back => (0..bins).rev().any(|b| probe(p, b, ctx)),
         }
-        if !placed {
-            p.open(item);
-        }
+    };
+    if !placed {
+        p.open(item);
+    }
+}
+
+fn pack_first_fit(items: &[f64], par_cutoff: usize, ctx: &mut ExecCtx<'_>) -> Packing {
+    let mut p = Packing::default();
+    for &item in items {
+        place_one(&mut p, item, ScanFrom::Front, par_cutoff, ctx);
     }
     p
 }
 
-fn pack_best_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+fn pack_best_fit(items: &[f64], par_cutoff: usize, ctx: &mut ExecCtx<'_>) -> Packing {
     let mut p = Packing::default();
     for &item in items {
+        let fits = fit_mask_if_parallel(&p, item, par_cutoff, ctx);
         let mut best: Option<(usize, f64)> = None;
         for b in 0..p.bins() {
-            ctx.charge(PROBE_COST);
+            let fit = match &fits {
+                Some(mask) => mask[b],
+                None => {
+                    ctx.charge(PROBE_COST);
+                    p.residuals[b] >= item - 1e-15
+                }
+            };
             let r = p.residuals[b];
-            if r >= item - 1e-15 && best.map(|(_, br)| r < br).unwrap_or(true) {
+            // Strict `<` keeps the lowest index among ties, in both
+            // regimes.
+            if fit && best.map(|(_, br)| r < br).unwrap_or(true) {
                 best = Some((b, r));
             }
         }
@@ -146,14 +251,21 @@ fn pack_best_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
     p
 }
 
-fn pack_worst_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+fn pack_worst_fit(items: &[f64], par_cutoff: usize, ctx: &mut ExecCtx<'_>) -> Packing {
     let mut p = Packing::default();
     for &item in items {
+        let fits = fit_mask_if_parallel(&p, item, par_cutoff, ctx);
         let mut worst: Option<(usize, f64)> = None;
         for b in 0..p.bins() {
-            ctx.charge(PROBE_COST);
+            let fit = match &fits {
+                Some(mask) => mask[b],
+                None => {
+                    ctx.charge(PROBE_COST);
+                    p.residuals[b] >= item - 1e-15
+                }
+            };
             let r = p.residuals[b];
-            if r >= item - 1e-15 && worst.map(|(_, wr)| r > wr).unwrap_or(true) {
+            if fit && worst.map(|(_, wr)| r > wr).unwrap_or(true) {
                 worst = Some((b, r));
             }
         }
@@ -169,15 +281,28 @@ fn pack_worst_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
 /// (`k = 2` by the textbook definition; generalized per the paper,
 /// "our implementation generalizes it and supports a variable
 /// compiler-set k").
-fn pack_almost_worst_fit(items: &[f64], k: usize, ctx: &mut ExecCtx<'_>) -> Packing {
+fn pack_almost_worst_fit(
+    items: &[f64],
+    k: usize,
+    par_cutoff: usize,
+    ctx: &mut ExecCtx<'_>,
+) -> Packing {
     let mut p = Packing::default();
     for &item in items {
         // Collect bins with capacity, sorted by descending residual.
         let mut fits: Vec<(usize, f64)> = Vec::new();
-        for b in 0..p.bins() {
-            ctx.charge(PROBE_COST);
-            if p.residuals[b] >= item - 1e-15 {
-                fits.push((b, p.residuals[b]));
+        if let Some(mask) = fit_mask_if_parallel(&p, item, par_cutoff, ctx) {
+            for (b, fit) in mask.into_iter().enumerate() {
+                if fit {
+                    fits.push((b, p.residuals[b]));
+                }
+            }
+        } else {
+            for b in 0..p.bins() {
+                ctx.charge(PROBE_COST);
+                if p.residuals[b] >= item - 1e-15 {
+                    fits.push((b, p.residuals[b]));
+                }
             }
         }
         if fits.is_empty() {
@@ -191,21 +316,10 @@ fn pack_almost_worst_fit(items: &[f64], k: usize, ctx: &mut ExecCtx<'_>) -> Pack
     p
 }
 
-fn pack_last_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+fn pack_last_fit(items: &[f64], par_cutoff: usize, ctx: &mut ExecCtx<'_>) -> Packing {
     let mut p = Packing::default();
     for &item in items {
-        let mut placed = false;
-        for b in (0..p.bins()).rev() {
-            ctx.charge(PROBE_COST);
-            if p.residuals[b] >= item - 1e-15 {
-                p.place(b, item);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            p.open(item);
-        }
+        place_one(&mut p, item, ScanFrom::Back, par_cutoff, ctx);
     }
     p
 }
@@ -229,7 +343,7 @@ fn pack_next_fit(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
 /// large item its own bin; walk those bins from most-full to
 /// least-full trying to add one medium item (or the two smallest small
 /// items that fit); finish with FFD on whatever remains.
-fn pack_mffd(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
+fn pack_mffd(items: &[f64], par_cutoff: usize, ctx: &mut ExecCtx<'_>) -> Packing {
     let mut sorted = items.to_vec();
     charge_sort(ctx, sorted.len());
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
@@ -283,6 +397,10 @@ fn pack_mffd(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
         }
     }
     // FFD on the leftovers (medium unused + rest, already descending).
+    // This final placement loop is the same first-fit scan as the
+    // standalone kernel, so it shares the tunable switch-over (the
+    // large/medium pairing walk above stays sequential: its probes
+    // interleave mutation and cannot split).
     let mut leftovers: Vec<f64> = medium
         .iter()
         .enumerate()
@@ -291,18 +409,7 @@ fn pack_mffd(items: &[f64], ctx: &mut ExecCtx<'_>) -> Packing {
         .collect();
     leftovers.extend(rest);
     for &item in &leftovers {
-        let mut placed = false;
-        for b in 0..p.bins() {
-            ctx.charge(PROBE_COST);
-            if p.residuals[b] >= item - 1e-15 {
-                p.place(b, item);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            p.open(item);
-        }
+        place_one(&mut p, item, ScanFrom::Front, par_cutoff, ctx);
     }
     p
 }
@@ -321,41 +428,52 @@ fn decreasing(items: &[f64], ctx: &mut ExecCtx<'_>) -> Vec<f64> {
 
 /// Runs one named algorithm (index into [`ALGORITHM_NAMES`]).
 ///
+/// `par_cutoff` is the §5.2 switch-over: placement scans over at least
+/// that many open bins split across the work-stealing pool (pass
+/// `usize::MAX` for pure sequential execution). Packing decisions are
+/// identical in both regimes.
+///
 /// # Panics
 ///
 /// Panics if `algorithm >= 13`.
-pub fn pack_with(algorithm: usize, items: &[f64], awf_k: usize, ctx: &mut ExecCtx<'_>) -> Packing {
+pub fn pack_with(
+    algorithm: usize,
+    items: &[f64],
+    awf_k: usize,
+    par_cutoff: usize,
+    ctx: &mut ExecCtx<'_>,
+) -> Packing {
     match algorithm {
-        0 => pack_first_fit(items, ctx),
+        0 => pack_first_fit(items, par_cutoff, ctx),
         1 => {
             let s = decreasing(items, ctx);
-            pack_first_fit(&s, ctx)
+            pack_first_fit(&s, par_cutoff, ctx)
         }
-        2 => pack_mffd(items, ctx),
-        3 => pack_best_fit(items, ctx),
+        2 => pack_mffd(items, par_cutoff, ctx),
+        3 => pack_best_fit(items, par_cutoff, ctx),
         4 => {
             let s = decreasing(items, ctx);
-            pack_best_fit(&s, ctx)
+            pack_best_fit(&s, par_cutoff, ctx)
         }
-        5 => pack_last_fit(items, ctx),
+        5 => pack_last_fit(items, par_cutoff, ctx),
         6 => {
             let s = decreasing(items, ctx);
-            pack_last_fit(&s, ctx)
+            pack_last_fit(&s, par_cutoff, ctx)
         }
         7 => pack_next_fit(items, ctx),
         8 => {
             let s = decreasing(items, ctx);
             pack_next_fit(&s, ctx)
         }
-        9 => pack_worst_fit(items, ctx),
+        9 => pack_worst_fit(items, par_cutoff, ctx),
         10 => {
             let s = decreasing(items, ctx);
-            pack_worst_fit(&s, ctx)
+            pack_worst_fit(&s, par_cutoff, ctx)
         }
-        11 => pack_almost_worst_fit(items, awf_k, ctx),
+        11 => pack_almost_worst_fit(items, awf_k, par_cutoff, ctx),
         12 => {
             let s = decreasing(items, ctx);
-            pack_almost_worst_fit(&s, awf_k, ctx)
+            pack_almost_worst_fit(&s, awf_k, par_cutoff, ctx)
         }
         other => panic!("unknown bin-packing algorithm index {other}"),
     }
@@ -392,6 +510,7 @@ impl Transform for BinPacking {
         let mut s = Schema::new("binpacking");
         s.add_choice_site("algorithm", ALGORITHM_NAMES.len());
         s.add_user_param("almost_worst_k", 2, 8);
+        s.add_cutoff("par_cutoff", 16, 1 << 16);
         s
     }
 
@@ -402,8 +521,9 @@ impl Transform for BinPacking {
     fn execute(&self, input: &BinPackingInput, ctx: &mut ExecCtx<'_>) -> Packing {
         let algorithm = ctx.choice("algorithm").expect("schema declares algorithm");
         let k = ctx.param("almost_worst_k").expect("schema declares k") as usize;
+        let par_cutoff = ctx.param("par_cutoff").expect("schema").max(1) as usize;
         ctx.event(ALGORITHM_NAMES[algorithm]);
-        pack_with(algorithm, &input.items, k, ctx)
+        pack_with(algorithm, &input.items, k, par_cutoff, ctx)
     }
 
     fn accuracy(&self, input: &BinPackingInput, output: &Packing) -> f64 {
@@ -429,9 +549,36 @@ mod tests {
         (0..13)
             .map(|alg| {
                 let mut ctx = ctx_for(&schema, &config, items.len() as u64);
-                pack_with(alg, items, 2, &mut ctx)
+                pack_with(alg, items, 2, usize::MAX, &mut ctx)
             })
             .collect()
+    }
+
+    #[test]
+    fn par_cutoff_changes_schedule_not_packings() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let input = generate_input(600, &mut rng);
+        let t = BinPacking;
+        let schema = t.schema();
+        // Always-parallel vs never-parallel must agree on every
+        // algorithm's packing bit for bit: the cutoff tunes the
+        // scheduler, not the placement decisions.
+        for alg in 0..13 {
+            let packs: Vec<Packing> = [16usize, usize::MAX]
+                .into_iter()
+                .map(|cutoff| {
+                    let config = schema.default_config();
+                    let mut ctx = ExecCtx::new(&schema, &config, 600, 0);
+                    pack_with(alg, &input.items, 2, cutoff, &mut ctx)
+                })
+                .collect();
+            assert_eq!(
+                packs[0].residuals(),
+                packs[1].residuals(),
+                "{} diverged across the cutoff",
+                ALGORITHM_NAMES[alg]
+            );
+        }
     }
 
     #[test]

@@ -201,6 +201,50 @@ impl Config {
             })
     }
 
+    /// Like [`Config::int`] with a pre-resolved [`TunableId`], for hot
+    /// paths that cache name resolution (same errors as the by-name
+    /// accessor, minus the unknown-name case the id rules out).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::IllegalValue`] for non-integer tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this configuration.
+    pub fn int_by_id(&self, schema: &Schema, id: TunableId) -> Result<i64, ConfigError> {
+        self.get(id)
+            .as_int()
+            .ok_or_else(|| ConfigError::IllegalValue {
+                tunable: schema.tunable_by_id(id).name().to_owned(),
+                value: format!("{:?}", self.get(id)),
+            })
+    }
+
+    /// Like [`Config::choice`] with a pre-resolved [`TunableId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::IllegalValue`] for non-choice tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this configuration.
+    pub fn choice_by_id(
+        &self,
+        schema: &Schema,
+        id: TunableId,
+        n: u64,
+    ) -> Result<usize, ConfigError> {
+        self.get(id)
+            .as_tree()
+            .map(|t| t.select(n))
+            .ok_or_else(|| ConfigError::IllegalValue {
+                tunable: schema.tunable_by_id(id).name().to_owned(),
+                value: format!("{:?}", self.get(id)),
+            })
+    }
+
     /// Resolves the algorithm index for choice site `name` at input size
     /// `n` by consulting its decision tree.
     ///
@@ -312,6 +356,22 @@ mod tests {
             c.int(&s, "missing"),
             Err(ConfigError::UnknownTunable(_))
         ));
+    }
+
+    #[test]
+    fn by_id_getters_match_by_name() {
+        let s = schema();
+        let c = s.default_config();
+        let (block, _) = s.tunable("block").unwrap();
+        assert_eq!(c.int_by_id(&s, block).unwrap(), c.int(&s, "block").unwrap());
+        let (algo, _) = s.tunable("algo").unwrap();
+        assert_eq!(
+            c.choice_by_id(&s, algo, 77).unwrap(),
+            c.choice(&s, "algo", 77).unwrap()
+        );
+        // Wrong-kind errors render identically to the by-name path.
+        assert_eq!(c.int_by_id(&s, algo), c.int(&s, "algo"));
+        assert_eq!(c.choice_by_id(&s, block, 1), c.choice(&s, "block", 1));
     }
 
     #[test]

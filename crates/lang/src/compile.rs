@@ -361,6 +361,125 @@ pub enum Instr {
     },
     /// Early exit from the rule body (`return;`).
     Return,
+
+    // ---- fused forms -----------------------------------------------
+    // Lowering never emits the variants below; the optimizer
+    // ([`crate::opt`]) rewrites the dominant dynamic sequences into
+    // them. Each is observably equivalent to the sequence it replaces
+    // (same value semantics, same error points, same RNG and cost
+    // behavior), which is what keeps every `OptLevel` bit-identical to
+    // the tree-walking interpreter.
+    /// `regs[dst] = regs[a] op imm` — constant-operand arithmetic.
+    BinRI {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand immediate.
+        imm: f64,
+    },
+    /// `regs[dst] = imm op regs[b]` — constant-operand arithmetic with
+    /// the immediate on the left (needed for non-commutative ops).
+    BinIR {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand immediate.
+        imm: f64,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Fused compare-then-branch: jump when
+    /// `(regs[a] op regs[b]) == jump_if`. `op` is always a comparison.
+    JumpCmp {
+        /// The comparison operator.
+        op: BinOp,
+        /// Left comparand.
+        a: Reg,
+        /// Right comparand.
+        b: Reg,
+        /// Branch polarity (`true` fuses `JumpIfNonZero`, `false`
+        /// fuses `JumpIfZero`).
+        jump_if: bool,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Fused compare-immediate-then-branch: jump when
+    /// `(regs[a] op imm) == jump_if`.
+    JumpCmpImm {
+        /// The comparison operator.
+        op: BinOp,
+        /// Left comparand register.
+        a: Reg,
+        /// Right comparand immediate.
+        imm: f64,
+        /// Branch polarity.
+        jump_if: bool,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Fused `LoadSlotNum` + binop + `StoreSlotNum` with an immediate
+    /// operand: `slots[dst] = Num(num(slots[src]) op imm)` (operands
+    /// swapped when `imm_on_left`). Errors exactly like the
+    /// `LoadSlotNum` it absorbs when `src` holds a non-scalar.
+    SlotUpdImm {
+        /// The operator.
+        op: BinOp,
+        /// Destination slot.
+        dst: Slot,
+        /// Source slot (must hold a scalar).
+        src: Slot,
+        /// Immediate operand.
+        imm: f64,
+        /// Whether the immediate is the left operand.
+        imm_on_left: bool,
+    },
+    /// Fused `LoadSlotNum` + binop + `StoreSlotNum` with a register
+    /// operand: `slots[dst] = Num(num(slots[src]) op regs[b])`.
+    SlotUpdReg {
+        /// The operator.
+        op: BinOp,
+        /// Destination slot.
+        dst: Slot,
+        /// Source slot (must hold a scalar; the left operand).
+        src: Slot,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Fused arithmetic-into-element-store:
+    /// `slots[slot][regs[idx]] = regs[a] op regs[b]` — the `Bin` +
+    /// `StoreIdx1` pair of array-update loop bodies. Bounds checks and
+    /// error behavior match the `StoreIdx1` it absorbs.
+    BinStoreIdx1 {
+        /// The operator.
+        op: BinOp,
+        /// Destination array slot.
+        slot: Slot,
+        /// Index register.
+        idx: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// Fused loop back-edge: `regs[dst] += imm; pc = target` — the
+    /// `AddImm` + `Jump` pair every counted loop executes per
+    /// iteration.
+    AddImmJump {
+        /// Counter register updated in place.
+        dst: Reg,
+        /// Immediate addend.
+        imm: f64,
+        /// Jump target (the loop head).
+        target: usize,
+    },
+    /// Placeholder left by optimizer rewrites; compaction removes every
+    /// `Nop` before a chunk reaches the VM (the VM still executes it as
+    /// a no-op for robustness).
+    Nop,
 }
 
 /// A compiled rule body.
@@ -378,6 +497,13 @@ pub struct Chunk {
     pub input_slots: Vec<Slot>,
     /// Slot of each rule *output* binding alias, in declaration order.
     pub output_slots: Vec<Slot>,
+    /// The optimization level this chunk was produced at (lowering
+    /// emits [`crate::opt::OptLevel::O0`]; [`crate::opt::optimize`]
+    /// stamps its level). The VM runs `O0` chunks on a compatibility
+    /// path that approximates the pre-optimizer execution profile
+    /// (fresh banks, per-invocation name resolution), so benchmarks
+    /// retain a "current VM" baseline.
+    pub opt: crate::opt::OptLevel,
 }
 
 /// Why a rule could not be compiled (it falls back to tree-walking).
@@ -423,6 +549,21 @@ impl CompiledProgram {
     /// The compiled form of one transform.
     pub fn transform(&self, name: &str) -> Option<&CompiledTransform> {
         self.transforms.get(name)
+    }
+
+    /// Runs the optimizer pipeline ([`crate::opt`]) over every compiled
+    /// chunk. Every [`crate::opt::OptLevel`] is observably identical to
+    /// the unoptimized bytecode (and the tree-walker).
+    #[must_use]
+    pub fn optimized(mut self, level: crate::opt::OptLevel) -> Self {
+        if level != crate::opt::OptLevel::O0 {
+            for t in self.transforms.values_mut() {
+                for chunk in t.rules.iter_mut().flatten() {
+                    *chunk = crate::opt::optimize(chunk, level);
+                }
+            }
+        }
+        self
     }
 
     /// `(compiled, total)` rule counts across the program.
@@ -551,6 +692,7 @@ impl<'a> Compiler<'a> {
             n_slots: self.temp_max,
             input_slots,
             output_slots,
+            opt: crate::opt::OptLevel::O0,
         })
     }
 

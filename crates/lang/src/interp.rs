@@ -10,9 +10,11 @@
 
 use crate::ast::*;
 use crate::cdg::ChoiceDependencyGraph;
+use crate::opt::OptLevel;
 use crate::token::Span;
 use pb_runtime::ExecCtx;
 use rand::Rng;
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -65,6 +67,35 @@ impl Value {
             Value::Arr2 { rows, cols, .. } => vec![*rows, *cols],
         }
     }
+
+    /// Bitwise equality: stricter than `PartialEq` (distinguishes
+    /// `-0.0` from `0.0`) and total over NaN. This is the comparison
+    /// the differential suite and benchmarks use to pin executors
+    /// "bit-identical" to each other.
+    pub fn bits_eq(&self, other: &Value) -> bool {
+        fn eq(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        match (self, other) {
+            (Value::Num(a), Value::Num(b)) => eq(*a, *b),
+            (Value::Arr1(a), Value::Arr1(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(p, q)| eq(*p, *q))
+            }
+            (
+                Value::Arr2 {
+                    rows: r1,
+                    cols: c1,
+                    data: d1,
+                },
+                Value::Arr2 {
+                    rows: r2,
+                    cols: c2,
+                    data: d2,
+                },
+            ) => r1 == r2 && c1 == c2 && d1.iter().zip(d2).all(|(p, q)| eq(*p, *q)),
+            _ => false,
+        }
+    }
 }
 
 /// A runtime error with an optional source location.
@@ -113,6 +144,12 @@ pub struct Interpreter {
     program: Program,
     host_fns: HashMap<String, HostFn>,
     compiled: Option<crate::compile::CompiledProgram>,
+    /// Per-transform choice dependency graph and execution schedule,
+    /// built once at construction: both are config-independent, so
+    /// rebuilding them per run (the old behavior) only burned per-trial
+    /// time. Scheduling failures are kept as strings and surface with
+    /// the same message (and span) the lazy build produced.
+    schedules: HashMap<String, Result<(ChoiceDependencyGraph, Vec<String>), String>>,
 }
 
 impl fmt::Debug for Interpreter {
@@ -128,22 +165,34 @@ impl fmt::Debug for Interpreter {
 impl Interpreter {
     /// Wraps a (checked) program for pure tree-walking execution.
     pub fn new(program: Program) -> Self {
+        let schedules = build_schedules(&program);
         Interpreter {
             program,
             host_fns: HashMap::new(),
             compiled: None,
+            schedules,
         }
     }
 
-    /// Wraps a (checked) program *and* lowers every rule to bytecode.
-    /// Rules the compiler covers execute on the register VM; the rest
-    /// fall back to tree-walking, statement by statement identical.
+    /// Wraps a (checked) program *and* lowers every rule to bytecode,
+    /// optimized at the default [`OptLevel`]. Rules the compiler covers
+    /// execute on the register VM; the rest fall back to tree-walking,
+    /// statement by statement identical.
     pub fn new_compiled(program: Program) -> Self {
-        let compiled = crate::compile::compile_program(&program);
+        Self::new_compiled_at(program, OptLevel::default())
+    }
+
+    /// Like [`Interpreter::new_compiled`] with an explicit optimization
+    /// level (every level is bit-identical to the tree-walker; lower
+    /// levels exist for debugging and differential testing).
+    pub fn new_compiled_at(program: Program, level: OptLevel) -> Self {
+        let compiled = crate::compile::compile_program(&program).optimized(level);
+        let schedules = build_schedules(&program);
         Interpreter {
             program,
             host_fns: HashMap::new(),
             compiled: Some(compiled),
+            schedules,
         }
     }
 
@@ -185,10 +234,14 @@ impl Interpreter {
         self.run_prefixed(transform_name, inputs, ctx, "", 0)
     }
 
-    pub(crate) fn run_prefixed(
+    /// Inputs are generic over [`Borrow`] so internal callers (the VM's
+    /// `CallTransform`, the metric runner) can pass borrowed values and
+    /// skip one full clone per array argument; the store below clones
+    /// exactly what it keeps.
+    pub(crate) fn run_prefixed<V: Borrow<Value>>(
         &self,
         transform_name: &str,
-        inputs: &HashMap<String, Value>,
+        inputs: &HashMap<String, V>,
         ctx: &mut ExecCtx<'_>,
         prefix: &str,
         depth: usize,
@@ -214,10 +267,13 @@ impl Interpreter {
             }
         }
         for p in &t.inputs {
-            let actual = inputs.get(&p.name).ok_or(RuntimeError {
-                message: format!("missing input `{}`", p.name),
-                span: Some(p.span),
-            })?;
+            let actual = inputs
+                .get(&p.name)
+                .map(Borrow::borrow)
+                .ok_or(RuntimeError {
+                    message: format!("missing input `{}`", p.name),
+                    span: Some(p.span),
+                })?;
             let actual_dims = actual.dims();
             if actual_dims.len() != p.dims.len() {
                 return Err(RuntimeError::new(
@@ -258,7 +314,7 @@ impl Interpreter {
         // so all dependent data shrinks with them.
         let mut store: HashMap<String, Value> = HashMap::new();
         for p in &t.inputs {
-            let mut value = inputs[&p.name].clone();
+            let mut value = inputs[&p.name].borrow().clone();
             if p.scaled_by.is_some() {
                 let pct = ctx
                     .param(&format!("{prefix}scale_{}", p.name))
@@ -289,17 +345,22 @@ impl Interpreter {
         }
 
         // Schedule and execute rules, resolving choices through ctx.
-        let graph = ChoiceDependencyGraph::build(t);
-        let order = graph.schedule().map_err(|e| RuntimeError {
-            message: e.to_string(),
-            span: Some(t.span),
-        })?;
-        let mut produced: Vec<String> = Vec::new();
+        // Graph and order come precomputed from construction.
+        let (graph, order) = self
+            .schedules
+            .get(transform_name)
+            .expect("schedules built for every transform")
+            .as_ref()
+            .map_err(|message| RuntimeError {
+                message: message.clone(),
+                span: Some(t.span),
+            })?;
+        let mut produced: Vec<&str> = Vec::new();
         for data in order {
-            if produced.contains(&data) {
+            if produced.contains(&data.as_str()) {
                 continue;
             }
-            let rules = graph.producers(&data);
+            let rules = graph.producers(data);
             let rule_idx = if rules.len() > 1 {
                 let site = format!("{prefix}rule_{data}");
                 let pick = ctx.choice(&site).map_err(|e| RuntimeError {
@@ -324,7 +385,7 @@ impl Interpreter {
                 None => self.run_rule(t, rule, &mut store, ctx, prefix, depth)?,
             }
             for out in &rule.outputs {
-                produced.push(out.data.clone());
+                produced.push(out.data.as_str());
             }
         }
 
@@ -395,6 +456,27 @@ impl Interpreter {
         }
         Ok(v.round() as usize)
     }
+}
+
+/// Precomputes every transform's choice dependency graph and execution
+/// schedule (config-independent, so they never need rebuilding at run
+/// time). Scheduling failures are stored and surfaced on the first run
+/// of the affected transform, exactly like the lazy build did.
+fn build_schedules(
+    program: &Program,
+) -> HashMap<String, Result<(ChoiceDependencyGraph, Vec<String>), String>> {
+    program
+        .transforms
+        .iter()
+        .map(|t| {
+            let graph = ChoiceDependencyGraph::build(t);
+            let entry = match graph.schedule() {
+                Ok(order) => Ok((graph, order)),
+                Err(e) => Err(e.to_string()),
+            };
+            (t.name.clone(), entry)
+        })
+        .collect()
 }
 
 /// Constant-folds dimension expressions (`n`, `k`, `sqrt(n)`, `2*k`…).

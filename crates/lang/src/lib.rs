@@ -64,6 +64,7 @@ pub mod cdg;
 pub mod compile;
 pub mod interp;
 pub mod lexer;
+pub mod opt;
 pub mod parser;
 pub mod pretty;
 pub mod sema;
@@ -75,6 +76,7 @@ pub mod vm;
 pub use ast::Program;
 pub use compile::{compile_program, CompiledProgram};
 pub use interp::{Interpreter, Value};
+pub use opt::OptLevel;
 pub use parser::{parse_program, ParseError};
 pub use sema::{check_program, SemaError};
 pub use traininfo::extract_schema;

@@ -9,6 +9,7 @@
 
 use crate::ast::Program;
 use crate::interp::{HostFn, Interpreter, RuntimeError, Value};
+use crate::opt::OptLevel;
 use crate::sema::check_program;
 use crate::traininfo::extract_schema;
 use pb_config::Schema;
@@ -74,6 +75,22 @@ impl DslTransform {
         transform_name: &str,
         input_gen: InputGenerator,
     ) -> Result<Self, DslError> {
+        Self::compile_at(program, transform_name, input_gen, OptLevel::default())
+    }
+
+    /// Like [`DslTransform::compile`] with an explicit bytecode
+    /// [`OptLevel`]. Every level executes bit-identically; lower levels
+    /// exist for debugging and for differential benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// See [`DslError`].
+    pub fn compile_at(
+        program: Program,
+        transform_name: &str,
+        input_gen: InputGenerator,
+        opt_level: OptLevel,
+    ) -> Result<Self, DslError> {
         check_program(&program)
             .map_err(|es| DslError::Sema(es.into_iter().map(|e| e.message).collect()))?;
         let t = program
@@ -87,10 +104,11 @@ impl DslTransform {
         // Lower every rule to bytecode once, here at construction: the
         // tuner re-executes candidates thousands of times per
         // generation, so all of them (and the metric transform) run on
-        // the register VM, falling back to tree-walking only for the
-        // rules the compiler does not cover.
+        // the register VM — through the optimizer pipeline — falling
+        // back to tree-walking only for the rules the compiler does
+        // not cover.
         Ok(DslTransform {
-            interpreter: Interpreter::new_compiled(program),
+            interpreter: Interpreter::new_compiled_at(program, opt_level),
             name: transform_name.to_owned(),
             metric,
             metric_schema,
@@ -124,7 +142,10 @@ impl DslTransform {
             .program()
             .transform(&self.metric)
             .expect("metric existence checked at compile time");
-        let mut metric_inputs = HashMap::new();
+        // Borrowed inputs: the interpreter clones what it keeps, so
+        // the metric run costs no extra copies of the (possibly large)
+        // transform outputs.
+        let mut metric_inputs: HashMap<String, &Value> = HashMap::new();
         for p in &metric_t.inputs {
             let v = outputs
                 .get(&p.name)
@@ -136,13 +157,13 @@ impl DslTransform {
                     ),
                     span: Some(p.span),
                 })?;
-            metric_inputs.insert(p.name.clone(), v.clone());
+            metric_inputs.insert(p.name.clone(), v);
         }
         let config = self.metric_schema.default_config();
         let mut ctx = ExecCtx::new(&self.metric_schema, &config, 1, 0);
-        let result = self
-            .interpreter
-            .run(&self.metric, &metric_inputs, &mut ctx)?;
+        let result =
+            self.interpreter
+                .run_prefixed(&self.metric, &metric_inputs, &mut ctx, "", 0)?;
         let out_name = &metric_t.outputs[0].name;
         result
             .get(out_name)

@@ -10,27 +10,33 @@
 //! and slot addressing. Sub-transform calls recurse through
 //! [`crate::interp::Interpreter`]'s shared orchestration, so callees
 //! run compiled wherever their rules compiled.
+//!
+//! The hot path is allocation-free in steady state:
+//!
+//! * Register and slot banks live in a [`VmFrame`] borrowed from the
+//!   per-thread scratch pool on the `ExecCtx` and grown monotonically,
+//!   replacing the `vec![…]` pair every invocation used to pay.
+//! * Tunable names resolve once per `(chunk, prefix)` into a cached
+//!   table of pre-built full names and schema ids
+//!   ([`ResolvedNames`], also scratch-pooled), so the dispatch loop
+//!   never rebuilds `prefix + name` strings or hashes them against the
+//!   schema. The cache revalidates its ids against the active schema
+//!   on every borrow (a few pointer-free string compares), which keeps
+//!   it correct even when the same chunk runs under different schemas
+//!   (e.g. an accuracy-metric context).
 
 use crate::ast::BinOp;
 use crate::ast::Rule;
 use crate::compile::{Chunk, FirstArg, Instr, MathFn1, MathFn2, Operand, ShapeKind};
 use crate::interp::{read_element, write_element, Interpreter, RuntimeError, Value};
+use crate::opt::apply_bin;
 use crate::token::Span;
+use pb_config::{ConfigError, Schema, TunableId};
 use pb_runtime::ExecCtx;
 use rand::Rng;
 use std::borrow::Cow;
 use std::collections::HashMap;
-
-/// A tunable name under the current sub-transform prefix, without
-/// allocating in the common top-level (empty prefix) case.
-#[inline]
-fn prefixed<'a>(prefix: &str, name: &'a str) -> Cow<'a, str> {
-    if prefix.is_empty() {
-        Cow::Borrowed(name)
-    } else {
-        Cow::Owned(format!("{prefix}{name}"))
-    }
-}
+use std::rc::Rc;
 
 fn err(message: impl Into<String>) -> RuntimeError {
     RuntimeError {
@@ -48,6 +54,70 @@ fn index(v: f64) -> Result<usize, RuntimeError> {
     Ok(v as usize)
 }
 
+/// One-argument math builtins, shared with the optimizer's constant
+/// folder so folded results are bit-identical to runtime evaluation.
+#[inline]
+pub(crate) fn apply_math1(f: MathFn1, v: f64) -> f64 {
+    match f {
+        MathFn1::Sqrt => v.sqrt(),
+        MathFn1::Abs => v.abs(),
+        MathFn1::Floor => v.floor(),
+        MathFn1::Ceil => v.ceil(),
+        MathFn1::Exp => v.exp(),
+        MathFn1::Log => v.ln(),
+    }
+}
+
+/// Two-argument math builtins (see [`apply_math1`]).
+#[inline]
+pub(crate) fn apply_math2(f: MathFn2, a: f64, b: f64) -> f64 {
+    match f {
+        MathFn2::Min => a.min(b),
+        MathFn2::Max => a.max(b),
+        MathFn2::Pow => a.powf(b),
+    }
+}
+
+/// Comparison dispatch for the fused branch forms (`op` is always a
+/// comparison; the optimizer never fuses arithmetic into a branch).
+#[inline]
+fn apply_cmp(op: BinOp, a: f64, b: f64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("only comparisons fuse into branches"),
+    }
+}
+
+/// An operand as a borrowed value where possible: slot operands borrow
+/// in place (the fast path the old always-`clone` accessor lacked),
+/// register operands wrap into an owned scalar.
+#[inline]
+fn operand_cow<'a>(op: &Operand, regs: &[f64], slots: &'a [Value]) -> Cow<'a, Value> {
+    match op {
+        Operand::Reg(r) => Cow::Owned(Value::Num(regs[*r as usize])),
+        Operand::Slot(s) => Cow::Borrowed(&slots[*s as usize]),
+    }
+}
+
+/// Element count of a value for host-call cost charging —
+/// `dims().iter().product().max(1)` without the `dims()` allocation.
+#[inline]
+fn value_size(v: &Value) -> usize {
+    match v {
+        Value::Num(_) => 1,
+        Value::Arr1(a) => a.len().max(1),
+        Value::Arr2 { rows, cols, .. } => (rows * cols).max(1),
+    }
+}
+
+/// An operand as an owned value — the host-call protocol needs
+/// `&[Value]`, so arrays genuinely clone here; callers that can hold a
+/// borrow use [`operand_cow`] instead (the actual fast path).
 #[inline]
 fn operand_value(op: &Operand, regs: &[f64], slots: &[Value]) -> Value {
     match op {
@@ -56,8 +126,157 @@ fn operand_value(op: &Operand, regs: &[f64], slots: &[Value]) -> Value {
     }
 }
 
+/// Reusable per-invocation execution state: the scalar register bank
+/// and the `Value` slot bank, grown monotonically and recycled through
+/// the `ExecCtx` scratch pool (nested invocations each borrow their
+/// own frame).
+#[derive(Default)]
+pub(crate) struct VmFrame {
+    regs: Vec<f64>,
+    slots: Vec<Value>,
+    /// Per-invocation memo of `Choice` resolutions, indexed by
+    /// `NameIdx` (`usize::MAX` = unresolved). Choice lookups are pure
+    /// functions of the context's fixed config/schema/size, so
+    /// memoizing them within one invocation is observably identical to
+    /// re-resolving — it just lifts the decision-tree walk out of
+    /// loops. Left empty on the `O0` compatibility path.
+    choices: Vec<usize>,
+}
+
+impl VmFrame {
+    /// Prepares the frame for a chunk: both banks grown to size and
+    /// reset to the zero state a fresh allocation would have, so reuse
+    /// is observably identical to reallocation.
+    fn reset(&mut self, n_regs: usize, n_slots: usize, n_names: usize) {
+        if self.regs.len() < n_regs {
+            self.regs.resize(n_regs, 0.0);
+        }
+        self.regs[..n_regs].fill(0.0);
+        if self.slots.len() < n_slots {
+            self.slots.resize(n_slots, Value::Num(0.0));
+        }
+        for slot in &mut self.slots[..n_slots] {
+            *slot = Value::Num(0.0);
+        }
+        self.choices.clear();
+        self.choices.resize(n_names, usize::MAX);
+    }
+
+    /// Drops any arrays parked in the slot bank so a pooled frame does
+    /// not pin trial data between invocations.
+    fn release_values(&mut self) {
+        for slot in &mut self.slots {
+            *slot = Value::Num(0.0);
+        }
+    }
+}
+
+/// One interned chunk name, pre-resolved against a prefix: the full
+/// tunable key, its schema id (when the schema knows it), and the
+/// sub-transform prefix a `CallTransform` through this name would use.
+struct ResolvedName {
+    full: String,
+    id: Option<TunableId>,
+    sub_prefix: String,
+}
+
+/// The per-`(chunk, prefix)` resolution table.
+type ResolvedNames = Rc<Vec<ResolvedName>>;
+
+/// A cached resolution keyed by chunk identity and prefix. The chunk
+/// address is only a cache key (never dereferenced), and every hit is
+/// revalidated against the live schema, so stale entries can only
+/// cause a rebuild — never a wrong resolution.
+struct CacheEntry {
+    chunk_addr: usize,
+    prefix: String,
+    names: ResolvedNames,
+}
+
+/// Scratch state parked on the `ExecCtx` between rule invocations:
+/// free execution frames plus the tunable-resolution cache.
+#[derive(Default)]
+pub(crate) struct VmScratch {
+    frames: Vec<VmFrame>,
+    cache: Vec<CacheEntry>,
+}
+
+/// Caps the resolution cache so pathological programs (many chunks ×
+/// many prefixes) cannot grow it without bound.
+const CACHE_CAP: usize = 64;
+
+impl VmScratch {
+    fn resolve(&mut self, chunk: &Chunk, prefix: &str, schema: &Schema) -> ResolvedNames {
+        let chunk_addr = chunk as *const Chunk as usize;
+        if let Some(entry) = self
+            .cache
+            .iter()
+            .find(|e| e.chunk_addr == chunk_addr && e.prefix == prefix)
+        {
+            if Self::validate(&entry.names, chunk, prefix, schema) {
+                return Rc::clone(&entry.names);
+            }
+        }
+        let names: Vec<ResolvedName> = chunk
+            .names
+            .iter()
+            .map(|name| {
+                let full = format!("{prefix}{name}");
+                let id = schema.tunable(&full).map(|(id, _)| id);
+                ResolvedName {
+                    sub_prefix: format!("{full}."),
+                    full,
+                    id,
+                }
+            })
+            .collect();
+        let names = Rc::new(names);
+        self.cache
+            .retain(|e| !(e.chunk_addr == chunk_addr && e.prefix == prefix));
+        if self.cache.len() >= CACHE_CAP {
+            // Evict the oldest entry; clearing everything would make
+            // programs with more than CACHE_CAP (chunk, prefix) pairs
+            // rebuild their whole hot set on every invocation.
+            self.cache.remove(0);
+        }
+        self.cache.push(CacheEntry {
+            chunk_addr,
+            prefix: prefix.to_owned(),
+            names: Rc::clone(&names),
+        });
+        names
+    }
+
+    /// Whether a cached table still matches the chunk's names and the
+    /// active schema (allocation-free: length and string compares).
+    fn validate(names: &ResolvedNames, chunk: &Chunk, prefix: &str, schema: &Schema) -> bool {
+        names.len() == chunk.names.len()
+            && names.iter().zip(&chunk.names).all(|(r, name)| {
+                r.full.len() == prefix.len() + name.len()
+                    && r.full.ends_with(name.as_str())
+                    && match r.id {
+                        Some(id) => {
+                            id.0 < schema.len() && schema.tunable_by_id(id).name() == r.full
+                        }
+                        None => schema.tunable(&r.full).is_none(),
+                    }
+            })
+    }
+}
+
 /// Runs one compiled rule against the transform's data store,
 /// mirroring the interpreter's `run_rule` binding and write-back.
+///
+/// Optimized chunks run on pooled frames with cached tunable
+/// resolution; `O0` chunks take a compatibility path that approximates
+/// the pre-optimizer execution profile — fresh banks and fresh name
+/// resolution every invocation — preserving a "current VM" baseline
+/// for the `vm_opt` benchmark. (It is an approximation, not a replay:
+/// the old VM resolved names lazily per *read*, so for prefixed
+/// tunables in loops this baseline under-counts the old cost —
+/// conservative for the reported speedups — while for top-level
+/// chunks it eagerly builds a handful of small strings per invocation
+/// the old VM skipped, which is noise at trial granularity.)
 pub(crate) fn run_rule(
     interp: &Interpreter,
     rule: &Rule,
@@ -67,13 +286,69 @@ pub(crate) fn run_rule(
     prefix: &str,
     depth: usize,
 ) -> Result<(), RuntimeError> {
-    let mut slots = vec![Value::Num(0.0); chunk.n_slots as usize];
+    if chunk.opt == crate::opt::OptLevel::O0 {
+        let mut frame = VmFrame::default();
+        frame.reset(chunk.n_regs as usize, chunk.n_slots as usize, 0);
+        let schema = ctx.schema();
+        let resolved: Vec<ResolvedName> = chunk
+            .names
+            .iter()
+            .map(|name| {
+                let full = format!("{prefix}{name}");
+                ResolvedName {
+                    id: schema.tunable(&full).map(|(id, _)| id),
+                    sub_prefix: format!("{full}."),
+                    full,
+                }
+            })
+            .collect();
+        return bind_exec_writeback(
+            interp, rule, chunk, store, ctx, depth, &resolved, &mut frame,
+        );
+    }
+
+    let mut scratch = ctx.scratch().take::<VmScratch>();
+    let resolved = scratch.resolve(chunk, prefix, ctx.schema());
+    let mut frame = scratch.frames.pop().unwrap_or_default();
+    ctx.scratch().put(scratch);
+    frame.reset(
+        chunk.n_regs as usize,
+        chunk.n_slots as usize,
+        chunk.names.len(),
+    );
+
+    let result = bind_exec_writeback(
+        interp, rule, chunk, store, ctx, depth, &resolved, &mut frame,
+    );
+
+    // Recycle the frame whatever the outcome (dropping parked arrays
+    // now, not at the next reset, so pooled frames stay small).
+    frame.release_values();
+    let mut scratch = ctx.scratch().take::<VmScratch>();
+    scratch.frames.push(frame);
+    ctx.scratch().put(scratch);
+    result
+}
+
+/// Shared invocation body: binds the rule's aliases into the frame,
+/// dispatches, and writes outputs back on success.
+#[allow(clippy::too_many_arguments)]
+fn bind_exec_writeback(
+    interp: &Interpreter,
+    rule: &Rule,
+    chunk: &Chunk,
+    store: &mut HashMap<String, Value>,
+    ctx: &mut ExecCtx<'_>,
+    depth: usize,
+    resolved: &[ResolvedName],
+    frame: &mut VmFrame,
+) -> Result<(), RuntimeError> {
     for (b, slot) in rule.inputs.iter().zip(&chunk.input_slots) {
         let v = store.get(&b.data).ok_or_else(|| RuntimeError {
             message: format!("rule reads unproduced data `{}`", b.data),
             span: Some(b.span),
         })?;
-        slots[*slot as usize] = v.clone();
+        frame.slots[*slot as usize] = v.clone();
     }
     // Output aliases bind after inputs, shadowing same-named inputs.
     for (b, slot) in rule.outputs.iter().zip(&chunk.output_slots) {
@@ -81,13 +356,13 @@ pub(crate) fn run_rule(
             message: format!("rule writes undeclared data `{}`", b.data),
             span: Some(b.span),
         })?;
-        slots[*slot as usize] = v.clone();
+        frame.slots[*slot as usize] = v.clone();
     }
 
-    exec(interp, chunk, &mut slots, ctx, prefix, depth)?;
+    exec(interp, chunk, resolved, frame, ctx, depth)?;
 
     for (b, slot) in rule.outputs.iter().zip(&chunk.output_slots) {
-        store.insert(b.data.clone(), slots[*slot as usize].clone());
+        store.insert(b.data.clone(), frame.slots[*slot as usize].clone());
     }
     Ok(())
 }
@@ -96,12 +371,20 @@ pub(crate) fn run_rule(
 fn exec(
     interp: &Interpreter,
     chunk: &Chunk,
-    slots: &mut [Value],
+    resolved: &[ResolvedName],
+    frame: &mut VmFrame,
     ctx: &mut ExecCtx<'_>,
-    prefix: &str,
     depth: usize,
 ) -> Result<(), RuntimeError> {
-    let mut regs = vec![0.0f64; chunk.n_regs as usize];
+    let n_regs = chunk.n_regs as usize;
+    let n_slots = chunk.n_slots as usize;
+    let VmFrame {
+        regs,
+        slots,
+        choices,
+    } = frame;
+    let regs: &mut [f64] = &mut regs[..n_regs];
+    let slots: &mut [Value] = &mut slots[..n_slots];
     let code = &chunk.code;
     let names = &chunk.names;
     let mut pc = 0usize;
@@ -120,32 +403,26 @@ fn exec(
                 slots[*dst as usize] = slots[*src as usize].clone();
             }
             Instr::LoadParam { dst, name } => {
-                let name = &names[*name as usize];
-                let tunable = prefixed(prefix, name);
-                match ctx.param(&tunable) {
-                    Ok(v) => regs[*dst as usize] = v as f64,
-                    Err(_) => return Err(err(format!("unknown variable `{name}`"))),
+                let v = match resolved[*name as usize].id {
+                    Some(id) => ctx.param_by_id(id).ok(),
+                    None => None,
+                };
+                match v {
+                    Some(v) => regs[*dst as usize] = v as f64,
+                    None => {
+                        let name = &names[*name as usize];
+                        return Err(err(format!("unknown variable `{name}`")));
+                    }
                 }
             }
             Instr::Bin { op, dst, a, b } => {
-                let a = regs[*a as usize];
-                let b = regs[*b as usize];
-                regs[*dst as usize] = match op {
-                    BinOp::Add => a + b,
-                    BinOp::Sub => a - b,
-                    BinOp::Mul => a * b,
-                    BinOp::Div => a / b,
-                    BinOp::Rem => a % b,
-                    BinOp::Eq => (a == b) as i64 as f64,
-                    BinOp::Ne => (a != b) as i64 as f64,
-                    BinOp::Lt => (a < b) as i64 as f64,
-                    BinOp::Le => (a <= b) as i64 as f64,
-                    BinOp::Gt => (a > b) as i64 as f64,
-                    BinOp::Ge => (a >= b) as i64 as f64,
-                    // Short-circuit forms never reach the VM; the
-                    // compiler lowers them to jumps.
-                    BinOp::And | BinOp::Or => unreachable!("lowered to jumps"),
-                };
+                regs[*dst as usize] = apply_bin(*op, regs[*a as usize], regs[*b as usize]);
+            }
+            Instr::BinRI { op, dst, a, imm } => {
+                regs[*dst as usize] = apply_bin(*op, regs[*a as usize], *imm);
+            }
+            Instr::BinIR { op, dst, imm, b } => {
+                regs[*dst as usize] = apply_bin(*op, *imm, regs[*b as usize]);
             }
             Instr::Neg { dst, src } => regs[*dst as usize] = -regs[*src as usize],
             Instr::Not { dst, src } => {
@@ -155,24 +432,10 @@ fn exec(
                 regs[*dst as usize] = (regs[*src as usize] != 0.0) as i64 as f64;
             }
             Instr::Math1 { f, dst, src } => {
-                let v = regs[*src as usize];
-                regs[*dst as usize] = match f {
-                    MathFn1::Sqrt => v.sqrt(),
-                    MathFn1::Abs => v.abs(),
-                    MathFn1::Floor => v.floor(),
-                    MathFn1::Ceil => v.ceil(),
-                    MathFn1::Exp => v.exp(),
-                    MathFn1::Log => v.ln(),
-                };
+                regs[*dst as usize] = apply_math1(*f, regs[*src as usize]);
             }
             Instr::Math2 { f, dst, a, b } => {
-                let a = regs[*a as usize];
-                let b = regs[*b as usize];
-                regs[*dst as usize] = match f {
-                    MathFn2::Min => a.min(b),
-                    MathFn2::Max => a.max(b),
-                    MathFn2::Pow => a.powf(b),
-                };
+                regs[*dst as usize] = apply_math2(*f, regs[*a as usize], regs[*b as usize]);
             }
             Instr::Rand { dst, lo, hi } => {
                 let lo = regs[*lo as usize];
@@ -184,12 +447,15 @@ fn exec(
                 };
             }
             Instr::Shape { kind, dst, slot } => {
-                let dims = slots[*slot as usize].dims();
-                regs[*dst as usize] = match (kind, dims.as_slice()) {
-                    (ShapeKind::Len, [n]) => *n as f64,
-                    (ShapeKind::Len, [_, c]) => *c as f64,
-                    (ShapeKind::Rows, [r, _]) => *r as f64,
-                    (ShapeKind::Cols, [_, c]) => *c as f64,
+                // Matches the value directly (not through `dims()`,
+                // which allocates) with the interpreter's exact
+                // shape-acceptance rules.
+                let v = &slots[*slot as usize];
+                regs[*dst as usize] = match (kind, v) {
+                    (ShapeKind::Len, Value::Arr1(a)) => a.len() as f64,
+                    (ShapeKind::Len, Value::Arr2 { cols, .. })
+                    | (ShapeKind::Cols, Value::Arr2 { cols, .. }) => *cols as f64,
+                    (ShapeKind::Rows, Value::Arr2 { rows, .. }) => *rows as f64,
                     (kind, _) => {
                         let name = match kind {
                             ShapeKind::Len => "len",
@@ -215,6 +481,20 @@ fn exec(
             Instr::StoreIdx1 { slot, idx, src } => {
                 let i = index(regs[*idx as usize])?;
                 let v = regs[*src as usize];
+                write_element(&mut slots[*slot as usize], &[i], v, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::BinStoreIdx1 {
+                op,
+                slot,
+                idx,
+                a,
+                b,
+            } => {
+                // The absorbed `Bin` is pure, so computing it on either
+                // side of the index check is unobservable.
+                let i = index(regs[*idx as usize])?;
+                let v = apply_bin(*op, regs[*a as usize], regs[*b as usize]);
                 write_element(&mut slots[*slot as usize], &[i], v, Span::new(0, 0))
                     .map_err(|e| err(e.message))?;
             }
@@ -247,7 +527,36 @@ fn exec(
                     continue;
                 }
             }
+            Instr::JumpCmp {
+                op,
+                a,
+                b,
+                jump_if,
+                target,
+            } => {
+                if apply_cmp(*op, regs[*a as usize], regs[*b as usize]) == *jump_if {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Instr::JumpCmpImm {
+                op,
+                a,
+                imm,
+                jump_if,
+                target,
+            } => {
+                if apply_cmp(*op, regs[*a as usize], *imm) == *jump_if {
+                    pc = *target;
+                    continue;
+                }
+            }
             Instr::AddImm { dst, imm } => regs[*dst as usize] += *imm,
+            Instr::AddImmJump { dst, imm, target } => {
+                regs[*dst as usize] += *imm;
+                pc = *target;
+                continue;
+            }
             Instr::TruncPair { a, b } => {
                 // The interpreter converts `for` bounds through i64.
                 regs[*a as usize] = regs[*a as usize] as i64 as f64;
@@ -262,8 +571,12 @@ fn exec(
                 }
             }
             Instr::ForEnoughPrep { dst, name } => {
-                let full = prefixed(prefix, &names[*name as usize]);
-                let iters = ctx.for_enough(&full).map_err(|e| err(format!("{e}")))?;
+                let r = &resolved[*name as usize];
+                let iters = match r.id {
+                    Some(id) => ctx.for_enough_by_id(id),
+                    None => Err(ConfigError::UnknownTunable(r.full.clone())),
+                }
+                .map_err(|e| err(format!("{e}")))?;
                 regs[*dst as usize] = iters as f64;
             }
             Instr::Choice {
@@ -271,13 +584,52 @@ fn exec(
                 name,
                 branches,
             } => {
-                let full = prefixed(prefix, &names[*name as usize]);
-                let pick = ctx.choice(&full).map_err(|e| err(format!("{e}")))?;
+                let idx = *name as usize;
+                let memoized = choices.get(idx).copied().unwrap_or(usize::MAX);
+                let pick = if memoized != usize::MAX {
+                    memoized
+                } else {
+                    let r = &resolved[idx];
+                    let pick = match r.id {
+                        Some(id) => ctx.choice_by_id(id),
+                        None => Err(ConfigError::UnknownTunable(r.full.clone())),
+                    }
+                    .map_err(|e| err(format!("{e}")))?;
+                    if let Some(slot) = choices.get_mut(idx) {
+                        *slot = pick;
+                    }
+                    pick
+                };
                 regs[*dst as usize] = pick.min(*branches as usize - 1) as f64;
             }
             Instr::Switch { src, targets } => {
                 pc = targets[regs[*src as usize] as usize];
                 continue;
+            }
+            Instr::SlotUpdImm {
+                op,
+                dst,
+                src,
+                imm,
+                imm_on_left,
+            } => {
+                let v = match &slots[*src as usize] {
+                    Value::Num(v) => *v,
+                    _ => return Err(err("expected a scalar value")),
+                };
+                let out = if *imm_on_left {
+                    apply_bin(*op, *imm, v)
+                } else {
+                    apply_bin(*op, v, *imm)
+                };
+                slots[*dst as usize] = Value::Num(out);
+            }
+            Instr::SlotUpdReg { op, dst, src, b } => {
+                let v = match &slots[*src as usize] {
+                    Value::Num(v) => *v,
+                    _ => return Err(err("expected a scalar value")),
+                };
+                slots[*dst as usize] = Value::Num(apply_bin(*op, v, regs[*b as usize]));
             }
             Instr::CallHost {
                 name,
@@ -293,18 +645,13 @@ fn exec(
                 };
                 let rest_values: Vec<Value> = rest
                     .iter()
-                    .map(|op| operand_value(op, &regs, slots))
+                    .map(|op| operand_value(op, regs, slots))
                     .collect();
                 let mut first_value = match first {
                     FirstArg::Var(s) => slots[*s as usize].clone(),
-                    FirstArg::Anon(op) => operand_value(op, &regs, slots),
+                    FirstArg::Anon(op) => operand_value(op, regs, slots),
                 };
-                ctx.charge(
-                    rest_values
-                        .iter()
-                        .map(|v| v.dims().iter().product::<usize>().max(1))
-                        .sum::<usize>() as f64,
-                );
+                ctx.charge(rest_values.iter().map(value_size).sum::<usize>() as f64);
                 let out = f(&mut first_value, &rest_values)
                     .map_err(|m| err(format!("host `{fname}`: {m}")))?;
                 if let FirstArg::Var(s) = first {
@@ -318,13 +665,19 @@ fn exec(
                     .program()
                     .transform(callee_name)
                     .expect("callee checked at compile time");
-                let mut sub_inputs = HashMap::new();
+                // Argument values borrow straight out of the slot bank
+                // (the callee clones what it keeps), so array arguments
+                // are cloned once — into the callee's store — instead
+                // of twice.
+                let mut sub_inputs: HashMap<String, Cow<'_, Value>> =
+                    HashMap::with_capacity(args.len());
                 for (param, op) in callee.inputs.iter().zip(args) {
-                    sub_inputs.insert(param.name.clone(), operand_value(op, &regs, slots));
+                    sub_inputs.insert(param.name.clone(), operand_cow(op, regs, slots));
                 }
-                let sub_prefix = format!("{prefix}{callee_name}.");
+                let sub_prefix = &resolved[*name as usize].sub_prefix;
                 let outputs =
-                    interp.run_prefixed(callee_name, &sub_inputs, ctx, &sub_prefix, depth + 1)?;
+                    interp.run_prefixed(callee_name, &sub_inputs, ctx, sub_prefix, depth + 1)?;
+                drop(sub_inputs);
                 let out_name = &callee.outputs[0].name;
                 slots[*dst as usize] = outputs.get(out_name).cloned().ok_or_else(|| {
                     err(format!(
@@ -333,6 +686,7 @@ fn exec(
                 })?;
             }
             Instr::Return => return Ok(()),
+            Instr::Nop => {}
         }
         pc += 1;
     }

@@ -9,7 +9,8 @@
 //! wall-clock time in tests and in the deterministic tuning mode) and an
 //! execution trace from which cycle-shape diagrams (Fig. 8) are drawn.
 
-use pb_config::{Config, ConfigError, Schema};
+use crate::scratch::ScratchPool;
+use pb_config::{Config, ConfigError, Schema, TunableId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -104,6 +105,7 @@ pub struct ExecCtx<'a> {
     trace: Vec<TraceEvent>,
     trace_enabled: bool,
     open_scopes: usize,
+    scratch: ScratchPool,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -119,7 +121,16 @@ impl<'a> ExecCtx<'a> {
             trace: Vec::new(),
             trace_enabled: false,
             open_scopes: 0,
+            scratch: ScratchPool::from_thread_reservoir(),
         }
+    }
+
+    /// The context's reusable scratch pool (register banks, resolved
+    /// tunable tables, …). Seeded from a per-thread reservoir at
+    /// construction and returned to it on drop, so executors on a pool
+    /// worker reuse the same buffers across trials.
+    pub fn scratch(&mut self) -> &mut ScratchPool {
+        &mut self.scratch
     }
 
     /// The schema the active configuration conforms to.
@@ -197,6 +208,43 @@ impl<'a> ExecCtx<'a> {
     /// Returns a [`ConfigError`] for unknown or mistyped tunables.
     pub fn for_enough(&self, name: &str) -> Result<u64, ConfigError> {
         Ok(self.param(name)?.max(0) as u64)
+    }
+
+    /// Resolves a tunable name to its schema id, for executors that
+    /// cache name resolution outside their dispatch loops and then use
+    /// the `*_by_id` accessors (which skip the per-read string hash).
+    pub fn tunable_id(&self, name: &str) -> Option<TunableId> {
+        self.schema.tunable(name).map(|(id, _)| id)
+    }
+
+    /// Like [`ExecCtx::choice`] with a pre-resolved id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] the by-name accessor would for
+    /// a non-choice tunable.
+    pub fn choice_by_id(&mut self, id: TunableId) -> Result<usize, ConfigError> {
+        self.config.choice_by_id(self.schema, id, self.size)
+    }
+
+    /// Like [`ExecCtx::param`] with a pre-resolved id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] the by-name accessor would for
+    /// a non-integer tunable.
+    pub fn param_by_id(&self, id: TunableId) -> Result<i64, ConfigError> {
+        self.config.int_by_id(self.schema, id)
+    }
+
+    /// Like [`ExecCtx::for_enough`] with a pre-resolved id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`ConfigError`] the by-name accessor would for
+    /// a non-integer tunable.
+    pub fn for_enough_by_id(&self, id: TunableId) -> Result<u64, ConfigError> {
+        Ok(self.param_by_id(id)?.max(0) as u64)
     }
 
     /// Deterministic per-execution RNG (seeded by the trial runner so

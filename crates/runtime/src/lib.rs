@@ -27,11 +27,13 @@ pub mod ctx;
 pub mod guarantee;
 pub mod parallel;
 pub mod pool;
+pub mod scratch;
 pub mod transform;
 pub mod tuned;
 
 pub use ctx::{ExecCtx, TraceEvent, TraceNode};
 pub use guarantee::{GuaranteeError, GuaranteeKind, VerifiedRun};
 pub use pool::Pool;
+pub use scratch::ScratchPool;
 pub use transform::{CostModel, Transform, TransformRunner, TrialOutcome, TrialRunner};
 pub use tuned::{TunedEntry, TunedProgram};

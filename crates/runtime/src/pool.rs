@@ -19,6 +19,11 @@
 //!   makes nested batches (a pool task that itself calls
 //!   `run_indexed`) deadlock-free: the inner caller drains work
 //!   instead of sleeping while holding a worker slot.
+//! * **Depth-aware admission.** A batch submitted from *inside* a pool
+//!   task (nested `parallel_map` in a batched trial, say) runs inline
+//!   on the submitting thread instead of re-enqueueing: the outer
+//!   batch already occupies every worker, so re-splitting nested work
+//!   only adds queue churn and oversubscription on small machines.
 //! * **Panic propagation.** A panicking task aborts its batch's
 //!   remaining tasks (best effort), and the panic payload is re-thrown
 //!   on the calling thread once the batch has drained, mirroring the
@@ -31,10 +36,44 @@
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::any::Any;
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
+
+thread_local! {
+    /// How many pool tasks are currently executing on this thread
+    /// (a worker running a job, or a blocked submitter helping).
+    /// Batches submitted at depth >= 1 run inline — see
+    /// [`Pool::run_indexed`].
+    static TASK_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Increments the thread's task depth for its lifetime (panic-safe:
+/// the decrement runs during unwinding too, so a panicking task does
+/// not poison the thread's depth).
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> DepthGuard {
+        TASK_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        TASK_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// How many pool tasks are executing on the current thread right now
+/// (0 outside the pool). Exposed so schedulers and tests can observe
+/// the depth-aware admission policy.
+pub fn current_task_depth() -> usize {
+    TASK_DEPTH.with(Cell::get)
+}
 
 /// One schedulable unit: a contiguous index range of some batch.
 struct Job {
@@ -78,6 +117,7 @@ unsafe impl Sync for BatchState {}
 impl BatchState {
     fn execute(&self, start: usize, end: usize) {
         if !self.poisoned.load(Ordering::Relaxed) {
+            let _depth = DepthGuard::enter();
             // SAFETY: the submitter keeps the closure alive until the
             // batch completes (it blocks in `run_indexed`).
             let task = unsafe { &*self.task };
@@ -223,6 +263,25 @@ impl Pool {
         if count == 0 {
             return;
         }
+        // Depth-aware admission: a batch submitted from *inside* a pool
+        // task runs inline on the submitting thread instead of
+        // re-enqueueing. The outer batch has already fanned out across
+        // the pool, so splitting nested batches again only adds queue
+        // traffic and oversubscribes small machines; inline execution
+        // keeps exactly one task per worker. (Results are unchanged —
+        // `run_indexed` makes no ordering promises either way.)
+        if current_task_depth() >= 1 {
+            // Inline execution still counts as running pool tasks, so
+            // further nesting observes (and keeps) the right depth.
+            let _depth = DepthGuard::enter();
+            for i in 0..count {
+                task(i);
+            }
+            return;
+        }
+        // Top-level degenerate batches run inline *without* marking
+        // task depth: their tasks occupy no worker, so parallelism
+        // nested inside them should still fan out across the idle pool.
         if self.threads < 2 || count == 1 {
             for i in 0..count {
                 task(i);
@@ -414,6 +473,59 @@ mod tests {
             });
         });
         assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn nested_batches_run_inline_on_the_submitting_task() {
+        let pool = Pool::with_threads(4);
+        // Every inner task must execute on the thread of the outer task
+        // that submitted it (depth-aware admission), at depth 2.
+        let violations = AtomicU64::new(0);
+        pool.run_indexed(16, |_| {
+            assert_eq!(current_task_depth(), 1);
+            let submitter = std::thread::current().id();
+            pool.run_indexed(16, |_| {
+                if std::thread::current().id() != submitter || current_task_depth() != 2 {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(violations.load(Ordering::Relaxed), 0);
+        // Depth unwinds once the batch completes.
+        assert_eq!(current_task_depth(), 0);
+    }
+
+    #[test]
+    fn top_level_single_task_batches_do_not_mark_depth() {
+        // A degenerate top-level batch runs inline but occupies no
+        // worker, so parallelism nested inside it must still fan out.
+        let pool = Pool::with_threads(4);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.run_indexed(1, |_| {
+            assert_eq!(current_task_depth(), 0, "inline top-level task");
+            pool.run_indexed(64, |_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(Duration::from_micros(200));
+            });
+        });
+        assert!(
+            seen.into_inner().unwrap().len() >= 2,
+            "nested batch under a single-task top-level batch must still fan out"
+        );
+    }
+
+    #[test]
+    fn depth_unwinds_after_a_panicking_task() {
+        let pool = Pool::with_threads(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_indexed(4, |i| {
+                if i == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_task_depth(), 0, "panic must not leak depth");
     }
 
     #[test]

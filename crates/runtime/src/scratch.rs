@@ -1,0 +1,165 @@
+//! Per-thread reusable scratch allocations.
+//!
+//! The register VM (and any other hot executor) needs per-invocation
+//! working memory — register banks, slot banks, resolved-tunable
+//! tables. Allocating those on every invocation dominates small-rule
+//! execution, so each [`crate::ExecCtx`] carries a [`ScratchPool`]: a
+//! typed grab-bag of reusable boxed allocations. The pool's contents
+//! survive the context: on construction the pool adopts whatever the
+//! current thread's reservoir holds, and on drop it gives the items
+//! back, so steady-state trial execution on a pool worker re-uses the
+//! same buffers across every trial that thread runs.
+//!
+//! The pool is deliberately dumb: a small vector of `Box<dyn Any>`
+//! searched linearly by type. Executors keep at most a handful of
+//! distinct scratch types alive, so the scan is a few pointer
+//! comparisons — far cheaper than the allocations it avoids.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Upper bound on reservoir entries kept per thread, so pathological
+/// usage (many distinct scratch types, deep recursion) cannot grow the
+/// reservoir without bound.
+const RESERVOIR_CAP: usize = 64;
+
+thread_local! {
+    /// Scratch items handed back by dropped [`ScratchPool`]s, adopted
+    /// by the next pool constructed on this thread.
+    static RESERVOIR: RefCell<Vec<Box<dyn Any>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A typed pool of reusable scratch allocations (see the module docs).
+#[derive(Default)]
+pub struct ScratchPool {
+    items: Vec<Box<dyn Any>>,
+}
+
+impl fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("items", &self.items.len())
+            .finish()
+    }
+}
+
+impl ScratchPool {
+    /// Creates a pool seeded with the current thread's reservoir, so
+    /// buffers recycle across successive pools (e.g. one per trial) on
+    /// the same thread.
+    pub fn from_thread_reservoir() -> Self {
+        let items = RESERVOIR.with(|r| std::mem::take(&mut *r.borrow_mut()));
+        ScratchPool { items }
+    }
+
+    /// Number of items currently parked in the pool.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Takes an item of type `T` out of the pool, or default-constructs
+    /// one if none is parked. The caller owns the item until it is
+    /// [`ScratchPool::put`] back (nested users each get their own).
+    pub fn take<T: Any + Default>(&mut self) -> Box<T> {
+        match self.items.iter().position(|i| i.is::<T>()) {
+            Some(at) => self
+                .items
+                .swap_remove(at)
+                .downcast::<T>()
+                .expect("position() matched the type"),
+            None => Box::<T>::default(),
+        }
+    }
+
+    /// Parks an item for later reuse.
+    pub fn put<T: Any>(&mut self, item: Box<T>) {
+        self.items.push(item);
+    }
+}
+
+impl Drop for ScratchPool {
+    /// Returns the items to the thread's reservoir (up to a cap), so
+    /// the next pool on this thread starts warm.
+    fn drop(&mut self) {
+        RESERVOIR.with(|r| {
+            let mut reservoir = r.borrow_mut();
+            while reservoir.len() < RESERVOIR_CAP {
+                match self.items.pop() {
+                    Some(item) => reservoir.push(item),
+                    None => break,
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Buf(Vec<u8>);
+
+    #[test]
+    fn take_reuses_parked_items() {
+        let mut pool = ScratchPool::default();
+        let mut a = pool.take::<Buf>();
+        a.0.resize(128, 7);
+        let data_ptr = a.0.as_ptr();
+        pool.put(a);
+        let b = pool.take::<Buf>();
+        assert_eq!(b.0.as_ptr(), data_ptr, "the parked buffer comes back");
+        assert_eq!(b.0.len(), 128);
+    }
+
+    #[test]
+    fn nested_takes_get_distinct_items() {
+        let mut pool = ScratchPool::default();
+        let a = pool.take::<Buf>();
+        let b = pool.take::<Buf>();
+        assert!(!std::ptr::eq(&*a, &*b));
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn reservoir_survives_pool_drop() {
+        // Run in a dedicated thread so other tests' reservoirs don't
+        // interfere.
+        std::thread::spawn(|| {
+            let mut pool = ScratchPool::from_thread_reservoir();
+            let mut buf = pool.take::<Buf>();
+            buf.0.resize(64, 1);
+            let data_ptr = buf.0.as_ptr();
+            pool.put(buf);
+            drop(pool);
+            let mut warm = ScratchPool::from_thread_reservoir();
+            let buf = warm.take::<Buf>();
+            assert_eq!(buf.0.as_ptr(), data_ptr, "reservoir kept the buffer");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn distinct_types_coexist() {
+        #[derive(Default)]
+        struct Other(u64);
+        let mut pool = ScratchPool::default();
+        let mut buf = pool.take::<Buf>();
+        buf.0.push(1);
+        pool.put(buf);
+        let mut other = pool.take::<Other>();
+        other.0 = 9;
+        pool.put(other);
+        assert_eq!(pool.take::<Buf>().0, vec![1]);
+        assert_eq!(pool.take::<Other>().0, 9);
+    }
+}

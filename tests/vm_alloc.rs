@@ -1,0 +1,133 @@
+//! Pins the steady-state allocation behavior of the VM dispatch loop:
+//! once frames and tunable-resolution tables are warm, executing a
+//! compiled rule body performs **zero heap allocations per loop
+//! iteration** — including iterations that read prefixed tunables,
+//! which before the resolution cache cost one `format!` each.
+//!
+//! The harness measures total allocations for runs whose inner loops
+//! differ by ~256x in trip count and asserts the totals match (small
+//! slack for test-harness noise): any per-iteration allocation in the
+//! dispatch loop would show up tens of thousands of times over.
+//!
+//! This file holds exactly one test so no concurrent test thread
+//! pollutes the global allocation counter.
+
+use petabricks::config::Value as ConfigValue;
+use petabricks::lang::interp::Value;
+use petabricks::lang::{check_program, parse_program, Interpreter};
+use petabricks::runtime::ExecCtx;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates everything to `System`; only adds a counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The hot body lives in a *called* sub-transform so every tunable it
+/// reads resolves under the `helper.` prefix — the case that used to
+/// allocate a `String` per read in the dispatch loop.
+const HOT: &str = r#"
+    transform hot from In[n] to Out {
+        to (Out o) from (In a) { o = helper(a); }
+    }
+
+    transform helper accuracy_variable bump 1 1000000 from X[m] to Y {
+        to (Y y) from (X x) {
+            y = x[0];
+            for (i in 0 .. bump) {
+                y = y + bump * len(x);
+                y = y - i;
+            }
+        }
+    }
+"#;
+
+fn run_hot(interp: &Interpreter, schema: &petabricks::config::Schema, iters: i64) -> f64 {
+    let mut config = schema.default_config();
+    config
+        .set_by_name(schema, "helper.bump", ConfigValue::Int(iters))
+        .unwrap();
+    let inputs: HashMap<String, Value> = [("In".to_string(), Value::Arr1(vec![1.0, 2.0]))].into();
+    let mut ctx = ExecCtx::new(schema, &config, 2, 0);
+    let out = interp.run("hot", &inputs, &mut ctx).unwrap();
+    out["Out"].as_num().unwrap()
+}
+
+#[test]
+fn dispatch_loop_is_allocation_free_in_steady_state() {
+    let program = parse_program(HOT).expect("parses");
+    check_program(&program).expect("well-formed");
+    let interp = Interpreter::new_compiled(program.clone());
+    let (compiled, total) = interp.compiled().unwrap().coverage();
+    assert_eq!(compiled, total, "the hot path must run on the VM");
+    let schema = petabricks::lang::extract_schema(&program, "hot");
+
+    const RUNS: u64 = 8;
+    const SHORT: i64 = 16;
+    const LONG: i64 = 4096;
+
+    // Warm the thread's frame reservoir and resolution caches at both
+    // trip counts.
+    for _ in 0..2 {
+        run_hot(&interp, &schema, SHORT);
+        run_hot(&interp, &schema, LONG);
+    }
+
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..RUNS {
+        run_hot(&interp, &schema, SHORT);
+    }
+    let short_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+
+    let b0 = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..RUNS {
+        run_hot(&interp, &schema, LONG);
+    }
+    let long_allocs = ALLOCS.load(Ordering::Relaxed) - b0;
+
+    // ~256x the loop iterations (each reading the prefixed `bump`
+    // tunable twice), same allocation count: the dispatch loop and its
+    // tunable reads are allocation-free. The slack absorbs incidental
+    // harness noise; a single per-iteration allocation would add
+    // RUNS * (LONG - SHORT) ≈ 32k.
+    assert!(
+        long_allocs <= short_allocs + 64,
+        "dispatch loop allocates per iteration: {short_allocs} allocs for \
+         {RUNS}x{SHORT} iterations vs {long_allocs} for {RUNS}x{LONG}"
+    );
+
+    // And the result is still the interpreter's, bit for bit.
+    let tree = Interpreter::new(program);
+    let inputs: HashMap<String, Value> = [("In".to_string(), Value::Arr1(vec![1.0, 2.0]))].into();
+    let mut config = schema.default_config();
+    config
+        .set_by_name(&schema, "helper.bump", ConfigValue::Int(SHORT))
+        .unwrap();
+    let mut ctx = ExecCtx::new(&schema, &config, 2, 0);
+    let expect = tree.run("hot", &inputs, &mut ctx).unwrap();
+    assert_eq!(
+        expect["Out"].as_num().unwrap(),
+        run_hot(&interp, &schema, SHORT)
+    );
+}

@@ -6,15 +6,40 @@
 //! `examples/dsl_kmeans.rs`'s host-function kmeans) plus synthetic
 //! programs covering each language construct, across several
 //! configurations, input sizes, and RNG seeds.
+//!
+//! Every comparison runs at every [`OptLevel`] (unoptimized, folded,
+//! and fully fused bytecode) and additionally pins the RNG *draw
+//! count*: after each run both contexts draw one probe value, which
+//! only matches if the executors consumed exactly the same number of
+//! draws in the same order.
 
 use petabricks::config::{Config, Schema, Value as ConfigValue};
 use petabricks::lang::interp::Value;
-use petabricks::lang::{check_program, compile_program, parse_program, Interpreter};
+use petabricks::lang::{check_program, compile_program, parse_program, Interpreter, OptLevel};
 use petabricks::runtime::ExecCtx;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
-/// Runs `transform` through both executors under the same config and
-/// seed and asserts outputs and virtual cost are identical.
+/// Every optimization level the pipeline exposes.
+const OPT_LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+
+/// Bitwise `f64` equality: stricter than `==` (distinguishes `-0.0`
+/// from `0.0`) and total over NaN, which random programs do produce.
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn outputs_bits_eq(a: &HashMap<String, Value>, b: &HashMap<String, Value>) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .all(|(k, v)| b.get(k).map(|w| v.bits_eq(w)).unwrap_or(false))
+}
+
+/// Runs `transform` through the tree-walker and through the VM at
+/// every [`OptLevel`], asserting outputs, virtual cost, and RNG draw
+/// counts are identical across all of them.
 #[allow(clippy::too_many_arguments)]
 fn assert_identical(
     src: &str,
@@ -31,27 +56,37 @@ fn assert_identical(
 
     let mut tree = Interpreter::new(program.clone());
     hosts(&mut tree);
-    let mut vm = Interpreter::new_compiled(program);
-    hosts(&mut vm);
-
     let mut tree_ctx = ExecCtx::new(schema, config, n, seed);
     let tree_out = tree
         .run(transform, inputs, &mut tree_ctx)
         .expect("interpreter run succeeds");
-    let mut vm_ctx = ExecCtx::new(schema, config, n, seed);
-    let vm_out = vm
-        .run(transform, inputs, &mut vm_ctx)
-        .expect("VM run succeeds");
+    let tree_probe: u64 = tree_ctx.rng().gen();
 
-    assert_eq!(
-        tree_out, vm_out,
-        "outputs diverge for `{transform}` (n={n}, seed={seed})"
-    );
-    assert_eq!(
-        tree_ctx.virtual_cost(),
-        vm_ctx.virtual_cost(),
-        "virtual cost diverges for `{transform}` (n={n}, seed={seed})"
-    );
+    for level in OPT_LEVELS {
+        let mut vm = Interpreter::new_compiled_at(program.clone(), level);
+        hosts(&mut vm);
+        let mut vm_ctx = ExecCtx::new(schema, config, n, seed);
+        let vm_out = vm
+            .run(transform, inputs, &mut vm_ctx)
+            .expect("VM run succeeds");
+
+        assert!(
+            outputs_bits_eq(&tree_out, &vm_out),
+            "outputs diverge for `{transform}` at {level:?} (n={n}, seed={seed}):\n\
+             interp: {tree_out:?}\n    vm: {vm_out:?}"
+        );
+        assert!(
+            bits_eq(tree_ctx.virtual_cost(), vm_ctx.virtual_cost()),
+            "virtual cost diverges for `{transform}` at {level:?} (n={n}, seed={seed}): {} vs {}",
+            tree_ctx.virtual_cost(),
+            vm_ctx.virtual_cost()
+        );
+        let vm_probe: u64 = vm_ctx.rng().gen();
+        assert_eq!(
+            tree_probe, vm_probe,
+            "RNG draw count diverges for `{transform}` at {level:?} (n={n}, seed={seed})"
+        );
+    }
 }
 
 fn no_hosts(_: &mut Interpreter) {}
@@ -593,4 +628,98 @@ fn argument_snapshots_survive_mutating_later_arguments() {
     let mut ctx = ExecCtx::new(&schema, &config, 4, 0);
     let out = vm.run("t", &inputs, &mut ctx).unwrap();
     assert_eq!(out["Out"], Value::Arr1(vec![1.0, 100.0, 100_007.0, 0.0]));
+}
+
+// ---- randomized straight-line bodies -----------------------------------
+
+/// Builds a random scalar expression over the bound variables. Depth
+/// is bounded; division, remainder, comparisons, short-circuit logic,
+/// builtins, and `rand` are all fair game — both executors must agree
+/// bit for bit whatever comes out (including NaN and infinities).
+fn gen_expr(rng: &mut SmallRng, vars: &[String], depth: usize) -> String {
+    let leaf = depth == 0 || rng.gen_range(0..10) < 3;
+    if leaf {
+        match rng.gen_range(0..4) {
+            0 => format!("{}", rng.gen_range(-4..6)),
+            1 => format!("{}.5", rng.gen_range(0..3)),
+            2 => format!("a[{}]", rng.gen_range(0..4)),
+            _ => vars[rng.gen_range(0..vars.len())].clone(),
+        }
+    } else {
+        let a = gen_expr(rng, vars, depth - 1);
+        let b = gen_expr(rng, vars, depth - 1);
+        match rng.gen_range(0..14) {
+            0 => format!("({a} + {b})"),
+            1 => format!("({a} - {b})"),
+            2 => format!("({a} * {b})"),
+            3 => format!("({a} / {b})"),
+            4 => format!("({a} % {b})"),
+            5 => format!("({a} < {b})"),
+            6 => format!("({a} >= {b})"),
+            7 => format!("({a} == {b})"),
+            8 => format!("({a} && {b})"),
+            9 => format!("({a} || {b})"),
+            10 => format!("min({a}, {b})"),
+            11 => format!("max({a}, abs({b}))"),
+            12 => format!("floor(({a}) + sqrt(abs({b})))"),
+            // min() absorbs NaN/infinite bounds (f64::min returns the
+            // finite side), so the range below is always valid.
+            _ => format!("rand(0, min(abs({a}), 9))"),
+        }
+    }
+}
+
+/// Builds a random straight-line rule body: `let` bindings,
+/// re-assignments, and constant-indexed array writes, all scalar.
+fn gen_straight_line_program(seed: u64, n_stmts: usize) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut vars: Vec<String> = vec!["acc".to_string()];
+    let mut body = String::new();
+    for i in 0..n_stmts {
+        let expr = gen_expr(&mut rng, &vars, 3);
+        match rng.gen_range(0..4) {
+            0 => {
+                let name = format!("v{i}");
+                body.push_str(&format!("let {name} = {expr};\n"));
+                vars.push(name);
+            }
+            1 => {
+                let target = vars[rng.gen_range(0..vars.len())].clone();
+                body.push_str(&format!("{target} = {expr};\n"));
+            }
+            2 => body.push_str(&format!("o[{}] = {expr};\n", rng.gen_range(0..4))),
+            _ => body.push_str(&format!("acc = {expr};\n")),
+        }
+    }
+    format!(
+        r#"transform t from In[n] to Out[n], Acc {{
+            to (Out o, Acc acc) from (In a) {{
+                {body}
+            }}
+        }}"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random straight-line rule bodies: optimized execution (every
+    /// level) is pinned to unoptimized and interpreted execution —
+    /// outputs, cost, and RNG draws.
+    #[test]
+    fn random_straight_line_bodies_are_bit_identical(
+        seed in 0u64..10_000,
+        n_stmts in 1usize..12,
+    ) {
+        let src = gen_straight_line_program(seed, n_stmts);
+        let program = parse_program(&src).unwrap_or_else(|e| panic!("generated program parses: {e:?}\n{src}"));
+        let schema = petabricks::lang::extract_schema(&program, "t");
+        let config = schema.default_config();
+        let inputs: HashMap<String, Value> = [(
+            "In".to_string(),
+            Value::Arr1(vec![0.25, -1.5, 3.0, 0.0]),
+        )]
+        .into();
+        assert_identical(&src, "t", &schema, &config, &inputs, 4, seed, &no_hosts);
+    }
 }
