@@ -10,6 +10,11 @@
 //! Usage: `tuner_throughput [--smoke]`
 //!
 //! `--smoke` shrinks the workloads for CI; the JSON is still written.
+//! In either mode the run *gates* the comparison-arena counters on the
+//! bin-packing workload: the pair-verdict memo must be hit (no
+//! re-tested verdicts) and the mean arena round width must beat the
+//! pre-arena baseline (~1.07 draws/round, when only pruning batched
+//! and every child-vs-parent draw ran blocking).
 
 use pb_benchmarks::binpacking::ratio_to_accuracy;
 use pb_benchmarks::{BinPacking, Clustering};
@@ -29,13 +34,16 @@ struct ModeReport {
     /// Executed trials per wall-clock second.
     trials_per_sec: f64,
     cache_hits: u64,
+    /// Hits served by entries preloaded from a cross-run sidecar
+    /// (zero here: the bench runs cold by design).
+    cache_hits_warm: u64,
     cache_misses: u64,
     /// Intra-batch duplicates that shared another request's execution
     /// (neither hits nor misses).
     cache_coalesced: u64,
-    /// `hits / (hits + misses + coalesced)`: true cache reuse.
+    /// `hits / (hits + warm + misses + coalesced)`: true cache reuse.
     cache_hit_rate: f64,
-    /// Tournament-pruning rounds that issued a trial batch (§5.5.4).
+    /// Pruning arena rounds that issued a trial batch (§5.5.4).
     prune_rounds: u64,
     /// Comparator draws executed through pruning batches.
     prune_draws: u64,
@@ -43,6 +51,25 @@ struct ModeReport {
     prune_draws_per_round: f64,
     /// Largest single pruning batch.
     prune_max_batch: u64,
+    /// Child-vs-parent merge arena rounds that issued a trial batch.
+    merge_rounds: u64,
+    /// Comparator draws executed through merge batches.
+    merge_draws: u64,
+    /// Largest single merge batch.
+    merge_max_batch: u64,
+    /// Mean comparator draws per arena round, across pruning and
+    /// merging (the pre-arena baseline on bin packing was ~1.07, with
+    /// merge draws not batched at all).
+    arena_mean_round_width: f64,
+    /// Widest arena round of the run.
+    arena_max_round_width: u64,
+    /// Pair-verdict memo lookups across all arena sessions.
+    pair_memo_queries: u64,
+    /// Lookups answered from a recorded verdict (re-sorts and bracket
+    /// replays that neither re-decided nor re-tested).
+    pair_memo_hits: u64,
+    /// `hits / queries`.
+    pair_memo_hit_rate: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -67,11 +94,23 @@ struct Report {
     /// speedup is ~1.0 by construction).
     note: String,
     workloads: Vec<WorkloadReport>,
+    /// Cumulative work-stealing pool counters across the whole bench
+    /// process (both modes, all workloads): how many batches reached
+    /// the queues vs ran inline, and how wide they were.
+    pool_batches_dispatched: u64,
+    pool_batches_inline: u64,
+    pool_tasks: u64,
+    pool_max_batch: u64,
 }
 
 /// Tuning runs are deterministic, so repeated runs produce identical
 /// outcomes; we keep the best wall time to damp scheduler noise.
 const TIMING_RUNS: usize = 3;
+
+/// PR 4's observed mean pruning batch width on bin packing (the only
+/// batched comparator path before the arena): the gate the unified
+/// arena must beat.
+const PRE_ARENA_MEAN_ROUND_WIDTH: f64 = 1.07;
 
 fn timed_tune<T>(
     transform: T,
@@ -99,12 +138,16 @@ where
     }
     let (outcome, wall) = best.expect("at least one timing run");
     let stats = outcome.stats;
-    let requested = stats.cache_hits + stats.cache_misses + stats.cache_coalesced;
+    let requested =
+        stats.cache_hits + stats.cache_hits_warm + stats.cache_misses + stats.cache_coalesced;
+    let arena_rounds = stats.prune_rounds + stats.merge_rounds;
+    let arena_draws = stats.prune_draws + stats.merge_draws;
     let report = ModeReport {
         wall_seconds: wall,
         trials_executed: stats.trials,
         trials_per_sec: stats.trials as f64 / wall,
         cache_hits: stats.cache_hits,
+        cache_hits_warm: stats.cache_hits_warm,
         cache_misses: stats.cache_misses,
         cache_coalesced: stats.cache_coalesced,
         cache_hit_rate: if requested > 0 {
@@ -120,6 +163,22 @@ where
             0.0
         },
         prune_max_batch: stats.prune_max_batch,
+        merge_rounds: stats.merge_rounds,
+        merge_draws: stats.merge_draws,
+        merge_max_batch: stats.merge_max_batch,
+        arena_mean_round_width: if arena_rounds > 0 {
+            arena_draws as f64 / arena_rounds as f64
+        } else {
+            0.0
+        },
+        arena_max_round_width: stats.prune_max_batch.max(stats.merge_max_batch),
+        pair_memo_queries: stats.pair_memo_queries,
+        pair_memo_hits: stats.pair_memo_hits,
+        pair_memo_hit_rate: if stats.pair_memo_queries > 0 {
+            stats.pair_memo_hits as f64 / stats.pair_memo_queries as f64
+        } else {
+            0.0
+        },
     };
     (outcome, report)
 }
@@ -178,11 +237,16 @@ fn main() {
             threads - 1
         )
     };
+    let pool = pb_runtime::Pool::global().batch_stats();
     let report = Report {
         threads,
         smoke,
         note,
         workloads,
+        pool_batches_dispatched: pool.dispatched,
+        pool_batches_inline: pool.inline,
+        pool_tasks: pool.tasks,
+        pool_max_batch: pool.max_batch,
     };
 
     println!(
@@ -191,29 +255,58 @@ fn main() {
         if smoke { ", smoke" } else { "" }
     );
     println!(
-        "{:>12} {:>14} {:>14} {:>9} {:>10} {:>12} {:>12}",
+        "{:>12} {:>14} {:>14} {:>9} {:>10} {:>11} {:>10} {:>10}",
         "workload",
         "seq trials/s",
         "par trials/s",
         "speedup",
         "hit rate",
-        "prune rounds",
-        "draws/round"
+        "mean width",
+        "max width",
+        "memo hits"
     );
     for w in &report.workloads {
         println!(
-            "{:>12} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}% {:>12} {:>12.2}",
+            "{:>12} {:>14.0} {:>14.0} {:>8.2}x {:>9.1}% {:>11.2} {:>10} {:>10}",
             w.name,
             w.sequential.trials_per_sec,
             w.parallel.trials_per_sec,
             w.speedup,
             100.0 * w.parallel.cache_hit_rate,
-            w.parallel.prune_rounds,
-            w.parallel.prune_draws_per_round,
+            w.parallel.arena_mean_round_width,
+            w.parallel.arena_max_round_width,
+            w.parallel.pair_memo_hits,
         );
     }
 
+    // Write the artifact before gating so a gate failure still leaves
+    // the diagnostic JSON behind.
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_tuner.json", &json).expect("write BENCH_tuner.json");
     println!("\nwrote BENCH_tuner.json");
+
+    // Gate the arena counters on the workload with real comparator
+    // traffic. The pre-arena baseline (PR 4) batched only pruning, at
+    // an observed mean of ~1.07 draws/round, with zero pair-verdict
+    // reuse and every merge draw blocking.
+    let binpack = report
+        .workloads
+        .iter()
+        .find(|w| w.name == "binpacking")
+        .expect("binpacking workload runs");
+    assert!(
+        binpack.parallel.merge_rounds > 0,
+        "child-vs-parent merges must run through arena batches"
+    );
+    assert!(
+        binpack.parallel.pair_memo_hit_rate > 0.0,
+        "pair-verdict memo must be hit (re-sorts replay verdicts): {:?}",
+        binpack.parallel
+    );
+    assert!(
+        binpack.parallel.arena_mean_round_width > PRE_ARENA_MEAN_ROUND_WIDTH,
+        "mean arena round width regressed to the pre-arena baseline: {} <= {}",
+        binpack.parallel.arena_mean_round_width,
+        PRE_ARENA_MEAN_ROUND_WIDTH,
+    );
 }

@@ -13,6 +13,7 @@
 
 use pb_config::Schema;
 use pb_multigrid::{poisson2d, Grid2d};
+use pb_runtime::parallel::{available_threads, parallel_engages, parallel_gen};
 use pb_runtime::{ExecCtx, Transform};
 use rand::rngs::SmallRng;
 
@@ -41,6 +42,61 @@ fn add_level_tunables(s: &mut Schema) {
     }
     s.add_accuracy_variable_with_default("cycles", 1, 64, 2);
     s.add_float_param("omega", 0.8, 1.95);
+    s.add_cutoff("par_cutoff", 16, 1 << 16);
+}
+
+/// Virtual-cost units modelling the fixed overhead of dispatching one
+/// smoother sweep to the work-stealing pool (same constant as the
+/// clustering and bin-packing benchmarks, so `par_cutoff` exhibits the
+/// same dispatch-vs-division tradeoff the real scheduler has).
+const PAR_DISPATCH_COST: f64 = 512.0;
+
+/// One Red-Black SOR sweep whose per-colour row updates split across
+/// the work-stealing pool when the grid has at least `par_cutoff` rows
+/// (the §5.2 parallel/sequential switch-over, tuned like the other
+/// benchmarks' placement and assignment scans).
+///
+/// Same-colour points never read each other — their four neighbours
+/// are all the opposite colour — so computing a colour's updates from
+/// the pre-colour grid snapshot produces bitwise the values the
+/// in-place sequential sweep writes; the two regimes differ only in
+/// *virtual cost*, which models the schedule (work divided across the
+/// pool's threads plus a dispatch overhead). The thread count is the
+/// pool's cached budget, constant within a process, so sequential and
+/// parallel evaluator modes stay bit-identical.
+fn smooth(u: &mut Grid2d, b: &Grid2d, omega: f64, par_cutoff: usize, ctx: &mut ExecCtx<'_>) {
+    let n = u.n();
+    let work = (n * n) as f64 * 5.0;
+    if !parallel_engages(n, par_cutoff) {
+        poisson2d::sor_sweep(u, b, omega);
+        ctx.charge(work);
+        ctx.event("relax");
+        return;
+    }
+    for color in 0..2usize {
+        let grid: &Grid2d = u;
+        let rows: Vec<Vec<f64>> = parallel_gen(n, par_cutoff, |i| {
+            (0..n)
+                .filter(|j| (i + j) % 2 == color)
+                .map(|j| {
+                    let nb = grid.get_bc(i as isize - 1, j as isize)
+                        + grid.get_bc(i as isize + 1, j as isize)
+                        + grid.get_bc(i as isize, j as isize - 1)
+                        + grid.get_bc(i as isize, j as isize + 1);
+                    let gs = (b.get(i, j) + nb) / 4.0;
+                    let old = grid.get(i, j);
+                    old + omega * (gs - old)
+                })
+                .collect()
+        });
+        for (i, row) in rows.into_iter().enumerate() {
+            for (slot, j) in (0..n).filter(|j| (i + j) % 2 == color).enumerate() {
+                u.set(i, j, row[slot]);
+            }
+        }
+    }
+    ctx.charge(work / available_threads() as f64 + PAR_DISPATCH_COST);
+    ctx.event("relax");
 }
 
 /// The 2D Poisson variable-accuracy transform.
@@ -48,7 +104,13 @@ fn add_level_tunables(s: &mut Schema) {
 pub struct Poisson2d;
 
 impl Poisson2d {
-    fn solve_level(&self, b: &Grid2d, depth: usize, ctx: &mut ExecCtx<'_>) -> Grid2d {
+    fn solve_level(
+        &self,
+        b: &Grid2d,
+        depth: usize,
+        par_cutoff: usize,
+        ctx: &mut ExecCtx<'_>,
+    ) -> Grid2d {
         let n = b.n();
         let d = depth.min(MAX_LEVELS - 1);
         let omega = ctx.float_param("omega").expect("schema declares omega");
@@ -77,9 +139,7 @@ impl Poisson2d {
                     .expect("schema");
                 let mut u = Grid2d::zeros(n);
                 for _ in 0..iters {
-                    poisson2d::sor_sweep(&mut u, b, omega);
-                    ctx.charge((n * n) as f64 * 5.0);
-                    ctx.event("relax");
+                    smooth(&mut u, b, omega, par_cutoff, ctx);
                 }
                 u
             }
@@ -88,9 +148,7 @@ impl Poisson2d {
                 let post = ctx.for_enough(&format!("level{d}_post")).expect("schema");
                 let mut u = Grid2d::zeros(n);
                 for _ in 0..pre {
-                    poisson2d::sor_sweep(&mut u, b, omega);
-                    ctx.charge((n * n) as f64 * 5.0);
-                    ctx.event("relax");
+                    smooth(&mut u, b, omega, par_cutoff, ctx);
                 }
                 let r = poisson2d::residual(&u, b);
                 ctx.charge((n * n) as f64 * 6.0);
@@ -98,14 +156,12 @@ impl Poisson2d {
                 for v in rc.as_mut_slice() {
                     *v *= 4.0; // coarse-grid h² rescaling
                 }
-                let ec = self.solve_level(&rc, depth + 1, ctx);
+                let ec = self.solve_level(&rc, depth + 1, par_cutoff, ctx);
                 let ef = poisson2d::prolong(&ec);
                 ctx.charge((n * n) as f64 * 2.0);
                 poisson2d::add_correction(&mut u, &ef);
                 for _ in 0..post {
-                    poisson2d::sor_sweep(&mut u, b, omega);
-                    ctx.charge((n * n) as f64 * 5.0);
-                    ctx.event("relax");
+                    smooth(&mut u, b, omega, par_cutoff, ctx);
                 }
                 u
             }
@@ -138,6 +194,7 @@ impl Transform for Poisson2d {
 
     fn execute(&self, input: &PoissonInput, ctx: &mut ExecCtx<'_>) -> Grid2d {
         let cycles = ctx.for_enough("cycles").expect("schema declares cycles");
+        let par_cutoff = ctx.param("par_cutoff").expect("schema").max(1) as usize;
         let n = input.b.n();
         let mut u = Grid2d::zeros(n);
         for _ in 0..cycles {
@@ -145,7 +202,7 @@ impl Transform for Poisson2d {
             // so repeated cycles compound the per-cycle reduction.
             let r = poisson2d::residual(&u, &input.b);
             ctx.charge((n * n) as f64 * 6.0);
-            let e = self.solve_level(&r, 0, ctx);
+            let e = self.solve_level(&r, 0, par_cutoff, ctx);
             poisson2d::add_correction(&mut u, &e);
         }
         u
@@ -278,6 +335,70 @@ mod tests {
         assert_eq!(tree.depth(), 3);
         assert!(tree.count_points("relax") >= 4);
         assert_eq!(tree.count_points("direct"), 1);
+    }
+
+    #[test]
+    fn par_cutoff_changes_schedule_not_results() {
+        let t = Poisson2d;
+        let schema = t.schema();
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(6)
+        };
+        let input = t.generate_input(31, &mut rng);
+        let mut outputs = Vec::new();
+        // Always-parallel vs never-parallel smoother sweeps must agree
+        // bit-for-bit on the solution: the cutoff tunes the scheduler,
+        // not the algorithm (red-black points only read the opposite
+        // colour).
+        for cutoff in [16i64, 1 << 16] {
+            let mut config = schema.default_config();
+            config
+                .set_by_name(&schema, "par_cutoff", Value::Int(cutoff))
+                .unwrap();
+            let mut ctx = ExecCtx::new(&schema, &config, 31, 9);
+            let out = t.execute(&input, &mut ctx);
+            outputs.push((out, ctx.virtual_cost()));
+        }
+        assert_eq!(outputs[0].0, outputs[1].0);
+        // The virtual cost *sees* the schedule: a 31x31 sweep (4805
+        // work units) well clears the dispatch overhead, so the
+        // always-parallel run must be modelled cheaper on a
+        // multi-thread pool and identical on one thread.
+        if pb_runtime::parallel::available_threads() >= 2 {
+            assert!(
+                outputs[0].1 < outputs[1].1,
+                "parallel schedule should cost less: {} vs {}",
+                outputs[0].1,
+                outputs[1].1
+            );
+        } else {
+            assert_eq!(outputs[0].1, outputs[1].1);
+        }
+    }
+
+    #[test]
+    fn parallel_smoother_matches_sequential_sweep() {
+        // `smooth` above the cutoff writes bitwise the grid
+        // `poisson2d::sor_sweep` produces in place.
+        let t = Poisson2d;
+        let schema = t.schema();
+        let config = schema.default_config();
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(7)
+        };
+        let b = Grid2d::random_uniform(31, -1.0, 1.0, &mut rng);
+        let mut seq = Grid2d::zeros(31);
+        let mut par = Grid2d::zeros(31);
+        for _ in 0..3 {
+            poisson2d::sor_sweep(&mut seq, &b, 1.15);
+            let mut ctx = ExecCtx::new(&schema, &config, 31, 0);
+            smooth(&mut par, &b, 1.15, 1, &mut ctx);
+        }
+        for (s, p) in seq.as_slice().iter().zip(par.as_slice()) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
     }
 
     #[test]

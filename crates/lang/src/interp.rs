@@ -59,12 +59,31 @@ impl Value {
         }
     }
 
-    /// The value's dimensions.
+    /// The value's dimensions as an owned `Vec` (compatibility
+    /// wrapper; shape queries on hot paths use
+    /// [`Value::dims_ref`], which does not allocate).
     pub fn dims(&self) -> Vec<usize> {
+        self.dims_ref().to_vec()
+    }
+
+    /// The value's dimensions, stored inline — the borrowing-flavoured
+    /// shape accessor: no `Vec` allocation per query. Values have at
+    /// most two dimensions, so the shape fits in a [`Dims`] on the
+    /// stack; deref it as a `&[usize]`.
+    pub fn dims_ref(&self) -> Dims {
         match self {
-            Value::Num(_) => vec![],
-            Value::Arr1(v) => vec![v.len()],
-            Value::Arr2 { rows, cols, .. } => vec![*rows, *cols],
+            Value::Num(_) => Dims {
+                count: 0,
+                dims: [0; 2],
+            },
+            Value::Arr1(v) => Dims {
+                count: 1,
+                dims: [v.len(), 0],
+            },
+            Value::Arr2 { rows, cols, .. } => Dims {
+                count: 2,
+                dims: [*rows, *cols],
+            },
         }
     }
 
@@ -95,6 +114,32 @@ impl Value {
             ) => r1 == r2 && c1 == c2 && d1.iter().zip(d2).all(|(p, q)| eq(*p, *q)),
             _ => false,
         }
+    }
+}
+
+/// A value's shape, stored inline (at most two dimensions): what
+/// [`Value::dims`] returns, without the per-query `Vec` allocation.
+/// Dereferences to `&[usize]`, so existing slice-shaped consumers
+/// (`len()`, iteration, pattern matching via `as_slice`) port
+/// directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims {
+    count: u8,
+    dims: [usize; 2],
+}
+
+impl Dims {
+    /// The dimensions as a slice (empty for scalars).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.count as usize]
+    }
+}
+
+impl std::ops::Deref for Dims {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
     }
 }
 
@@ -274,7 +319,7 @@ impl Interpreter {
                     message: format!("missing input `{}`", p.name),
                     span: Some(p.span),
                 })?;
-            let actual_dims = actual.dims();
+            let actual_dims = actual.dims_ref();
             if actual_dims.len() != p.dims.len() {
                 return Err(RuntimeError::new(
                     format!(
@@ -286,7 +331,7 @@ impl Interpreter {
                     p.span,
                 ));
             }
-            for (dim_expr, &actual_dim) in p.dims.iter().zip(&actual_dims) {
+            for (dim_expr, &actual_dim) in p.dims.iter().zip(actual_dims.iter()) {
                 match dim_expr {
                     Expr::Var(name, _) if !dim_env.contains_key(name) => {
                         dim_env.insert(name.clone(), actual_dim as f64);
@@ -772,7 +817,7 @@ impl Env<'_> {
             }
             "len" | "rows" | "cols" => {
                 let v = self.eval(&args[0], ctx)?;
-                let dims = v.dims();
+                let dims = v.dims_ref();
                 return Ok(Value::Num(match (name, dims.as_slice()) {
                     ("len", [n]) => *n as f64,
                     ("len", [_, c]) => *c as f64,
@@ -850,7 +895,7 @@ impl Env<'_> {
             };
             ctx.charge(
                 rest.iter()
-                    .map(|v| v.dims().iter().product::<usize>().max(1))
+                    .map(|v| v.dims_ref().iter().product::<usize>().max(1))
                     .sum::<usize>() as f64,
             );
             let f = &self.interp.host_fns[name];
@@ -1287,5 +1332,20 @@ mod tests {
         let mut ctx = simple_ctx(&schema, &config, 1);
         let out = interp.run("t", &inputs, &mut ctx).unwrap();
         assert_eq!(out["Out"], Value::Arr1(vec![1.0]));
+    }
+
+    #[test]
+    fn dims_ref_matches_dims_for_every_shape() {
+        let scalar = Value::Num(1.0);
+        let arr1 = Value::Arr1(vec![0.0; 5]);
+        let arr2 = Value::zeros(&[3, 4]);
+        for v in [&scalar, &arr1, &arr2] {
+            assert_eq!(v.dims_ref().as_slice(), v.dims().as_slice());
+        }
+        // The inline shape behaves like the slice it derefs to.
+        assert!(scalar.dims_ref().is_empty());
+        assert_eq!(arr1.dims_ref().len(), 1);
+        assert_eq!(arr2.dims_ref()[1], 4);
+        assert_eq!(arr2.dims_ref().iter().product::<usize>(), 12);
     }
 }

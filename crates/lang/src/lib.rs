@@ -75,7 +75,7 @@ pub mod vm;
 
 pub use ast::Program;
 pub use compile::{compile_program, CompiledProgram};
-pub use interp::{Interpreter, Value};
+pub use interp::{Dims, Interpreter, Value};
 pub use opt::OptLevel;
 pub use parser::{parse_program, ParseError};
 pub use sema::{check_program, SemaError};

@@ -33,7 +33,7 @@ pub mod tuned;
 
 pub use ctx::{ExecCtx, TraceEvent, TraceNode};
 pub use guarantee::{GuaranteeError, GuaranteeKind, VerifiedRun};
-pub use pool::Pool;
+pub use pool::{Pool, PoolBatchStats};
 pub use scratch::ScratchPool;
 pub use transform::{CostModel, Transform, TransformRunner, TrialOutcome, TrialRunner};
 pub use tuned::{TunedEntry, TunedProgram};

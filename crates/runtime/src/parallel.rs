@@ -61,6 +61,13 @@ where
     F: Fn(usize) -> O + Sync,
 {
     if !parallel_engages(count, sequential_cutoff) {
+        // Below-cutoff top-level batches never reach the pool; record
+        // them as inline so `Pool::batch_stats` reflects the full
+        // top-level batch traffic. Nested calls skip the counters —
+        // see `PoolBatchStats`.
+        if count > 0 && crate::pool::current_task_depth() == 0 {
+            Pool::global().count_batch(count, false);
+        }
         return (0..count).map(f).collect();
     }
     let pool = Pool::global();

@@ -38,7 +38,7 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -177,11 +177,38 @@ impl Shared {
     }
 }
 
+/// Cumulative **top-level** batch counters for one pool: how many
+/// batches were dispatched to the queues vs run inline, how many
+/// tasks they carried, and the widest batch seen. Relaxed atomics,
+/// updated once per top-level submission — batches submitted from
+/// *inside* a pool task (nested parallelism running under the
+/// depth-aware admission policy) are deliberately not counted, so
+/// worker threads never touch these shared cache lines from their
+/// inner loops. Coarse enough to be free, rich enough for the
+/// throughput benches to report how wide the tuner's batches actually
+/// run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolBatchStats {
+    /// Batches fanned out across the worker queues.
+    pub dispatched: u64,
+    /// Batches run inline on the submitting thread (nested submission,
+    /// single-thread budget, or a single-task batch).
+    pub inline: u64,
+    /// Total tasks across all batches.
+    pub tasks: u64,
+    /// Largest single batch (tasks).
+    pub max_batch: u64,
+}
+
 /// A work-stealing thread pool (see the module docs).
 pub struct Pool {
     shared: Arc<Shared>,
     /// Cached hardware thread budget (including the calling thread).
     threads: usize,
+    dispatched: AtomicU64,
+    inline: AtomicU64,
+    tasks: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 impl std::fmt::Debug for Pool {
@@ -239,12 +266,44 @@ impl Pool {
                 .spawn(move || worker_loop(&shared, worker))
                 .expect("failed to spawn pool worker");
         }
-        Pool { shared, threads }
+        Pool {
+            shared,
+            threads,
+            dispatched: AtomicU64::new(0),
+            inline: AtomicU64::new(0),
+            tasks: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        }
     }
 
     /// The pool's thread budget (cached; no syscall per query).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cumulative batch counters since the pool was created.
+    pub fn batch_stats(&self) -> PoolBatchStats {
+        PoolBatchStats {
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            inline: self.inline.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counts one top-level batch of `count` tasks against the stats.
+    /// Also called by [`crate::parallel::parallel_gen`] for top-level
+    /// batches its cutoff short-circuits before they reach the pool,
+    /// so the counters see all top-level batch traffic, not just what
+    /// dispatched.
+    pub(crate) fn count_batch(&self, count: usize, dispatched: bool) {
+        if dispatched {
+            self.dispatched.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inline.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tasks.fetch_add(count as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(count as u64, Ordering::Relaxed);
     }
 
     /// Runs `task(i)` for every `i` in `0..count` and blocks until all
@@ -271,6 +330,9 @@ impl Pool {
         // keeps exactly one task per worker. (Results are unchanged —
         // `run_indexed` makes no ordering promises either way.)
         if current_task_depth() >= 1 {
+            // Not counted in the batch stats: nested submissions come
+            // from worker inner loops, where shared-atomic updates
+            // would ping-pong cache lines across the pool.
             // Inline execution still counts as running pool tasks, so
             // further nesting observes (and keeps) the right depth.
             let _depth = DepthGuard::enter();
@@ -283,11 +345,13 @@ impl Pool {
         // task depth: their tasks occupy no worker, so parallelism
         // nested inside them should still fan out across the idle pool.
         if self.threads < 2 || count == 1 {
+            self.count_batch(count, false);
             for i in 0..count {
                 task(i);
             }
             return;
         }
+        self.count_batch(count, true);
 
         // Split into more chunks than threads so idle workers can
         // steal from long-running ones.
@@ -532,6 +596,30 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let pool = Pool::with_threads(4);
         pool.run_indexed(0, |_| panic!("must not run"));
+        assert_eq!(pool.batch_stats(), PoolBatchStats::default());
+    }
+
+    #[test]
+    fn batch_stats_track_dispatch_and_inline() {
+        let pool = Pool::with_threads(4);
+        pool.run_indexed(64, |_| {});
+        let after_dispatch = pool.batch_stats();
+        assert_eq!(after_dispatch.dispatched, 1);
+        assert_eq!(after_dispatch.tasks, 64);
+        assert_eq!(after_dispatch.max_batch, 64);
+        // A single-task batch runs inline and is counted; nested
+        // batches run inline on the submitting task and are *not*
+        // counted (worker inner loops must not touch the shared
+        // counters).
+        pool.run_indexed(1, |_| {});
+        pool.run_indexed(2, |_| {
+            pool.run_indexed(3, |_| {});
+        });
+        let stats = pool.batch_stats();
+        assert_eq!(stats.dispatched, 2);
+        assert_eq!(stats.inline, 1, "only the degenerate top-level batch");
+        assert_eq!(stats.tasks, 64 + 1 + 2);
+        assert_eq!(stats.max_batch, 64);
     }
 
     #[test]

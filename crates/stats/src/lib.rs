@@ -38,7 +38,9 @@ pub mod order;
 pub mod special;
 pub mod ttest;
 
-pub use compare::{Comparator, ComparatorConfig, CompareOutcome, CompareStep, SampleSource, Which};
+pub use compare::{
+    Comparator, ComparatorConfig, CompareOutcome, CompareStep, PairMemo, SampleSource, Which,
+};
 pub use lsq::{linear_fit, LinearFit};
 pub use normal::Normal;
 pub use online::OnlineStats;

@@ -1,0 +1,318 @@
+//! The comparison arena: every tuner decision as a resumable,
+//! pool-batched tournament.
+//!
+//! The §5.5.1 comparator decides `Less`/`Greater`/`Same` from two
+//! candidates' accumulated statistics and otherwise names the side
+//! that needs another trial ([`pb_stats::CompareStep`]). Historically
+//! only pruning consumed those steps in batched rounds; population
+//! sorting, the post-promotion re-sort, and the child-vs-parent merges
+//! of random mutation each ran one blocking `run_trial` at a time.
+//! This module owns the machinery they now all share:
+//!
+//! * **A session object** ([`Arena`]) wrapping an [`Evaluator`] and a
+//!   [`Comparator`] together with a session-scoped **pair-verdict
+//!   memo** ([`pb_stats::PairMemo`], keyed by the unordered candidate-
+//!   id pair): a pair decided during the KEEP sort of a pruning call
+//!   is never re-tested — or even re-decided — during the
+//!   post-promotion re-sort.
+//! * **A generic round loop** ([`Arena::run`]): advance every pending
+//!   decision ([`Contest`]) as far as current statistics allow,
+//!   collect all stalled comparisons' requested draws, execute them as
+//!   one [`Evaluator::run_batch`] on the work-stealing pool, merge
+//!   outcomes back in candidate-index order, repeat. Any caller — the
+//!   fastest-K selections of pruning, the pair verdicts of
+//!   child-vs-parent merging — drives the same loop.
+//!
+//! No randomness is consumed anywhere in a round (trial seeds are a
+//! deterministic function of each candidate's trial count) and merges
+//! happen in plan order, so parallel execution is **bit-identical** to
+//! forced-sequential execution, including every counter in
+//! [`ArenaReport`].
+
+use crate::candidate::Candidate;
+use crate::exec::Evaluator;
+use pb_stats::{Comparator, CompareOutcome, CompareStep, OnlineStats, PairMemo, Which};
+use std::collections::BTreeMap;
+
+/// Counters for one arena session (folded into
+/// [`TunerStats`](crate::TunerStats) by callers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaReport {
+    /// Plan-then-execute rounds that issued a trial batch.
+    pub rounds: u64,
+    /// Comparator-requested trial draws executed via those batches.
+    pub draws: u64,
+    /// Widest single round (draws in one batch).
+    pub max_round: u64,
+    /// Pair-verdict memo lookups.
+    pub memo_queries: u64,
+    /// Lookups answered from a recorded verdict (no re-decide, no
+    /// re-test).
+    pub memo_hits: u64,
+}
+
+impl ArenaReport {
+    /// Accumulates another session's counters into this one.
+    pub fn absorb(&mut self, other: &ArenaReport) {
+        self.rounds += other.rounds;
+        self.draws += other.draws;
+        self.max_round = self.max_round.max(other.max_round);
+        self.memo_queries += other.memo_queries;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+/// A resumable decision driven by the arena: `advance` resolves as
+/// much as `cmp` can decide from current statistics and returns `true`
+/// once the decision is complete.
+///
+/// `cmp(a, b)` compares candidates by slice index: `Some(outcome)`
+/// when decidable (or memoized), `None` when the comparison stalled —
+/// in which case its trial demand has been recorded for the round's
+/// batch. Implementations must keep querying every independent stalled
+/// comparison before giving up the round (that is what makes rounds
+/// wide) and must be idempotent across calls.
+pub trait Contest {
+    /// Advances as far as the comparator can decide; `true` = done.
+    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool;
+}
+
+/// The simplest contest: one head-to-head verdict between candidates
+/// `a` and `b` (by slice index), as used by the child-vs-parent merge
+/// of random mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct PairContest {
+    /// First candidate (the paper's "child" in merge usage).
+    pub a: usize,
+    /// Second candidate.
+    pub b: usize,
+    /// The decided outcome of comparing `a` to `b`, once complete.
+    pub verdict: Option<CompareOutcome>,
+}
+
+impl PairContest {
+    /// A pending comparison of `a` versus `b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        PairContest {
+            a,
+            b,
+            verdict: None,
+        }
+    }
+}
+
+impl Contest for PairContest {
+    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+        if self.verdict.is_none() {
+            self.verdict = cmp(self.a, self.b);
+        }
+        self.verdict.is_some()
+    }
+}
+
+/// One comparison session: evaluator + comparator + the session's
+/// pair-verdict memo and counters. Create one per tuner decision
+/// procedure (a prune call, a merge phase) and [`run`](Arena::run) any
+/// number of contests through it; verdicts memoize across those runs
+/// for the session's lifetime.
+pub struct Arena<'a, 'r> {
+    evaluator: &'a Evaluator<'r>,
+    comparator: &'a Comparator,
+    memo: PairMemo,
+    rounds: u64,
+    draws: u64,
+    max_round: u64,
+}
+
+impl<'a, 'r> Arena<'a, 'r> {
+    /// Opens a session.
+    pub fn new(evaluator: &'a Evaluator<'r>, comparator: &'a Comparator) -> Self {
+        Arena {
+            evaluator,
+            comparator,
+            memo: PairMemo::new(),
+            rounds: 0,
+            draws: 0,
+            max_round: 0,
+        }
+    }
+
+    /// The session's counters so far.
+    pub fn report(&self) -> ArenaReport {
+        ArenaReport {
+            rounds: self.rounds,
+            draws: self.draws,
+            max_round: self.max_round,
+            memo_queries: self.memo.queries(),
+            memo_hits: self.memo.hits(),
+        }
+    }
+
+    /// Runs every contest to completion.
+    ///
+    /// Each iteration advances all contests against the candidates'
+    /// current statistics (verdicts served from the session memo where
+    /// recorded); every stalled comparison deposits its draw request —
+    /// per candidate, the *largest* request wins, since draws extend
+    /// the shared per-candidate statistics — and the round's requests
+    /// execute as one batch through the evaluator, merging back in
+    /// candidate-index order.
+    pub fn run<C: Contest>(&mut self, cands: &mut [Candidate], n: u64, contests: &mut [C]) {
+        let empty = OnlineStats::new();
+        loop {
+            let mut demands: BTreeMap<usize, u64> = BTreeMap::new();
+            let mut all_done = true;
+            {
+                let cands_ro: &[Candidate] = cands;
+                let comparator = self.comparator;
+                let memo = &mut self.memo;
+                let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+                    debug_assert_ne!(a, b, "cannot compare a candidate to itself");
+                    let time_a = cands_ro[a].stats(n).map(|s| &s.time).unwrap_or(&empty);
+                    let time_b = cands_ro[b].stats(n).map(|s| &s.time).unwrap_or(&empty);
+                    let step = comparator.decide_pair(
+                        memo,
+                        cands_ro[a].id,
+                        time_a,
+                        cands_ro[b].id,
+                        time_b,
+                    );
+                    match step {
+                        CompareStep::Decided(outcome) => Some(outcome),
+                        CompareStep::NeedMore { which, draws } => {
+                            let target = match which {
+                                Which::A => a,
+                                Which::B => b,
+                            };
+                            let entry = demands.entry(target).or_insert(0);
+                            *entry = (*entry).max(draws);
+                            None
+                        }
+                    }
+                };
+                for contest in contests.iter_mut() {
+                    all_done &= contest.advance(&mut cmp);
+                }
+            }
+            if all_done {
+                return;
+            }
+            debug_assert!(!demands.is_empty(), "a stalled contest must demand draws");
+
+            // Plan one batch for the whole round, spanning every
+            // stalled comparison; candidate-index order fixes the
+            // merge order.
+            let mut requests = Vec::new();
+            let mut spans: Vec<(usize, usize)> = Vec::new();
+            for (&ci, &extra) in &demands {
+                let plan = cands[ci].plan_more_trials(n, extra);
+                spans.push((ci, plan.len()));
+                requests.extend(plan);
+            }
+            self.rounds += 1;
+            self.draws += requests.len() as u64;
+            self.max_round = self.max_round.max(requests.len() as u64);
+
+            // Execute on the pool (or sequentially — bit-identical
+            // either way) and merge back in plan order.
+            let outcomes = self.evaluator.run_batch(&requests);
+            let mut offset = 0;
+            for (ci, count) in spans {
+                for outcome in &outcomes[offset..offset + count] {
+                    cands[ci].absorb(n, outcome);
+                }
+                offset += count;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::EvalMode;
+    use pb_config::{Schema, Value};
+    use pb_runtime::{CostModel, ExecCtx, Transform, TransformRunner};
+    use rand::rngs::SmallRng;
+
+    /// Cost = `level`, accuracy = `level / 100`.
+    struct Leveled;
+
+    impl Transform for Leveled {
+        type Input = ();
+        type Output = f64;
+        fn name(&self) -> &str {
+            "leveled"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("leveled");
+            s.add_accuracy_variable("level", 1, 100);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) -> f64 {
+            let level = ctx.param("level").unwrap() as f64;
+            ctx.charge(level);
+            level / 100.0
+        }
+        fn accuracy(&self, _i: &(), o: &f64) -> f64 {
+            *o
+        }
+    }
+
+    fn candidates(runner: &TransformRunner<Leveled>, levels: &[i64]) -> Vec<Candidate> {
+        let schema = runner.schema();
+        levels
+            .iter()
+            .enumerate()
+            .map(|(i, &level)| {
+                let mut config = schema.default_config();
+                config
+                    .set_by_name(schema, "level", Value::Int(level))
+                    .unwrap();
+                Candidate::new(i as u64, config)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pair_contests_batch_their_draws() {
+        let runner = TransformRunner::new(Leveled, CostModel::Virtual);
+        let mut cands = candidates(&runner, &[10, 80, 20, 60]);
+        let evaluator = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let comparator = Comparator::default();
+        let mut arena = Arena::new(&evaluator, &comparator);
+        // Two disjoint pairs: their min-trial fills must share rounds.
+        let mut contests = [PairContest::new(0, 1), PairContest::new(2, 3)];
+        arena.run(&mut cands, 8, &mut contests);
+        assert_eq!(contests[0].verdict, Some(CompareOutcome::Less));
+        assert_eq!(contests[1].verdict, Some(CompareOutcome::Less));
+        let report = arena.report();
+        assert!(report.rounds > 0);
+        assert!(
+            report.max_round > 1,
+            "disjoint pairs must batch together: {report:?}"
+        );
+    }
+
+    #[test]
+    fn session_memo_answers_repeat_contests_without_draws() {
+        let runner = TransformRunner::new(Leveled, CostModel::Virtual);
+        let mut cands = candidates(&runner, &[10, 80]);
+        let evaluator = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let comparator = Comparator::default();
+        let mut arena = Arena::new(&evaluator, &comparator);
+        let mut first = [PairContest::new(0, 1)];
+        arena.run(&mut cands, 8, &mut first);
+        let draws_after_first = arena.report().draws;
+        assert!(draws_after_first > 0, "fresh pair must draw trials");
+        // Re-running the (reversed) pair in the same session consumes
+        // no draws and reports a memo hit.
+        let mut again = [PairContest::new(1, 0)];
+        arena.run(&mut cands, 8, &mut again);
+        assert_eq!(again[0].verdict, Some(CompareOutcome::Greater));
+        let report = arena.report();
+        assert_eq!(report.draws, draws_after_first, "memoized pair re-tested");
+        assert!(report.memo_hits > 0);
+    }
+}

@@ -56,17 +56,6 @@ impl Candidate {
         self.results.entry(n).or_default()
     }
 
-    /// Removes and returns the statistics for size `n` (used while
-    /// adaptive comparison needs split mutable access).
-    pub fn take_stats(&mut self, n: u64) -> SizeStats {
-        self.results.remove(&n).unwrap_or_default()
-    }
-
-    /// Puts statistics back after [`Candidate::take_stats`].
-    pub fn put_stats(&mut self, n: u64, stats: SizeStats) {
-        self.results.insert(n, stats);
-    }
-
     /// Number of trials cached at size `n`.
     pub fn trials(&self, n: u64) -> u64 {
         self.stats(n).map(|s| s.time.count()).unwrap_or(0)
@@ -227,17 +216,6 @@ mod tests {
         assert!(c.meets_target(8, 0.5));
         assert!(!c.meets_target(8, 0.71));
         assert!(!c.meets_target(16, 0.1), "untested size never qualifies");
-    }
-
-    #[test]
-    fn take_and_put_stats_round_trip() {
-        let runner = TransformRunner::new(Fixed, CostModel::Virtual);
-        let mut c = Candidate::new(0, runner.schema().default_config());
-        c.ensure_tested(&runner, 8, 2);
-        let stats = c.take_stats(8);
-        assert_eq!(c.trials(8), 0);
-        c.put_stats(8, stats);
-        assert_eq!(c.trials(8), 2);
     }
 
     #[test]

@@ -28,7 +28,9 @@ use pb_config::{Config, Value};
 use pb_runtime::parallel::parallel_map;
 use pb_runtime::{TraceNode, TrialOutcome, TrialRunner};
 use pb_stats::OnlineStats;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -148,17 +150,85 @@ pub fn config_fingerprint(config: &Config) -> u64 {
 
 type CacheKey = (u64, u64, u64);
 
+/// One memoized outcome, tagged with whether it was preloaded from a
+/// cross-run sidecar (a *warm* entry) or produced in this run.
+#[derive(Debug, Clone, Copy)]
+struct CachedTrial {
+    outcome: TrialOutcome,
+    warm: bool,
+}
+
 /// The trial memo: `(config fingerprint, n, seed) → outcome`.
 #[derive(Debug, Default)]
 struct TrialCache {
-    map: Mutex<HashMap<CacheKey, TrialOutcome>>,
+    map: Mutex<HashMap<CacheKey, CachedTrial>>,
     hits: AtomicU64,
+    /// Hits served by entries preloaded from a sidecar (cross-run
+    /// reuse), counted separately from in-run hits.
+    hits_warm: AtomicU64,
     misses: AtomicU64,
     /// Intra-batch duplicates: requests that shared another request's
     /// execution *within the same batch*. Not hits — nothing was in
     /// the cache when the batch was planned — and not misses — they
     /// did not execute a trial.
     coalesced: AtomicU64,
+}
+
+impl TrialCache {
+    /// Counts one lookup hit against the right counter.
+    fn count_hit(&self, cached: &CachedTrial) {
+        if cached.warm {
+            self.hits_warm.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// On-disk form of the trial memo: one sidecar per transform, keyed by
+/// `(transform name, config fingerprint, n, seed)` and stamped with
+/// the schema's fingerprint — a sidecar recorded against a different
+/// tunable schema is rejected wholesale, since its config fingerprints
+/// describe configurations of a different shape. The hashed `u64` keys
+/// are stored as hex strings — they routinely exceed `i64::MAX`, which
+/// JSON integers cannot carry losslessly.
+#[derive(Debug, Serialize, Deserialize)]
+struct SidecarFile {
+    transform: String,
+    schema: String,
+    /// The pool thread budget the outcomes were measured under.
+    /// Schedule-aware virtual cost models divide parallel work by
+    /// `available_threads()`, so outcomes from a different budget are
+    /// not comparable and the whole sidecar is rejected on mismatch.
+    threads: usize,
+    entries: Vec<SidecarEntry>,
+}
+
+/// FNV-1a over the schema's canonical serialized form: changes to the
+/// tunable set, ranges, or defaults invalidate persisted sidecars.
+/// (Changes to the transform's *implementation* cannot be detected
+/// from here — delete the sidecar when the measured code changes.)
+fn schema_fingerprint(schema: &pb_config::Schema) -> u64 {
+    let canonical = serde_json::to_string(schema).expect("schemas serialize");
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in canonical.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// One `(key, outcome)` pair of the sidecar.
+#[derive(Debug, Serialize, Deserialize)]
+struct SidecarEntry {
+    fingerprint: String,
+    n: u64,
+    seed: String,
+    time: f64,
+    wall_seconds: f64,
+    virtual_cost: f64,
+    accuracy: f64,
 }
 
 /// Executes trials for the tuner: batched, optionally parallel,
@@ -192,11 +262,21 @@ impl<'a> Evaluator<'a> {
         self.mode
     }
 
-    /// Requests served from the cache without executing a trial.
+    /// Requests served from the cache without executing a trial
+    /// (entries produced earlier in this run; warm sidecar entries are
+    /// counted by [`Evaluator::cache_hits_warm`] instead).
     pub fn cache_hits(&self) -> u64 {
         self.cache
             .as_ref()
             .map_or(0, |c| c.hits.load(Ordering::Relaxed))
+    }
+
+    /// Requests served by entries preloaded from a cross-run sidecar
+    /// (see [`Evaluator::load_sidecar`]).
+    pub fn cache_hits_warm(&self) -> u64 {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.hits_warm.load(Ordering::Relaxed))
     }
 
     /// Requests that had to execute a trial.
@@ -237,13 +317,18 @@ impl<'a> Evaluator<'a> {
         let mut miss_of_key: HashMap<CacheKey, usize> = HashMap::new();
         let mut miss_requests: Vec<TrialRequest> = Vec::new();
         let mut hits = 0;
+        let mut hits_warm = 0;
         let mut coalesced = 0;
         {
             let map = cache.map.lock().expect("trial cache poisoned");
             for (i, (request, key)) in requests.iter().zip(&keys).enumerate() {
-                if let Some(outcome) = map.get(key) {
-                    slots[i] = Some(*outcome);
-                    hits += 1;
+                if let Some(cached) = map.get(key) {
+                    slots[i] = Some(cached.outcome);
+                    if cached.warm {
+                        hits_warm += 1;
+                    } else {
+                        hits += 1;
+                    }
                 } else if let Some(&mi) = miss_of_key.get(key) {
                     // Duplicate within the batch: executes once, but
                     // nothing was cached yet — count it as coalesced,
@@ -260,6 +345,7 @@ impl<'a> Evaluator<'a> {
             }
         }
         cache.hits.fetch_add(hits, Ordering::Relaxed);
+        cache.hits_warm.fetch_add(hits_warm, Ordering::Relaxed);
         cache.coalesced.fetch_add(coalesced, Ordering::Relaxed);
         cache
             .misses
@@ -269,7 +355,13 @@ impl<'a> Evaluator<'a> {
         {
             let mut map = cache.map.lock().expect("trial cache poisoned");
             for (key, &mi) in &miss_of_key {
-                map.insert(*key, executed[mi]);
+                map.insert(
+                    *key,
+                    CachedTrial {
+                        outcome: executed[mi],
+                        warm: false,
+                    },
+                );
             }
         }
 
@@ -292,6 +384,119 @@ impl<'a> Evaluator<'a> {
                 self.runner.run_trial(r.config(), r.n, r.seed)
             }),
         }
+    }
+
+    /// Preloads the trial memo from a cross-run sidecar written by
+    /// [`Evaluator::save_sidecar`], so a re-tuning run starts warm.
+    /// Returns the number of entries loaded; 0 when the file is
+    /// missing, malformed, recorded for a different transform, a
+    /// different tunable schema, or a different pool thread budget
+    /// (schedule-aware virtual costs embed it), or memoization is off
+    /// — a cold start, never an error. Entries loaded here count their reuse
+    /// as [`cache_hits_warm`](Evaluator::cache_hits_warm).
+    ///
+    /// Only sound when trials are deterministic functions of
+    /// `(config, n, seed)` — the same condition as memoization
+    /// itself; callers gate on [`TrialRunner::deterministic`]. A
+    /// schema change invalidates the sidecar automatically; a change
+    /// to the transform's *implementation* (or its cost model) does
+    /// not alter the keys, so delete the sidecar when the measured
+    /// code itself changes.
+    pub fn load_sidecar(&self, path: &Path) -> usize {
+        let Some(cache) = &self.cache else { return 0 };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return 0;
+        };
+        let Ok(file) = serde_json::from_str::<SidecarFile>(&text) else {
+            return 0;
+        };
+        if file.transform != self.runner.name()
+            || file.schema != format!("{:016x}", schema_fingerprint(self.runner.schema()))
+            || file.threads != pb_runtime::parallel::available_threads()
+        {
+            return 0;
+        }
+        let mut map = cache.map.lock().expect("trial cache poisoned");
+        let mut loaded = 0;
+        for entry in file.entries {
+            let (Ok(fingerprint), Ok(seed)) = (
+                u64::from_str_radix(&entry.fingerprint, 16),
+                u64::from_str_radix(&entry.seed, 16),
+            ) else {
+                continue;
+            };
+            let outcome = TrialOutcome {
+                time: entry.time,
+                wall_seconds: entry.wall_seconds,
+                virtual_cost: entry.virtual_cost,
+                accuracy: entry.accuracy,
+            };
+            if let std::collections::hash_map::Entry::Vacant(slot) =
+                map.entry((fingerprint, entry.n, seed))
+            {
+                slot.insert(CachedTrial {
+                    outcome,
+                    warm: true,
+                });
+                loaded += 1;
+            }
+        }
+        loaded
+    }
+
+    /// Writes the trial memo (warm and in-run entries alike) to
+    /// `path` as a JSON sidecar keyed by
+    /// `(transform name, config fingerprint, n, seed)`. A no-op when
+    /// memoization is off. Entries with non-finite measurements are
+    /// skipped — JSON cannot carry them losslessly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from writing the file.
+    pub fn save_sidecar(&self, path: &Path) -> std::io::Result<()> {
+        let Some(cache) = &self.cache else {
+            return Ok(());
+        };
+        let mut entries: Vec<SidecarEntry> = {
+            let map = cache.map.lock().expect("trial cache poisoned");
+            map.iter()
+                .filter(|(_, cached)| {
+                    let o = &cached.outcome;
+                    o.time.is_finite()
+                        && o.wall_seconds.is_finite()
+                        && o.virtual_cost.is_finite()
+                        && o.accuracy.is_finite()
+                })
+                .map(|(&(fingerprint, n, seed), cached)| SidecarEntry {
+                    fingerprint: format!("{fingerprint:016x}"),
+                    n,
+                    seed: format!("{seed:016x}"),
+                    time: cached.outcome.time,
+                    wall_seconds: cached.outcome.wall_seconds,
+                    virtual_cost: cached.outcome.virtual_cost,
+                    accuracy: cached.outcome.accuracy,
+                })
+                .collect()
+        };
+        // HashMap iteration order is arbitrary; sort so the sidecar is
+        // byte-stable across runs with identical contents.
+        entries.sort_by(|a, b| (&a.fingerprint, a.n, &a.seed).cmp(&(&b.fingerprint, b.n, &b.seed)));
+        let file = SidecarFile {
+            transform: self.runner.name().to_string(),
+            schema: format!("{:016x}", schema_fingerprint(self.runner.schema())),
+            threads: pb_runtime::parallel::available_threads(),
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&file)
+            .expect("sidecar serialization cannot fail for finite entries");
+        // Write-then-rename so an interrupted save (or two runs
+        // sharing one path) can never leave a truncated sidecar: the
+        // next load sees either the old file or the complete new one.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Mean accuracy of `config` over trials `0..trials` at size `n`
@@ -333,18 +538,20 @@ impl TrialRunner for Evaluator<'_> {
         let key = (config_fingerprint(config), n, seed);
         {
             let map = cache.map.lock().expect("trial cache poisoned");
-            if let Some(outcome) = map.get(&key) {
-                cache.hits.fetch_add(1, Ordering::Relaxed);
-                return *outcome;
+            if let Some(cached) = map.get(&key) {
+                cache.count_hit(cached);
+                return cached.outcome;
             }
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
         let outcome = self.runner.run_trial(config, n, seed);
-        cache
-            .map
-            .lock()
-            .expect("trial cache poisoned")
-            .insert(key, outcome);
+        cache.map.lock().expect("trial cache poisoned").insert(
+            key,
+            CachedTrial {
+                outcome,
+                warm: false,
+            },
+        );
         outcome
     }
 
@@ -495,6 +702,109 @@ mod tests {
         eval.run_batch(&reqs);
         assert_eq!(eval.cache_hits(), 0);
         assert_eq!(eval.cache_misses(), 0);
+    }
+
+    #[test]
+    fn sidecar_round_trips_the_memo() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let config = runner.schema().default_config();
+        let reqs = vec![request(&config, 8, 0), request(&config, 8, 1)];
+        let first = eval.run_batch(&reqs);
+        let path =
+            std::env::temp_dir().join(format!("pb_sidecar_roundtrip_{}.json", std::process::id()));
+        eval.save_sidecar(&path).unwrap();
+
+        // A fresh evaluator preloads the sidecar and serves the same
+        // requests without executing anything — counted as warm hits,
+        // separate from in-run hits.
+        let warm = Evaluator::new(&runner, EvalMode::Sequential, true);
+        assert_eq!(warm.load_sidecar(&path), 2);
+        let second = warm.run_batch(&reqs);
+        assert_eq!(first, second);
+        assert_eq!(warm.cache_misses(), 0);
+        assert_eq!(warm.cache_hits(), 0);
+        assert_eq!(warm.cache_hits_warm(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sidecar_is_keyed_by_transform_name() {
+        struct Renamed;
+        impl Transform for Renamed {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "renamed"
+            }
+            fn schema(&self) -> Schema {
+                let mut s = Schema::new("renamed");
+                s.add_accuracy_variable("v", 1, 100);
+                s
+            }
+            fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+            fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+                ctx.charge(1.0);
+            }
+            fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+                0.5
+            }
+        }
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let config = runner.schema().default_config();
+        eval.run_batch(&[request(&config, 8, 0)]);
+        let path =
+            std::env::temp_dir().join(format!("pb_sidecar_transform_{}.json", std::process::id()));
+        eval.save_sidecar(&path).unwrap();
+        // Another transform's evaluator must not warm from it.
+        let other_runner = TransformRunner::new(Renamed, CostModel::Virtual);
+        let other = Evaluator::new(&other_runner, EvalMode::Sequential, true);
+        assert_eq!(other.load_sidecar(&path), 0);
+        // Same transform name but a changed tunable schema: the stale
+        // measurements describe configurations of a different shape
+        // and must be rejected wholesale.
+        struct LinearWider;
+        impl Transform for LinearWider {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "linear"
+            }
+            fn schema(&self) -> Schema {
+                let mut s = Schema::new("linear");
+                s.add_accuracy_variable("v", 1, 200);
+                s
+            }
+            fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+            fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+                ctx.charge(1.0);
+            }
+            fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+                0.5
+            }
+        }
+        let wider_runner = TransformRunner::new(LinearWider, CostModel::Virtual);
+        let wider = Evaluator::new(&wider_runner, EvalMode::Sequential, true);
+        assert_eq!(wider.load_sidecar(&path), 0);
+        // A different pool thread budget: schedule-aware virtual costs
+        // divide by it, so the recorded outcomes are not comparable.
+        let threads = pb_runtime::parallel::available_threads();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tampered = text.replace(
+            &format!("\"threads\": {threads}"),
+            &format!("\"threads\": {}", threads + 1),
+        );
+        assert_ne!(text, tampered, "threads field must be present");
+        std::fs::write(&path, tampered).unwrap();
+        let same = Evaluator::new(&runner, EvalMode::Sequential, true);
+        assert_eq!(same.load_sidecar(&path), 0);
+        // A missing file and a disabled cache are cold starts, not
+        // errors.
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(eval.load_sidecar(&path), 0);
+        let uncached = Evaluator::new(&runner, EvalMode::Sequential, false);
+        assert_eq!(uncached.load_sidecar(&path), 0);
     }
 
     #[test]

@@ -17,9 +17,14 @@
 //! * [`candidate`] — a configuration plus its cached per-input-size
 //!   timing/accuracy statistics.
 //! * [`population`] — the accuracy-binned pruning procedure (§5.5.4).
-//! * [`tournament`] — the pruning procedure's comparisons laid out as
-//!   plan-then-execute tournament rounds, so the adaptive comparator's
-//!   trial draws batch onto the work-stealing pool.
+//! * [`arena`] — the comparison arena: a session object with a
+//!   pair-verdict memo and a generic "pending decisions → batched
+//!   draws → merged outcomes" round loop that every comparator
+//!   consumer drives, so the adaptive comparator's trial draws batch
+//!   onto the work-stealing pool.
+//! * [`tournament`] — the pruning procedure's fastest-K selections
+//!   laid out as arena contests (k-way selection over pre-sorted
+//!   runs).
 //! * [`tuner`] — the top-level loop (Figure 5): test, random mutation,
 //!   guided mutation, prune, over exponentially growing input sizes.
 //!
@@ -65,6 +70,7 @@
 //! # let _ = ExecCtx::new(runner.schema(), &tuned.entry(0).config, 1, 0);
 //! ```
 
+pub mod arena;
 pub mod candidate;
 pub mod exec;
 pub mod mutators;
@@ -72,6 +78,7 @@ pub mod population;
 pub mod tournament;
 pub mod tuner;
 
+pub use arena::{Arena, ArenaReport, Contest, PairContest};
 pub use candidate::{Candidate, SizeStats};
 pub use exec::{config_fingerprint, EvalMode, Evaluator, TrialRequest};
 pub use mutators::{MutationRecord, Mutator, MutatorPool};

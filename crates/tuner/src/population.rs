@@ -15,16 +15,17 @@
 //! 5. fully sort KEEP again;
 //! 6. keep the first `K`.
 //!
-//! The selection runs as tournament-batched rounds (see
-//! [`crate::tournament`]): all bins' pending comparator draws execute
-//! as one [`Evaluator`] batch per round on the work-stealing pool.
+//! The selection runs as comparison-arena rounds (see [`crate::arena`]
+//! and [`crate::tournament`]): all bins' pending comparator draws
+//! execute as one [`Evaluator`] batch per round on the work-stealing
+//! pool, and pair verdicts memoize for the duration of the prune call.
 
-use crate::candidate::{trial_seed, Candidate, SizeStats};
+use crate::arena::{Arena, ArenaReport, PairContest};
+use crate::candidate::Candidate;
 use crate::exec::Evaluator;
-use crate::tournament::{run_selections, PruneReport, Selection};
+use crate::tournament::{PruneReport, Selection};
 use pb_config::AccuracyBins;
-use pb_runtime::TrialRunner;
-use pb_stats::{total_cmp_nan_first, total_cmp_nan_last, Comparator, CompareOutcome};
+use pb_stats::{total_cmp_nan_first, total_cmp_nan_last, welch_t_test, Comparator, CompareOutcome};
 use std::collections::BTreeSet;
 
 /// The tuner's population of candidate algorithms.
@@ -64,10 +65,16 @@ impl Population {
         &mut self.candidates
     }
 
-    /// Drops candidates past `len` (used by the tuner to reject a
-    /// freshly appended child that lost its parent comparison).
-    pub fn truncate(&mut self, len: usize) {
-        self.candidates.truncate(len);
+    /// Keeps only the candidates whose index satisfies `keep`,
+    /// preserving order (used by the tuner to drop appended children
+    /// that lost their parent comparison).
+    pub fn retain_indexed(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let mut idx = 0;
+        self.candidates.retain(|_| {
+            let kept = keep(idx);
+            idx += 1;
+            kept
+        });
     }
 
     /// Index of the candidate with the highest mean accuracy at size
@@ -132,8 +139,14 @@ impl Population {
     }
 
     /// Adaptive time comparison between candidates `i` and `j` at size
-    /// `n`, drawing extra trials through `runner` as the comparator
+    /// `n`, drawing extra trials through `evaluator` as the comparator
     /// requests them. Cached statistics are updated in place.
+    ///
+    /// A convenience wrapper that opens a one-pair [`Arena`] session:
+    /// the draw sequence is identical to the blocking §5.5.1 loop
+    /// (each [`pb_stats::CompareStep`] is served before re-deciding),
+    /// but the draws execute as evaluator batches — the min-trial fill
+    /// runs as one batch instead of trial-by-trial.
     ///
     /// # Panics
     ///
@@ -143,48 +156,79 @@ impl Population {
         i: usize,
         j: usize,
         n: u64,
-        runner: &dyn TrialRunner,
+        evaluator: &Evaluator<'_>,
         comparator: &Comparator,
     ) -> CompareOutcome {
         assert_ne!(i, j, "cannot compare a candidate to itself");
-        let cfg_i = self.candidates[i].config.clone();
-        let cfg_j = self.candidates[j].config.clone();
-        let st_i = self.candidates[i].take_stats(n);
-        let st_j = self.candidates[j].take_stats(n);
-        let (mut time_i, mut acc_i) = (st_i.time, st_i.accuracy);
-        let (mut time_j, mut acc_j) = (st_j.time, st_j.accuracy);
-        let mut idx_i = time_i.count();
-        let mut idx_j = time_j.count();
-        let outcome = {
-            let mut draw_i = || {
-                let out = runner.run_trial(&cfg_i, n, trial_seed(n, idx_i));
-                idx_i += 1;
-                acc_i.push(out.accuracy);
-                out.time
-            };
-            let mut draw_j = || {
-                let out = runner.run_trial(&cfg_j, n, trial_seed(n, idx_j));
-                idx_j += 1;
-                acc_j.push(out.accuracy);
-                out.time
-            };
-            comparator.compare(&mut time_i, &mut draw_i, &mut time_j, &mut draw_j)
-        };
-        self.candidates[i].put_stats(
-            n,
-            SizeStats {
-                time: time_i,
-                accuracy: acc_i,
-            },
-        );
-        self.candidates[j].put_stats(
-            n,
-            SizeStats {
-                time: time_j,
-                accuracy: acc_j,
-            },
-        );
-        outcome
+        let mut arena = Arena::new(evaluator, comparator);
+        let mut pair = [PairContest::new(i, j)];
+        arena.run(&mut self.candidates, n, &mut pair);
+        pair[0].verdict.expect("arena runs contests to completion")
+    }
+
+    /// Decides one round of child-vs-parent merges (§5.5.2 phase 3)
+    /// through the comparison arena. The last `parent_of.len()`
+    /// candidates are the round's children, in plan order;
+    /// `parent_of[k]` is the population index of child `k`'s parent.
+    /// Returns each child's accept verdict — faster than its parent
+    /// (adaptive time comparison) or more accurate (Welch's t-test at
+    /// `alpha`) — plus the arena session's counters. The caller drops
+    /// rejected children (see
+    /// [`retain_indexed`](Population::retain_indexed)).
+    ///
+    /// Pairs are decided in *waves* of plan-order pairs with pairwise-
+    /// distinct parents: every child is new and wave parents are
+    /// distinct, so a wave's comparisons are fully disjoint and their
+    /// comparator draws execute as shared [`Evaluator`] batches, while
+    /// pairs sharing a parent stay strictly ordered across waves.
+    /// Each comparison therefore sees exactly the statistics the old
+    /// one-blocking-comparison-at-a-time merge produced — identical
+    /// draws, identical verdicts, just batched.
+    pub fn merge_children(
+        &mut self,
+        parent_of: &[usize],
+        n: u64,
+        evaluator: &Evaluator<'_>,
+        comparator: &Comparator,
+        alpha: f64,
+    ) -> (Vec<bool>, ArenaReport) {
+        assert!(parent_of.len() <= self.candidates.len());
+        let base = self.candidates.len() - parent_of.len();
+        let mut accepted = vec![false; parent_of.len()];
+        let mut arena = Arena::new(evaluator, comparator);
+        let mut remaining: Vec<usize> = (0..parent_of.len()).collect();
+        while !remaining.is_empty() {
+            // Greedy wave: plan-order pairs, each parent at most once.
+            let mut wave: Vec<usize> = Vec::new();
+            let mut wave_parents: BTreeSet<usize> = BTreeSet::new();
+            remaining.retain(|&k| {
+                let claimed = wave_parents.insert(parent_of[k]);
+                if claimed {
+                    wave.push(k);
+                }
+                !claimed
+            });
+            let mut contests: Vec<PairContest> = wave
+                .iter()
+                .map(|&k| PairContest::new(base + k, parent_of[k]))
+                .collect();
+            arena.run(&mut self.candidates, n, &mut contests);
+            for (&k, contest) in wave.iter().zip(&contests) {
+                let faster = contest.verdict == Some(CompareOutcome::Less);
+                let more_accurate = {
+                    let child = self.candidates[base + k]
+                        .stats(n)
+                        .expect("child was tested");
+                    let parent = self.candidates[parent_of[k]]
+                        .stats(n)
+                        .expect("parent was tested");
+                    let test = welch_t_test(&child.accuracy, &parent.accuracy);
+                    test.rejects_equality(alpha) && child.accuracy.mean() > parent.accuracy.mean()
+                };
+                accepted[k] = faster || more_accurate;
+            }
+        }
+        (accepted, arena.report())
     }
 
     /// The pruning phase (§5.5.4): for each accuracy bin keep the
@@ -196,12 +240,14 @@ impl Population {
     /// the equivalent situation, which the tuner does at the end of
     /// training instead).
     ///
-    /// All bins' fastest-K selections run as one tournament session:
-    /// each round's pending comparator draws — across every bin and
-    /// active pair — execute as a single [`Evaluator`] batch on the
-    /// pool, sharing the trial memo. Plan-then-execute with merges in
-    /// candidate-index order keeps parallel pruning bit-identical to
-    /// sequential.
+    /// All bins' fastest-K selections run as one arena session: each
+    /// round's pending comparator draws — across every bin and active
+    /// pair — execute as a single [`Evaluator`] batch on the pool,
+    /// sharing the trial memo, and pair verdicts memoize for the whole
+    /// call (a pair decided during the KEEP sort is never re-tested
+    /// during the post-promotion re-sort). Plan-then-execute with
+    /// merges in candidate-index order keeps parallel pruning
+    /// bit-identical to sequential.
     pub fn prune(
         &mut self,
         n: u64,
@@ -214,7 +260,7 @@ impl Population {
         if self.candidates.len() <= 1 {
             return report;
         }
-        let selections: Vec<Selection> = bins
+        let mut selections: Vec<Selection> = bins
             .targets()
             .iter()
             .map(|&target| {
@@ -224,25 +270,18 @@ impl Population {
                 Selection::new(&self.candidates, qualifying, keep_per_bin, n)
             })
             .collect();
-        let kept_per_bin = run_selections(
-            &mut self.candidates,
-            selections,
-            n,
-            evaluator,
-            comparator,
-            &mut report,
-        );
-        let mut keep: BTreeSet<usize> = kept_per_bin.into_iter().flatten().collect();
+        let mut arena = Arena::new(evaluator, comparator);
+        arena.run(&mut self.candidates, n, &mut selections);
+        report.arena = arena.report();
+        let mut keep: BTreeSet<usize> = selections
+            .into_iter()
+            .flat_map(Selection::into_result)
+            .collect();
         if let Some(best) = self.best_accuracy_index(n) {
             keep.insert(best);
         }
         let before = self.candidates.len();
-        let mut idx = 0;
-        self.candidates.retain(|_| {
-            let kept = keep.contains(&idx);
-            idx += 1;
-            kept
-        });
+        self.retain_indexed(|idx| keep.contains(&idx));
         report.removed = (before - self.candidates.len()) as u64;
         report
     }
@@ -305,12 +344,13 @@ mod tests {
         let runner = TransformRunner::new(Frontier, CostModel::Virtual);
         let mut pop = population_with_levels(&runner, &[2, 8], 16);
         let comparator = Comparator::default();
+        let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
         assert_eq!(
-            pop.compare_time(0, 1, 16, &runner, &comparator),
+            pop.compare_time(0, 1, 16, &evaluator, &comparator),
             CompareOutcome::Less
         );
         assert_eq!(
-            pop.compare_time(1, 0, 16, &runner, &comparator),
+            pop.compare_time(1, 0, 16, &evaluator, &comparator),
             CompareOutcome::Greater
         );
     }
@@ -510,8 +550,8 @@ mod tests {
         // Kept: the two truly fastest (10, 20) plus the best-accuracy
         // safety net (900). The moving-pivot bug kept 500 instead of 20.
         assert_eq!(levels, vec![10, 20, 900], "report: {report:?}");
-        assert!(report.rounds > 0, "adaptive draws must have batched");
-        assert!(report.draws > 0);
+        assert!(report.arena.rounds > 0, "adaptive draws must have batched");
+        assert!(report.arena.draws > 0);
     }
 
     /// The prune path must execute its comparator draws through
@@ -544,11 +584,11 @@ mod tests {
         let evaluator = Evaluator::new(&runner, crate::exec::EvalMode::Sequential, true);
         let bins = AccuracyBins::new(vec![0.01, 0.2]);
         let report = pop.prune(n, &bins, 2, &evaluator, &comparator);
-        assert!(report.rounds > 0);
+        assert!(report.arena.rounds > 0);
         assert!(
-            report.max_batch > 1,
+            report.arena.max_round > 1,
             "independent comparisons must batch their draws: {report:?}"
         );
-        assert!(report.draws >= report.rounds);
+        assert!(report.arena.draws >= report.arena.rounds);
     }
 }

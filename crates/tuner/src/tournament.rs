@@ -1,195 +1,163 @@
-//! Tournament-batched adaptive comparisons for pruning (§5.5.4 on the
-//! work-stealing pool).
+//! Fastest-K selection (§5.5.4) as arena contests.
 //!
-//! The §5.5.1 comparator decides `Less`/`Greater`/`Same` from the two
-//! candidates' accumulated statistics and otherwise names the side
-//! that needs another trial ([`pb_stats::CompareStep`]). Pruning used
-//! to consume those requests one `run_trial` at a time on the calling
-//! thread; this module restructures it as **plan-then-execute
-//! tournament rounds**:
+//! Each accuracy bin's six-step selection is a resumable
+//! [`Contest`](crate::arena::Contest) driven by the
+//! [`Arena`](crate::arena::Arena) round loop, so many selections
+//! interleave their comparator draws into shared pool batches:
 //!
-//! 1. **Advance** every bin's fastest-K selection as far as the
-//!    current statistics allow. Selections sort with a bottom-up
-//!    merge layout, so the pending head-to-head comparisons of
-//!    different merges — and of different bins — are independent.
-//! 2. **Plan** one [`TrialRequest`](crate::exec::TrialRequest) batch
-//!    covering every stalled comparison's requested draws (per
-//!    candidate, the largest request wins: draws extend the shared
-//!    statistics, so the union of relative requests is their max).
-//! 3. **Execute** the batch through [`Evaluator::run_batch`] — on the
-//!    pool in parallel mode, sharing the trial memo — and **merge**
-//!    outcomes back per candidate in plan (candidate-index) order.
-//!
-//! No randomness is consumed anywhere in a round (trial seeds are a
-//! deterministic function of each candidate's trial count) and merges
-//! happen in plan order, so parallel pruning is bit-identical to
-//! sequential pruning, the same way generation batches are.
+//! 1–2. rough sort by cached mean time, split at the K-th element into
+//!      KEEP and DISCARD (no trials);
+//! 3.   sort KEEP with the adaptive comparator via a **k-way selection
+//!      layout**: a bracket tournament over the heads of the pending
+//!      runs. Every undecided head-to-head at every computable bracket
+//!      level is queried each round, which exposes strictly more
+//!      independent comparisons per round than a bottom-up two-run
+//!      merge (whose stalled merges each expose exactly one). The
+//!      extra queries the bracket replays after a pop cost nothing:
+//!      decided verdicts come back from the session's pair memo.
+//! 4.   compare each DISCARD element against the **fixed** K-th KEEP
+//!      element (snapshotted before any promotion — §5.5.4; a moving
+//!      pivot would make promotion depend on DISCARD iteration order);
+//!      the promotion comparisons are mutually independent and batch.
+//! 5.   re-sort by k-way selection over **pre-sorted runs**: the
+//!      sorted KEEP run plus each promoted element as a singleton.
+//!      KEEP-internal pairs are never re-compared (they share a run),
+//!      promoted-vs-pivot verdicts replay from the pair memo, and only
+//!      the first K elements are ever selected — the tail the
+//!      bottom-up merge used to sort fully is left unsorted.
+//! 6.   keep the first K.
 
+use crate::arena::Contest;
 use crate::candidate::Candidate;
-use crate::exec::Evaluator;
-use pb_stats::{total_cmp_nan_last, Comparator, CompareOutcome, CompareStep, OnlineStats, Which};
-use std::collections::BTreeMap;
+use pb_stats::{total_cmp_nan_last, CompareOutcome};
 
 /// What one [`Population::prune`](crate::Population::prune) call did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PruneReport {
     /// Candidates removed from the population.
     pub removed: u64,
-    /// Plan-then-execute rounds that issued a trial batch.
-    pub rounds: u64,
-    /// Comparator-requested trial draws executed via those batches.
-    pub draws: u64,
-    /// Largest single batch of draws.
-    pub max_batch: u64,
+    /// The prune call's arena-session counters (rounds, draws, widths,
+    /// pair-memo traffic).
+    pub arena: crate::arena::ArenaReport,
 }
 
-/// An in-progress merge of two sorted runs of candidate indices.
+/// K-way selection over pre-sorted runs of candidate indices:
+/// repeatedly pops the overall fastest remaining head via a bracket
+/// tournament, until `take` elements are selected.
 ///
-/// `advance` pulls from whichever head the comparator ranks faster
-/// (ties keep the left run's element first, preserving stability: a
-/// `Same` outcome keeps original order, exactly like the insertion
-/// sort this replaces).
-struct Merge {
-    left: Vec<usize>,
-    right: Vec<usize>,
-    li: usize,
-    ri: usize,
+/// The bracket pairs heads in run order, so the left side of every
+/// pairing comes from an earlier run; ties (`Same`) keep the left
+/// element, preserving the stability of the insertion/merge sorts this
+/// replaces. Brackets are recomputed from scratch on every advance:
+/// decided pairings answer from the arena's session memo (free), and
+/// every *undecided* pairing whose inputs are known is queried before
+/// the round ends — that breadth is what widens the trial batches.
+struct KWaySelect {
+    runs: Vec<Vec<usize>>,
+    /// Per-run cursor: `runs[r][pos[r]]` is the current head.
+    pos: Vec<usize>,
     out: Vec<usize>,
+    take: usize,
 }
 
-impl Merge {
-    fn new(left: Vec<usize>, right: Vec<usize>) -> Self {
-        let out = Vec::with_capacity(left.len() + right.len());
-        Merge {
-            left,
-            right,
-            li: 0,
-            ri: 0,
-            out,
+impl KWaySelect {
+    /// Selection of the first `take` elements across `runs`, each run
+    /// pre-sorted fastest-first.
+    fn new(runs: Vec<Vec<usize>>, take: usize) -> Self {
+        let pos = vec![0; runs.len()];
+        KWaySelect {
+            runs,
+            pos,
+            out: Vec::with_capacity(take),
+            take,
         }
     }
 
-    /// Advances until complete (returns `true`) or until `cmp` cannot
-    /// yet decide the current head-to-head (returns `false`).
-    /// Idempotent once complete.
+    fn remaining(&self) -> usize {
+        self.runs
+            .iter()
+            .zip(&self.pos)
+            .map(|(run, &p)| run.len() - p)
+            .sum()
+    }
+
+    /// Pops winners while the bracket can decide; `true` once `take`
+    /// elements are out (or the runs are exhausted).
     fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
-        while self.li < self.left.len() && self.ri < self.right.len() {
-            let l = self.left[self.li];
-            let r = self.right[self.ri];
-            match cmp(r, l) {
-                None => return false,
-                Some(CompareOutcome::Less) => {
-                    self.out.push(r);
-                    self.ri += 1;
-                }
-                Some(_) => {
-                    self.out.push(l);
-                    self.li += 1;
-                }
-            }
-        }
-        self.out.extend_from_slice(&self.left[self.li..]);
-        self.li = self.left.len();
-        self.out.extend_from_slice(&self.right[self.ri..]);
-        self.ri = self.right.len();
-        true
-    }
-}
-
-/// Bottom-up merge sort whose comparisons are served lazily by the
-/// adaptive comparator. All merges of one level run "simultaneously":
-/// each stalled merge records its pending comparison's trial demand,
-/// so a whole level's draws batch together.
-struct MergeSort {
-    merges: Vec<Merge>,
-    /// Odd run carried (last) into the next level.
-    carry: Option<Vec<usize>>,
-    finished: Option<Vec<usize>>,
-}
-
-impl MergeSort {
-    fn new(indices: Vec<usize>) -> Self {
-        let runs: Vec<Vec<usize>> = indices.into_iter().map(|i| vec![i]).collect();
-        let mut sort = MergeSort {
-            merges: Vec::new(),
-            carry: None,
-            finished: None,
-        };
-        sort.start_level(runs);
-        sort
-    }
-
-    fn start_level(&mut self, mut runs: Vec<Vec<usize>>) {
-        if runs.len() <= 1 {
-            self.finished = Some(runs.pop().unwrap_or_default());
-            return;
-        }
-        let mut iter = runs.into_iter();
         loop {
-            match (iter.next(), iter.next()) {
-                (Some(left), Some(right)) => self.merges.push(Merge::new(left, right)),
-                (Some(last), None) => {
-                    self.carry = Some(last);
-                    break;
-                }
-                _ => break,
-            }
-        }
-    }
-
-    /// Advances every active merge; when a whole level completes,
-    /// starts the next one within the same call (new comparisons may
-    /// already be decidable from existing statistics).
-    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
-        if self.finished.is_some() {
-            return true;
-        }
-        loop {
-            let mut all_done = true;
-            for merge in &mut self.merges {
-                all_done &= merge.advance(cmp);
-            }
-            if !all_done {
-                return false;
-            }
-            let mut runs: Vec<Vec<usize>> = self.merges.drain(..).map(|m| m.out).collect();
-            if let Some(carry) = self.carry.take() {
-                runs.push(carry);
-            }
-            self.start_level(runs);
-            if self.finished.is_some() {
+            let want = self.take.min(self.out.len() + self.remaining());
+            if self.out.len() >= want {
                 return true;
             }
+            // Current heads, in run order. `None` marks an unknown
+            // bracket winner below.
+            let mut round: Vec<Option<usize>> = self
+                .runs
+                .iter()
+                .zip(&self.pos)
+                .filter(|(run, &p)| p < run.len())
+                .map(|(run, &p)| Some(run[p]))
+                .collect();
+            while round.len() > 1 {
+                let mut next = Vec::with_capacity(round.len().div_ceil(2));
+                let mut pairs = round.chunks(2);
+                for pair in &mut pairs {
+                    next.push(match *pair {
+                        [left] => left,
+                        // An unknown side makes the pairing's winner
+                        // unknown, but sibling pairings still advance
+                        // (and still deposit their draw demands).
+                        [Some(left), Some(right)] => match cmp(right, left) {
+                            None => None,
+                            Some(CompareOutcome::Less) => Some(right),
+                            Some(_) => Some(left),
+                        },
+                        _ => None,
+                    });
+                }
+                round = next;
+            }
+            match round.first().copied().flatten() {
+                Some(winner) => {
+                    let r = self
+                        .runs
+                        .iter()
+                        .zip(&self.pos)
+                        .position(|(run, &p)| p < run.len() && run[p] == winner)
+                        .expect("winner is some run's head");
+                    self.pos[r] += 1;
+                    self.out.push(winner);
+                }
+                None => return false,
+            }
         }
     }
 
-    fn take_finished(&mut self) -> Vec<usize> {
-        self.finished.take().expect("merge sort not finished")
+    fn into_selected(self) -> Vec<usize> {
+        self.out
     }
 }
 
 enum Phase {
-    /// Step 3: fully sort KEEP with adaptive confidence.
-    Sort(MergeSort),
+    /// Step 3: fully sort KEEP (every element a singleton run).
+    Sort(KWaySelect),
     /// Step 4: compare each DISCARD element against the **fixed** K-th
-    /// KEEP element (`keep[k-1]`, snapshotted before any promotion —
-    /// per §5.5.4; comparing against a moving `keep.last()` would make
-    /// promotion depend on DISCARD iteration order and wrongly reject
-    /// faster candidates).
+    /// KEEP element.
     Promote {
         keep: Vec<usize>,
         discard: Vec<usize>,
         verdicts: Vec<Option<bool>>,
     },
-    /// Step 5: re-sort KEEP after promotions.
-    Resort(MergeSort),
+    /// Step 5: select the first K across the sorted KEEP run and the
+    /// promoted singletons.
+    Resort(KWaySelect),
     /// Step 6: the first K.
     Done(Vec<usize>),
 }
 
 /// One accuracy bin's six-step fastest-K selection (§5.5.4), expressed
-/// as a resumable state machine so many selections can interleave
-/// their comparator draws into shared batches.
+/// as a resumable [`Contest`] so many selections interleave their
+/// comparator draws into shared arena batches.
 pub(crate) struct Selection {
     k: usize,
     /// DISCARD half, stashed until the KEEP sort finishes.
@@ -211,13 +179,23 @@ impl Selection {
         }
         indices.sort_by(|&a, &b| total_cmp_nan_last(cands[a].mean_time(n), cands[b].mean_time(n)));
         let discard = indices.split_off(k);
+        let runs = indices.into_iter().map(|i| vec![i]).collect();
         Selection {
             k,
             discard,
-            phase: Phase::Sort(MergeSort::new(indices)),
+            phase: Phase::Sort(KWaySelect::new(runs, k)),
         }
     }
 
+    pub(crate) fn into_result(self) -> Vec<usize> {
+        match self.phase {
+            Phase::Done(kept) => kept,
+            _ => unreachable!("selection consumed before completion"),
+        }
+    }
+}
+
+impl Contest for Selection {
     /// Advances through the phases as far as `cmp` can decide;
     /// returns `true` once the selection is done.
     fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
@@ -228,7 +206,11 @@ impl Selection {
                     if !sort.advance(cmp) {
                         return false;
                     }
-                    let keep = sort.take_finished();
+                    let sort = match std::mem::replace(&mut self.phase, Phase::Done(Vec::new())) {
+                        Phase::Sort(sort) => sort,
+                        _ => unreachable!(),
+                    };
+                    let keep = sort.into_selected();
                     let discard = std::mem::take(&mut self.discard);
                     let verdicts = vec![None; discard.len()];
                     self.phase = Phase::Promote {
@@ -267,112 +249,108 @@ impl Selection {
                     if promoted.is_empty() {
                         self.phase = Phase::Done(keep);
                     } else {
-                        let mut all = keep;
-                        all.extend(promoted);
-                        self.phase = Phase::Resort(MergeSort::new(all));
+                        // Sorted KEEP is one pre-sorted run; each
+                        // promoted element is a singleton run after it.
+                        let mut runs = vec![keep];
+                        runs.extend(promoted.into_iter().map(|d| vec![d]));
+                        self.phase = Phase::Resort(KWaySelect::new(runs, self.k));
                     }
                 }
                 Phase::Resort(sort) => {
                     if !sort.advance(cmp) {
                         return false;
                     }
-                    let mut sorted = sort.take_finished();
-                    sorted.truncate(self.k);
-                    self.phase = Phase::Done(sorted);
+                    let sort = match std::mem::replace(&mut self.phase, Phase::Done(Vec::new())) {
+                        Phase::Resort(sort) => sort,
+                        _ => unreachable!(),
+                    };
+                    let mut selected = sort.into_selected();
+                    selected.truncate(self.k);
+                    self.phase = Phase::Done(selected);
                 }
             }
         }
     }
-
-    fn into_result(self) -> Vec<usize> {
-        match self.phase {
-            Phase::Done(kept) => kept,
-            _ => unreachable!("selection consumed before completion"),
-        }
-    }
 }
 
-/// Runs every selection to completion, executing the comparator's
-/// requested draws as [`Evaluator`] batches between rounds. Returns
-/// each selection's kept indices, in selection order.
-pub(crate) fn run_selections(
-    cands: &mut [Candidate],
-    mut selections: Vec<Selection>,
-    n: u64,
-    evaluator: &Evaluator<'_>,
-    comparator: &Comparator,
-    report: &mut PruneReport,
-) -> Vec<Vec<usize>> {
-    loop {
-        // Advance phase: all decisions from current statistics; every
-        // stalled comparison deposits its draw request in `demands`.
-        let mut demands: BTreeMap<usize, u64> = BTreeMap::new();
-        let mut all_done = true;
-        {
-            let cands_ro: &[Candidate] = cands;
-            let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
-                decide_or_demand(comparator, cands_ro, n, a, b, &mut demands)
-            };
-            for selection in &mut selections {
-                all_done &= selection.advance(&mut cmp);
-            }
-        }
-        if all_done {
-            return selections.into_iter().map(Selection::into_result).collect();
-        }
-        debug_assert!(!demands.is_empty(), "a stalled selection must demand draws");
+#[cfg(test)]
+mod tests {
+    use super::*;
 
-        // Plan: one batch for the whole round, spanning all bins and
-        // active pairs; candidate-index order fixes the merge order.
-        let mut requests = Vec::new();
-        let mut spans: Vec<(usize, usize)> = Vec::new();
-        for (&ci, &extra) in &demands {
-            let plan = cands[ci].plan_more_trials(n, extra);
-            spans.push((ci, plan.len()));
-            requests.extend(plan);
-        }
-        report.rounds += 1;
-        report.draws += requests.len() as u64;
-        report.max_batch = report.max_batch.max(requests.len() as u64);
-
-        // Execute on the pool (or sequentially — bit-identical either
-        // way) and merge back in plan order.
-        let outcomes = evaluator.run_batch(&requests);
-        let mut offset = 0;
-        for (ci, count) in spans {
-            for outcome in &outcomes[offset..offset + count] {
-                cands[ci].absorb(n, outcome);
-            }
-            offset += count;
-        }
+    /// Drives a `KWaySelect` with a total order over indices and an
+    /// always-decided comparator.
+    fn select(runs: Vec<Vec<usize>>, take: usize, order: impl Fn(usize) -> i64) -> Vec<usize> {
+        let mut sel = KWaySelect::new(runs, take);
+        let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+            Some(match order(a).cmp(&order(b)) {
+                std::cmp::Ordering::Less => CompareOutcome::Less,
+                std::cmp::Ordering::Greater => CompareOutcome::Greater,
+                std::cmp::Ordering::Equal => CompareOutcome::Same,
+            })
+        };
+        assert!(sel.advance(&mut cmp));
+        sel.into_selected()
     }
-}
 
-/// The decision core applied to two candidates' time statistics: a
-/// decided outcome passes through; a draw request is recorded against
-/// the candidate that needs it (max across the round's comparisons,
-/// since draws extend the shared per-candidate statistics).
-fn decide_or_demand(
-    comparator: &Comparator,
-    cands: &[Candidate],
-    n: u64,
-    a: usize,
-    b: usize,
-    demands: &mut BTreeMap<usize, u64>,
-) -> Option<CompareOutcome> {
-    let empty = OnlineStats::new();
-    let time_a = cands[a].stats(n).map(|s| &s.time).unwrap_or(&empty);
-    let time_b = cands[b].stats(n).map(|s| &s.time).unwrap_or(&empty);
-    match comparator.decide(time_a, time_b) {
-        CompareStep::Decided(outcome) => Some(outcome),
-        CompareStep::NeedMore { which, draws } => {
-            let target = match which {
-                Which::A => a,
-                Which::B => b,
-            };
-            let entry = demands.entry(target).or_insert(0);
-            *entry = (*entry).max(draws);
+    #[test]
+    fn kway_merges_sorted_runs() {
+        let out = select(vec![vec![0, 2, 4], vec![1, 3, 5]], 6, |i| i as i64);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn kway_takes_only_what_is_asked() {
+        let out = select(vec![vec![5, 6, 7], vec![0, 1, 2]], 2, |i| i as i64);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn kway_ties_keep_earlier_run_order() {
+        // All elements equal: output preserves run order, then
+        // within-run order (stability).
+        let out = select(vec![vec![3, 4], vec![7], vec![9]], 4, |_| 0);
+        assert_eq!(out, vec![3, 4, 7, 9]);
+    }
+
+    #[test]
+    fn kway_stalls_and_resumes() {
+        let mut sel = KWaySelect::new(vec![vec![0], vec![1], vec![2]], 3);
+        // First pass: the (1, 0) pairing is undecided; the bracket
+        // must still query nothing else decidable but not pop.
+        let mut undecided_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+            undecided_pairs.push((a, b));
             None
-        }
+        };
+        assert!(!sel.advance(&mut cmp));
+        assert!(
+            undecided_pairs.contains(&(1, 0)),
+            "bracket must query the stalled head pair: {undecided_pairs:?}"
+        );
+        // Once decidable, the selection completes.
+        let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+            Some(match a.cmp(&b) {
+                std::cmp::Ordering::Less => CompareOutcome::Less,
+                std::cmp::Ordering::Greater => CompareOutcome::Greater,
+                std::cmp::Ordering::Equal => CompareOutcome::Same,
+            })
+        };
+        assert!(sel.advance(&mut cmp));
+        assert_eq!(sel.into_selected(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn kway_exposes_multiple_pairings_per_round() {
+        // Four runs: the first bracket level has two independent
+        // pairings; both must be queried in one stalled round.
+        let mut sel = KWaySelect::new(vec![vec![0], vec![1], vec![2], vec![3]], 4);
+        let mut queried: Vec<(usize, usize)> = Vec::new();
+        let mut cmp = |a: usize, b: usize| -> Option<CompareOutcome> {
+            queried.push((a, b));
+            None
+        };
+        assert!(!sel.advance(&mut cmp));
+        assert!(queried.contains(&(1, 0)));
+        assert!(queried.contains(&(3, 2)));
     }
 }

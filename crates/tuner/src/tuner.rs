@@ -24,10 +24,11 @@ use crate::mutators::MutatorPool;
 use crate::population::Population;
 use pb_config::{AccuracyBins, Config, Schema, TunableKind, Value};
 use pb_runtime::{TrialOutcome, TrialRunner, TunedEntry, TunedProgram};
-use pb_stats::{welch_t_test, Comparator, ComparatorConfig, CompareOutcome};
+use pb_stats::{Comparator, ComparatorConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors the autotuner can report.
@@ -175,8 +176,12 @@ pub struct TunerStats {
     pub guided_runs: u64,
     /// Candidates removed by pruning.
     pub pruned: u64,
-    /// Trial requests served from the memo cache without executing.
+    /// Trial requests served from the memo cache without executing
+    /// (entries produced earlier in this run).
     pub cache_hits: u64,
+    /// Trial requests served by entries preloaded from a cross-run
+    /// sidecar (see [`Autotuner::with_trial_cache`]).
+    pub cache_hits_warm: u64,
     /// Trial requests that executed a trial (equals `trials` when
     /// memoization is on and all execution flows through the
     /// evaluator).
@@ -184,13 +189,24 @@ pub struct TunerStats {
     /// Trial requests that duplicated another request in the same
     /// batch and shared its execution (neither hits nor misses).
     pub cache_coalesced: u64,
-    /// Tournament-pruning rounds that issued a trial batch (§5.5.4 on
-    /// the pool).
+    /// Pruning arena rounds that issued a trial batch (§5.5.4 on the
+    /// pool).
     pub prune_rounds: u64,
     /// Comparator-requested trial draws executed via pruning batches.
     pub prune_draws: u64,
     /// Largest single pruning batch.
     pub prune_max_batch: u64,
+    /// Child-vs-parent merge arena rounds that issued a trial batch.
+    pub merge_rounds: u64,
+    /// Comparator-requested trial draws executed via merge batches.
+    pub merge_draws: u64,
+    /// Largest single merge batch.
+    pub merge_max_batch: u64,
+    /// Pair-verdict memo lookups across all arena sessions.
+    pub pair_memo_queries: u64,
+    /// Lookups answered from a recorded verdict — comparisons neither
+    /// re-decided nor re-tested.
+    pub pair_memo_hits: u64,
 }
 
 /// A tuned program plus the run's statistics and frontier summary.
@@ -255,6 +271,7 @@ pub struct Autotuner<'a> {
     runner: &'a dyn TrialRunner,
     bins: AccuracyBins,
     options: TunerOptions,
+    trial_cache: Option<PathBuf>,
 }
 
 impl<'a> Autotuner<'a> {
@@ -264,7 +281,24 @@ impl<'a> Autotuner<'a> {
             runner,
             bins,
             options,
+            trial_cache: None,
         }
+    }
+
+    /// Persists the trial memo across runs: before tuning, memo
+    /// entries are preloaded from the JSON sidecar at `path` (keyed by
+    /// `(transform name, config fingerprint, n, seed)`); after tuning,
+    /// the merged memo is written back, best-effort. Re-tuning the
+    /// same transform — after a seed change, a wider bin set, a small
+    /// schema-default change — then starts warm, with reuse reported
+    /// as [`TunerStats::cache_hits_warm`].
+    ///
+    /// Only takes effect when memoization does (deterministic runner,
+    /// `TunerOptions::memoize_trials`); a wall-clock run neither reads
+    /// nor writes the sidecar.
+    pub fn with_trial_cache(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trial_cache = Some(path.into());
+        self
     }
 
     /// Runs the full tuning loop and returns the tuned program.
@@ -299,6 +333,9 @@ impl<'a> Autotuner<'a> {
         // zero-variance samples.
         let memoize = self.options.memoize_trials && counting.deterministic();
         let evaluator = Evaluator::new(&counting, mode, memoize);
+        if let Some(path) = &self.trial_cache {
+            evaluator.load_sidecar(path);
+        }
         let pool = MutatorPool::from_schema(&schema);
         let comparator = Comparator::new(self.options.comparator);
         let mut rng = SmallRng::seed_from_u64(self.options.seed);
@@ -363,9 +400,11 @@ impl<'a> Autotuner<'a> {
                     &comparator,
                 );
                 stats.pruned += report.removed;
-                stats.prune_rounds += report.rounds;
-                stats.prune_draws += report.draws;
-                stats.prune_max_batch = stats.prune_max_batch.max(report.max_batch);
+                stats.prune_rounds += report.arena.rounds;
+                stats.prune_draws += report.arena.draws;
+                stats.prune_max_batch = stats.prune_max_batch.max(report.arena.max_round);
+                stats.pair_memo_queries += report.arena.memo_queries;
+                stats.pair_memo_hits += report.arena.memo_hits;
             }
         }
 
@@ -407,8 +446,14 @@ impl<'a> Autotuner<'a> {
         }
         stats.trials = counting.count();
         stats.cache_hits = evaluator.cache_hits();
+        stats.cache_hits_warm = evaluator.cache_hits_warm();
         stats.cache_misses = evaluator.cache_misses();
         stats.cache_coalesced = evaluator.cache_coalesced();
+        if let Some(path) = &self.trial_cache {
+            // Best-effort: a read-only training directory should not
+            // fail the tuning run that produced a valid program.
+            let _ = evaluator.save_sidecar(path);
+        }
         Ok(TuningOutcome {
             program: TunedProgram::new(schema.name(), self.bins, entries),
             stats,
@@ -433,10 +478,17 @@ impl<'a> Autotuner<'a> {
     /// 2. **Execute** — batch all planned children's initial trials
     ///    through the evaluator (the work-stealing pool in parallel
     ///    mode).
-    /// 3. **Merge** — in plan order, append each child and keep it if
-    ///    it beats its parent in either time or accuracy; the adaptive
-    ///    comparator's demand-driven extra trials fall back to
-    ///    single-trial execution through the same evaluator.
+    /// 3. **Merge** — decide each child-vs-parent comparison through
+    ///    one comparison-arena session, in *waves* of plan-order pairs
+    ///    with pairwise-distinct parents. Pairs within a wave are
+    ///    fully disjoint (every child is new, parents are distinct),
+    ///    so each wave's comparator draws execute as one
+    ///    [`Evaluator::run_batch`] on the pool; pairs sharing a parent
+    ///    stay strictly ordered across waves, so every comparison sees
+    ///    exactly the statistics the old one-blocking-comparison-at-a-
+    ///    time merge produced — identical draws, identical accept/
+    ///    reject decisions, just batched. A child is kept if it beats
+    ///    its parent in either time or accuracy.
     ///
     /// All randomness is consumed in the plan phase and all decisions
     /// happen in the fixed merge order, so parallel execution is
@@ -492,32 +544,28 @@ impl<'a> Autotuner<'a> {
             offset += count;
         }
 
-        // Phase 3 — merge in plan order.
-        for (parent_idx, child) in planned {
+        // Phase 3 — merge through the arena. All children join the
+        // population at fixed indices after the parents; rejected ones
+        // are dropped once every pair is decided.
+        let parent_of: Vec<usize> = planned.iter().map(|&(p, _)| p).collect();
+        for (_, child) in planned {
             stats.children_created += 1;
             pop.add(child);
-            let child_idx = pop.len() - 1;
-            let faster = pop.compare_time(child_idx, parent_idx, n, evaluator, comparator)
-                == CompareOutcome::Less;
-            let more_accurate = {
-                let child_stats = pop.candidates()[child_idx]
-                    .stats(n)
-                    .expect("child was tested");
-                let parent_stats = pop.candidates()[parent_idx]
-                    .stats(n)
-                    .expect("parent was tested");
-                let test = welch_t_test(&child_stats.accuracy, &parent_stats.accuracy);
-                test.rejects_equality(self.options.comparator.alpha)
-                    && child_stats.accuracy.mean() > parent_stats.accuracy.mean()
-            };
-            if faster || more_accurate {
-                stats.children_accepted += 1;
-            } else {
-                // Reject: remove the child we just appended.
-                let keep_len = pop.len() - 1;
-                pop.truncate(keep_len);
-            }
         }
+        let (accepted, report) = pop.merge_children(
+            &parent_of,
+            n,
+            evaluator,
+            comparator,
+            self.options.comparator.alpha,
+        );
+        stats.children_accepted += accepted.iter().filter(|&&a| a).count() as u64;
+        pop.retain_indexed(|idx| idx < parent_count || accepted[idx - parent_count]);
+        stats.merge_rounds += report.rounds;
+        stats.merge_draws += report.draws;
+        stats.merge_max_batch = stats.merge_max_batch.max(report.max_round);
+        stats.pair_memo_queries += report.memo_queries;
+        stats.pair_memo_hits += report.memo_hits;
     }
 
     /// The guided-mutation phase (§5.5.3): hill climbing on the

@@ -76,10 +76,12 @@ fn binpacking_parallel_matches_sequential_across_seeds() {
     }
 }
 
-/// Tournament pruning consumes no randomness at execution time and
-/// merges comparator draws in plan order, so its rounds, draw counts,
-/// batch shapes, and prune decisions must be bit-identical between the
-/// forced-sequential evaluator and the 4-thread pool.
+/// Arena comparisons consume no randomness at execution time and
+/// merge comparator draws in plan order, so their rounds, draw counts,
+/// batch shapes, memo traffic, and decisions must be bit-identical
+/// between the forced-sequential evaluator and the 4-thread pool —
+/// with pair-verdict memoization and the k-way selection layout
+/// enabled (they always are; there is no other code path).
 #[test]
 fn pruning_is_bit_identical_and_batched() {
     force_parallel_pool();
@@ -107,6 +109,46 @@ fn pruning_is_bit_identical_and_batched() {
         assert_eq!(seq.stats.prune_rounds, par.stats.prune_rounds);
         assert_eq!(seq.stats.prune_draws, par.stats.prune_draws);
         assert_eq!(seq.stats.prune_max_batch, par.stats.prune_max_batch);
+    }
+}
+
+/// The child-vs-parent merge phase and the pair-verdict memo run
+/// through the same arena machinery and must be just as bit-identical
+/// — and really exercised: merge draws batch wider than one, and the
+/// pruning re-sorts replay memoized verdicts.
+#[test]
+fn merging_and_pair_memo_are_bit_identical_and_batched() {
+    force_parallel_pool();
+    // Seeds chosen so the run's pruning re-sorts really replay
+    // memoized verdicts under the forced 4-thread pool (the virtual
+    // cost model sees the thread budget, so the trajectory — and with
+    // it the memo traffic — is a deterministic function of the seed
+    // and that budget).
+    for seed in [5u64, 42] {
+        let bins = vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)];
+        let seq = tune(BinPacking, bins.clone(), 256, seed, false);
+        let par = tune(BinPacking, bins, 256, seed, true);
+        assert_bit_identical(&seq, &par);
+        assert!(
+            seq.stats.merge_rounds > 0,
+            "child-vs-parent merges must have run batched rounds: {:?}",
+            seq.stats
+        );
+        assert!(
+            seq.stats.merge_max_batch > 1,
+            "disjoint merge pairs must batch their draws: {:?}",
+            seq.stats
+        );
+        assert!(
+            seq.stats.pair_memo_hits > 0,
+            "re-sorts must replay memoized pair verdicts: {:?}",
+            seq.stats
+        );
+        assert_eq!(seq.stats.merge_rounds, par.stats.merge_rounds);
+        assert_eq!(seq.stats.merge_draws, par.stats.merge_draws);
+        assert_eq!(seq.stats.merge_max_batch, par.stats.merge_max_batch);
+        assert_eq!(seq.stats.pair_memo_queries, par.stats.pair_memo_queries);
+        assert_eq!(seq.stats.pair_memo_hits, par.stats.pair_memo_hits);
     }
 }
 

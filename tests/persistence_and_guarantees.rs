@@ -54,6 +54,46 @@ fn requirements_above_training_are_rejected() {
 }
 
 #[test]
+fn trial_cache_sidecar_warms_the_next_tuning_run() {
+    let path = std::env::temp_dir().join(format!(
+        "pb_trial_cache_sidecar_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let runner = TransformRunner::new(ImageCompression, CostModel::Virtual);
+    let bins = AccuracyBins::new(vec![0.3, 1.0]);
+    let options = TunerOptions::fast_preset(16, 0x51DE);
+
+    // Cold run: nothing to preload; the memo is written on exit.
+    let cold = Autotuner::new(&runner, bins.clone(), options)
+        .with_trial_cache(&path)
+        .tune_outcome()
+        .expect("tunes");
+    assert_eq!(cold.stats.cache_hits_warm, 0);
+    assert!(path.exists(), "sidecar must be written after tuning");
+
+    // Warm run: identical trial outcomes come from the sidecar, so
+    // the tuned program is identical while executed trials drop.
+    let warm = Autotuner::new(&runner, bins, options)
+        .with_trial_cache(&path)
+        .tune_outcome()
+        .expect("tunes");
+    assert!(
+        warm.stats.cache_hits_warm > 0,
+        "second run must reuse persisted trials: {:?}",
+        warm.stats
+    );
+    assert!(
+        warm.stats.trials < cold.stats.trials,
+        "warm start must execute fewer trials: {} vs {}",
+        warm.stats.trials,
+        cold.stats.trials
+    );
+    assert_eq!(cold.program, warm.program);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn config_files_are_human_editable() {
     // A user can hand-edit the persisted JSON (the paper's config
     // files were plain text for the same reason).
