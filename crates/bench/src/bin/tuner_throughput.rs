@@ -7,9 +7,12 @@
 //! summary. Every run also cross-checks the determinism guarantee:
 //! the parallel tuned program must equal the sequential one bitwise.
 //!
-//! Usage: `tuner_throughput [--smoke]`
+//! Usage: `tuner_throughput [--smoke] [--trace <path>]`
 //!
 //! `--smoke` shrinks the workloads for CI; the JSON is still written.
+//! `--trace <path>` records the whole bench through `pb_trace` and
+//! writes a Chrome trace-event file loadable in Perfetto (tracing is
+//! decision-neutral, so the bit-identicality cross-check still runs).
 //! In either mode the run *gates* the comparison-arena counters on the
 //! bin-packing workload: the pair-verdict memo must be hit (no
 //! re-tested verdicts) and the mean arena round width must beat the
@@ -20,10 +23,40 @@ use pb_benchmarks::binpacking::ratio_to_accuracy;
 use pb_benchmarks::{BinPacking, Clustering};
 use pb_config::AccuracyBins;
 use pb_runtime::parallel::available_threads;
+use pb_runtime::pool::PoolBatchStats;
 use pb_runtime::{CostModel, Transform, TransformRunner};
 use pb_tuner::{Autotuner, TunerOptions, TuningOutcome};
 use serde::Serialize;
 use std::time::Instant;
+
+/// `num / den`, or `0.0` when the denominator is zero.
+fn rate(num: u64, den: u64) -> f64 {
+    if den > 0 {
+        num as f64 / den as f64
+    } else {
+        0.0
+    }
+}
+
+/// One window of work-stealing-pool batch counters.
+#[derive(Debug, Serialize)]
+struct PoolWindow {
+    dispatched: u64,
+    inline: u64,
+    tasks: u64,
+    max_batch: u64,
+}
+
+impl From<PoolBatchStats> for PoolWindow {
+    fn from(s: PoolBatchStats) -> Self {
+        PoolWindow {
+            dispatched: s.dispatched,
+            inline: s.inline,
+            tasks: s.tasks,
+            max_batch: s.max_batch,
+        }
+    }
+}
 
 /// One timed tuning run.
 #[derive(Debug, Serialize)]
@@ -70,6 +103,17 @@ struct ModeReport {
     pair_memo_hits: u64,
     /// `hits / queries`.
     pair_memo_hit_rate: f64,
+    /// Every pool batch during this tuning run (trial fan-out plus
+    /// kernel-level batches inside trial executions).
+    pool_total: PoolWindow,
+    /// Pool batches while trial batches were executing (the
+    /// evaluator's windows).
+    pool_trial: PoolWindow,
+    /// Batches outside trial windows (`total − trial`): kernel-level
+    /// parallelism the tuner did not directly request.
+    pool_kernel_dispatched: u64,
+    pool_kernel_inline: u64,
+    pool_kernel_tasks: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -150,35 +194,36 @@ where
         cache_hits_warm: stats.cache_hits_warm,
         cache_misses: stats.cache_misses,
         cache_coalesced: stats.cache_coalesced,
-        cache_hit_rate: if requested > 0 {
-            stats.cache_hits as f64 / requested as f64
-        } else {
-            0.0
-        },
+        cache_hit_rate: rate(stats.cache_hits, requested),
         prune_rounds: stats.prune_rounds,
         prune_draws: stats.prune_draws,
-        prune_draws_per_round: if stats.prune_rounds > 0 {
-            stats.prune_draws as f64 / stats.prune_rounds as f64
-        } else {
-            0.0
-        },
+        prune_draws_per_round: rate(stats.prune_draws, stats.prune_rounds),
         prune_max_batch: stats.prune_max_batch,
         merge_rounds: stats.merge_rounds,
         merge_draws: stats.merge_draws,
         merge_max_batch: stats.merge_max_batch,
-        arena_mean_round_width: if arena_rounds > 0 {
-            arena_draws as f64 / arena_rounds as f64
-        } else {
-            0.0
-        },
+        arena_mean_round_width: rate(arena_draws, arena_rounds),
         arena_max_round_width: stats.prune_max_batch.max(stats.merge_max_batch),
         pair_memo_queries: stats.pair_memo_queries,
         pair_memo_hits: stats.pair_memo_hits,
-        pair_memo_hit_rate: if stats.pair_memo_queries > 0 {
-            stats.pair_memo_hits as f64 / stats.pair_memo_queries as f64
-        } else {
-            0.0
-        },
+        pair_memo_hit_rate: rate(stats.pair_memo_hits, stats.pair_memo_queries),
+        pool_total: outcome.pool.total.into(),
+        pool_trial: outcome.pool.trial.into(),
+        pool_kernel_dispatched: outcome
+            .pool
+            .total
+            .dispatched
+            .saturating_sub(outcome.pool.trial.dispatched),
+        pool_kernel_inline: outcome
+            .pool
+            .total
+            .inline
+            .saturating_sub(outcome.pool.trial.inline),
+        pool_kernel_tasks: outcome
+            .pool
+            .total
+            .tasks
+            .saturating_sub(outcome.pool.trial.tasks),
     };
     (outcome, report)
 }
@@ -209,11 +254,19 @@ where
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace requires a path").clone());
     let (kmeans_size, binpack_size) = if smoke { (64, 128) } else { (512, 2048) };
 
     // Spawn the pool's workers before any timed region.
     let _ = available_threads();
+    if trace_path.is_some() {
+        pb_trace::enable();
+    }
 
     let workloads = vec![
         workload("kmeans", Clustering, &[0.05, 0.2], kmeans_size),
@@ -284,6 +337,16 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_tuner.json", &json).expect("write BENCH_tuner.json");
     println!("\nwrote BENCH_tuner.json");
+
+    if let Some(path) = &trace_path {
+        let trace = pb_trace::collect();
+        std::fs::write(path, trace.chrome_json()).expect("write trace file");
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            trace.events.len(),
+            trace.dropped
+        );
+    }
 
     // Gate the arena counters on the workload with real comparator
     // traffic. The pre-arena baseline (PR 4) batched only pruning, at

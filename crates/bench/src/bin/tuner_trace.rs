@@ -1,0 +1,274 @@
+//! Trace inspection: validates and summarizes a Chrome trace-event
+//! file emitted by `tuner_throughput --trace` / `vm_opt --trace`
+//! (the `pb_trace` Chrome exporter).
+//!
+//! Validation (the CI gate): the file must parse as a trace-event
+//! JSON object, every event must carry finite non-negative
+//! timestamps, and the event list must be sorted by start time — the
+//! exporter's contract, and what Perfetto expects.
+//!
+//! Summaries: per-phase pool batch deltas, top-N hottest VM chunks
+//! (by instructions retired, with fused-opcode share), pool
+//! utilization per worker thread, and the arena round-width
+//! histogram.
+//!
+//! Usage: `tuner_trace <trace.json> [--top N] [--require-phases]
+//! [--require-chunks]`
+//!
+//! `--require-phases` fails unless the trace carries per-phase pool
+//! deltas (a tuning-run trace); `--require-chunks` fails unless it
+//! carries a VM chunk profile (a VM workload trace).
+
+use pb_lang::{opcode_is_fused, OPCODE_NAMES};
+use pb_trace::{ChromeEvent, ChromeTrace};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tuner_trace: {msg}");
+    ExitCode::FAILURE
+}
+
+/// The exporter's structural contract, checked event by event.
+fn validate(events: &[ChromeEvent]) -> Result<(), String> {
+    let mut prev_ts = f64::NEG_INFINITY;
+    for (i, e) in events.iter().enumerate() {
+        if e.ph != "X" && e.ph != "i" {
+            return Err(format!(
+                "event {i} ({}): unknown phase type {:?}",
+                e.name, e.ph
+            ));
+        }
+        if !e.ts.is_finite() || e.ts < 0.0 {
+            return Err(format!("event {i} ({}): bad timestamp {}", e.name, e.ts));
+        }
+        if !e.dur.is_finite() || e.dur < 0.0 {
+            return Err(format!("event {i} ({}): bad duration {}", e.name, e.dur));
+        }
+        if e.ts < prev_ts {
+            return Err(format!(
+                "event {i} ({}): timestamps not monotonic ({} after {})",
+                e.name, e.ts, prev_ts
+            ));
+        }
+        prev_ts = e.ts;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut top = 10usize;
+    let mut require_phases = false;
+    let mut require_chunks = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top = n,
+                None => return fail("--top requires a number"),
+            },
+            "--require-phases" => require_phases = true,
+            "--require-chunks" => require_chunks = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return fail(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return fail(
+            "usage: tuner_trace <trace.json> [--top N] [--require-phases] [--require-chunks]",
+        );
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let trace: ChromeTrace = match serde_json::from_str(&text) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("{path} is not a valid Chrome trace: {e:?}")),
+    };
+    if let Err(msg) = validate(&trace.traceEvents) {
+        return fail(&format!("{path}: {msg}"));
+    }
+    let meta = &trace.otherData;
+    if require_phases && meta.phases.is_empty() {
+        return fail(&format!("{path}: no per-phase pool deltas recorded"));
+    }
+    if require_chunks && meta.chunks.is_empty() {
+        return fail(&format!("{path}: no VM chunk profile recorded"));
+    }
+
+    println!(
+        "# {path}: {} events, {} dropped, {} profiled chunks — valid",
+        trace.traceEvents.len(),
+        meta.dropped,
+        meta.chunks.len()
+    );
+
+    // Per-phase pool batch deltas (aggregated by the exporter).
+    if !meta.phases.is_empty() {
+        println!("\n## per-phase pool batch deltas");
+        println!(
+            "{:>14} {:>7} {:>10} {:>10} {:>8} {:>9} {:>9}",
+            "phase", "spans", "wall ms", "dispatched", "inline", "tasks", "max batch"
+        );
+        for p in &meta.phases {
+            println!(
+                "{:>14} {:>7} {:>10.2} {:>10} {:>8} {:>9} {:>9}",
+                p.phase,
+                p.count,
+                p.wall_ns as f64 / 1e6,
+                p.dispatched,
+                p.inline,
+                p.tasks,
+                p.max_batch
+            );
+        }
+    }
+
+    // Hottest chunks by instructions retired.
+    if !meta.chunks.is_empty() {
+        let mut chunks = meta.chunks.clone();
+        chunks.sort_by(|a, b| {
+            b.instructions()
+                .cmp(&a.instructions())
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        println!("\n## hottest chunks (top {top})");
+        println!(
+            "{:>24} {:>12} {:>14} {:>12} {:>8}  top opcodes",
+            "chunk", "executions", "instructions", "instr/exec", "fused"
+        );
+        for c in chunks.iter().take(top) {
+            let instr = c.instructions();
+            let fused: u64 = c
+                .opcodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| opcode_is_fused(i))
+                .map(|(_, &n)| n)
+                .sum();
+            let mut by_count: Vec<(usize, u64)> = c
+                .opcodes
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let names: Vec<String> = by_count
+                .iter()
+                .take(3)
+                .map(|&(i, n)| {
+                    let name = OPCODE_NAMES.get(i).copied().unwrap_or("?");
+                    format!("{name}:{n}")
+                })
+                .collect();
+            println!(
+                "{:>24} {:>12} {:>14} {:>12.1} {:>7.1}%  {}",
+                c.label,
+                c.executions,
+                instr,
+                if c.executions > 0 {
+                    instr as f64 / c.executions as f64
+                } else {
+                    0.0
+                },
+                if instr > 0 {
+                    100.0 * fused as f64 / instr as f64
+                } else {
+                    0.0
+                },
+                names.join(" ")
+            );
+        }
+    }
+
+    // Pool utilization: per-thread busy time from executed job spans.
+    let jobs: Vec<&ChromeEvent> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.name == "pool_job")
+        .collect();
+    if !jobs.is_empty() {
+        let span_start = trace
+            .traceEvents
+            .iter()
+            .map(|e| e.ts)
+            .fold(f64::INFINITY, f64::min);
+        let span_end = trace
+            .traceEvents
+            .iter()
+            .map(|e| e.ts + e.dur)
+            .fold(0.0f64, f64::max);
+        let span = (span_end - span_start).max(1e-9);
+        let steals = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.name == "pool_steal")
+            .count();
+        let mut per_tid: BTreeMap<u32, (u64, f64)> = BTreeMap::new();
+        for j in &jobs {
+            let slot = per_tid.entry(j.tid).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += j.dur;
+        }
+        println!(
+            "\n## pool utilization ({} jobs, {steals} steals, {:.1} ms trace span)",
+            jobs.len(),
+            span / 1e3
+        );
+        println!(
+            "{:>8} {:>8} {:>10} {:>6}",
+            "thread", "jobs", "busy ms", "util"
+        );
+        for (tid, (count, busy)) in &per_tid {
+            println!(
+                "{:>8} {:>8} {:>10.2} {:>5.1}%",
+                tid,
+                count,
+                busy / 1e3,
+                100.0 * busy / span
+            );
+        }
+    }
+
+    // Arena round widths (planned draws per batched round).
+    let widths: Vec<u64> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.name == "arena_round")
+        .map(|e| e.args.a)
+        .collect();
+    if !widths.is_empty() {
+        let mut buckets: BTreeMap<u32, u64> = BTreeMap::new();
+        for &w in &widths {
+            // Power-of-two buckets: 1, 2-3, 4-7, 8-15, …
+            buckets
+                .entry(u64::BITS - w.max(1).leading_zeros())
+                .and_modify(|n| *n += 1)
+                .or_insert(1);
+        }
+        let total: u64 = widths.iter().sum();
+        println!(
+            "\n## arena round widths ({} rounds, {} draws, mean {:.2})",
+            widths.len(),
+            total,
+            total as f64 / widths.len() as f64
+        );
+        for (bucket, count) in &buckets {
+            let lo = 1u64 << (bucket - 1);
+            let hi = (1u64 << bucket) - 1;
+            let label = if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}-{hi}")
+            };
+            println!("{label:>10} draws: {count:>6} rounds");
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -12,10 +12,13 @@
 //! optimized VM fails to at least match the unoptimized VM — the CI
 //! smoke regression gate.
 //!
-//! Usage: `vm_opt [--smoke]`
+//! Usage: `vm_opt [--smoke] [--trace <path>]`
 //!
 //! `--smoke` shrinks the measured run counts for CI; the JSON is
-//! still written.
+//! still written. `--trace <path>` turns on `pb_trace` (including the
+//! VM's per-chunk opcode profiling) and writes a Chrome trace-event
+//! file whose metadata carries the chunk execution profile; outputs
+//! stay bit-identical, only the wall times carry the profiling cost.
 
 use pb_lang::interp::Value;
 use pb_lang::{check_program, extract_schema, parse_program, Interpreter, OptLevel};
@@ -225,7 +228,15 @@ fn run_workload(w: &Workload, runs: u64) -> WorkloadReport {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| args.get(i + 1).expect("--trace requires a path").clone());
+    if trace_path.is_some() {
+        pb_trace::enable();
+    }
     let runs: u64 = if smoke { 60 } else { 600 };
 
     let workloads = [
@@ -299,6 +310,16 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_vm.json", &json).expect("write BENCH_vm.json");
     println!("\nwrote BENCH_vm.json");
+
+    if let Some(path) = &trace_path {
+        let trace = pb_trace::collect();
+        std::fs::write(path, trace.chrome_json()).expect("write trace file");
+        println!(
+            "wrote {path} ({} events, {} profiled chunks)",
+            trace.events.len(),
+            trace.chunks.len()
+        );
+    }
 
     // Regression gate. Smoke (CI) runs only require the optimized VM
     // to match the baseline — shared runners are too noisy for more.

@@ -482,9 +482,121 @@ pub enum Instr {
     Nop,
 }
 
+/// Number of distinct opcodes ([`Instr`] variants). Profiling counter
+/// tables are sized to this.
+pub const N_OPCODES: usize = 41;
+
+/// Stable lower-snake names for opcode indices, in declaration order
+/// (`OPCODE_NAMES[i.opcode_index()]` names instruction `i`).
+pub const OPCODE_NAMES: [&str; N_OPCODES] = [
+    "const",
+    "move",
+    "load_slot_num",
+    "store_slot_num",
+    "copy_slot",
+    "load_param",
+    "bin",
+    "neg",
+    "not",
+    "test_non_zero",
+    "math1",
+    "math2",
+    "rand",
+    "shape",
+    "load_idx1",
+    "load_idx2",
+    "store_idx1",
+    "store_idx2",
+    "jump",
+    "jump_if_zero",
+    "jump_if_non_zero",
+    "jump_if_ge",
+    "add_imm",
+    "trunc_pair",
+    "charge",
+    "while_guard",
+    "for_enough_prep",
+    "choice",
+    "switch",
+    "call_host",
+    "call_transform",
+    "return",
+    "bin_ri",
+    "bin_ir",
+    "jump_cmp",
+    "jump_cmp_imm",
+    "slot_upd_imm",
+    "slot_upd_reg",
+    "bin_store_idx1",
+    "add_imm_jump",
+    "nop",
+];
+
+/// Whether opcode index `idx` is a fused superinstruction introduced
+/// by the optimizer ([`crate::opt`]): profiling counts of these are
+/// the VM's "fusion hits".
+pub fn opcode_is_fused(idx: usize) -> bool {
+    const BIN_RI: usize = 32;
+    const ADD_IMM_JUMP: usize = 39;
+    (BIN_RI..=ADD_IMM_JUMP).contains(&idx)
+}
+
+impl Instr {
+    /// Dense opcode index in declaration order, `0..N_OPCODES`. Used
+    /// by the VM's profiling hooks to index pre-sized counter tables.
+    pub fn opcode_index(&self) -> usize {
+        match self {
+            Instr::Const { .. } => 0,
+            Instr::Move { .. } => 1,
+            Instr::LoadSlotNum { .. } => 2,
+            Instr::StoreSlotNum { .. } => 3,
+            Instr::CopySlot { .. } => 4,
+            Instr::LoadParam { .. } => 5,
+            Instr::Bin { .. } => 6,
+            Instr::Neg { .. } => 7,
+            Instr::Not { .. } => 8,
+            Instr::TestNonZero { .. } => 9,
+            Instr::Math1 { .. } => 10,
+            Instr::Math2 { .. } => 11,
+            Instr::Rand { .. } => 12,
+            Instr::Shape { .. } => 13,
+            Instr::LoadIdx1 { .. } => 14,
+            Instr::LoadIdx2 { .. } => 15,
+            Instr::StoreIdx1 { .. } => 16,
+            Instr::StoreIdx2 { .. } => 17,
+            Instr::Jump { .. } => 18,
+            Instr::JumpIfZero { .. } => 19,
+            Instr::JumpIfNonZero { .. } => 20,
+            Instr::JumpIfGe { .. } => 21,
+            Instr::AddImm { .. } => 22,
+            Instr::TruncPair { .. } => 23,
+            Instr::Charge { .. } => 24,
+            Instr::WhileGuard { .. } => 25,
+            Instr::ForEnoughPrep { .. } => 26,
+            Instr::Choice { .. } => 27,
+            Instr::Switch { .. } => 28,
+            Instr::CallHost { .. } => 29,
+            Instr::CallTransform { .. } => 30,
+            Instr::Return => 31,
+            Instr::BinRI { .. } => 32,
+            Instr::BinIR { .. } => 33,
+            Instr::JumpCmp { .. } => 34,
+            Instr::JumpCmpImm { .. } => 35,
+            Instr::SlotUpdImm { .. } => 36,
+            Instr::SlotUpdReg { .. } => 37,
+            Instr::BinStoreIdx1 { .. } => 38,
+            Instr::AddImmJump { .. } => 39,
+            Instr::Nop => 40,
+        }
+    }
+}
+
 /// A compiled rule body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Chunk {
+    /// `transform::rN` — identifies the rule this chunk compiles, for
+    /// profiling attribution (chunks have no other back-pointer).
+    pub label: String,
     /// The instructions.
     pub code: Vec<Instr>,
     /// Interned names (tunables, host functions, callees).
@@ -685,7 +797,17 @@ impl<'a> Compiler<'a> {
         self.block(&rule.body)?;
         let input_slots = rule.inputs.iter().map(|b| self.slots[&b.alias]).collect();
         let output_slots = rule.outputs.iter().map(|b| self.slots[&b.alias]).collect();
+        let rule_idx = self
+            .transform
+            .rules
+            .iter()
+            .position(|r| std::ptr::eq(r, rule));
+        let label = match rule_idx {
+            Some(i) => format!("{}::r{i}", self.transform.name),
+            None => format!("{}::r?", self.transform.name),
+        };
         Ok(Chunk {
+            label,
             code: self.code,
             names: self.names,
             n_regs: self.reg_max,

@@ -74,7 +74,7 @@ pub mod transform;
 pub mod vm;
 
 pub use ast::Program;
-pub use compile::{compile_program, CompiledProgram};
+pub use compile::{compile_program, opcode_is_fused, CompiledProgram, N_OPCODES, OPCODE_NAMES};
 pub use interp::{Dims, Interpreter, Value};
 pub use opt::OptLevel;
 pub use parser::{parse_program, ParseError};

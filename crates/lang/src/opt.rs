@@ -96,6 +96,7 @@ pub fn optimize(chunk: &Chunk, level: OptLevel) -> Chunk {
 
     let (code, n_regs) = renumber_regs(code);
     Chunk {
+        label: chunk.label.clone(),
         code,
         names: chunk.names.clone(),
         n_regs,

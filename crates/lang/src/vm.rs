@@ -367,7 +367,12 @@ fn bind_exec_writeback(
     Ok(())
 }
 
-/// The dispatch loop.
+/// Dispatch entry point: profiling off takes the unchanged hot loop
+/// (monomorphized without the counting code — zero overhead); with
+/// profiling on, per-opcode executions count into a stack-local table
+/// that merges into this thread's chunk profile *after* the loop
+/// returns, so `CallTransform` recursion (which re-enters `exec` on
+/// this thread) never holds the profile lock during dispatch.
 fn exec(
     interp: &Interpreter,
     chunk: &Chunk,
@@ -375,6 +380,26 @@ fn exec(
     frame: &mut VmFrame,
     ctx: &mut ExecCtx<'_>,
     depth: usize,
+) -> Result<(), RuntimeError> {
+    if pb_trace::vm_profiling() {
+        let mut counts = [0u64; crate::compile::N_OPCODES];
+        let result = exec_loop::<true>(interp, chunk, resolved, frame, ctx, depth, &mut counts);
+        pb_trace::record_chunk(&chunk.label, &counts);
+        result
+    } else {
+        exec_loop::<false>(interp, chunk, resolved, frame, ctx, depth, &mut [])
+    }
+}
+
+/// The dispatch loop.
+fn exec_loop<const PROFILE: bool>(
+    interp: &Interpreter,
+    chunk: &Chunk,
+    resolved: &[ResolvedName],
+    frame: &mut VmFrame,
+    ctx: &mut ExecCtx<'_>,
+    depth: usize,
+    counts: &mut [u64],
 ) -> Result<(), RuntimeError> {
     let n_regs = chunk.n_regs as usize;
     let n_slots = chunk.n_slots as usize;
@@ -389,6 +414,9 @@ fn exec(
     let names = &chunk.names;
     let mut pc = 0usize;
     while pc < code.len() {
+        if PROFILE {
+            counts[code[pc].opcode_index()] += 1;
+        }
         match &code[pc] {
             Instr::Const { dst, val } => regs[*dst as usize] = *val,
             Instr::Move { dst, src } => regs[*dst as usize] = regs[*src as usize],

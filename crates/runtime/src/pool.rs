@@ -35,6 +35,7 @@
 //! autotuner relies on.
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use pb_trace::{Event, EventKind};
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -107,6 +108,10 @@ struct BatchState {
     /// Signals the submitter when `remaining` reaches zero.
     done_lock: Mutex<()>,
     done: Condvar,
+    /// Trace sequence of the batch's `pool_batch` span, or 0 when the
+    /// batch is untraced. Jobs key their `pool_job`/`pool_steal`
+    /// events under it so the merged log nests them deterministically.
+    trace_seq: u64,
 }
 
 // SAFETY: see the field docs — the raw pointers are only dereferenced
@@ -117,6 +122,11 @@ unsafe impl Sync for BatchState {}
 impl BatchState {
     fn execute(&self, start: usize, end: usize) {
         if !self.poisoned.load(Ordering::Relaxed) {
+            let job_start = if self.trace_seq != 0 {
+                pb_trace::now_ns()
+            } else {
+                0
+            };
             let _depth = DepthGuard::enter();
             // SAFETY: the submitter keeps the closure alive until the
             // batch completes (it blocks in `run_indexed`).
@@ -133,6 +143,15 @@ impl BatchState {
                 self.poisoned.store(true, Ordering::Relaxed);
                 let mut slot = self.panic.lock().expect("panic slot poisoned");
                 slot.get_or_insert(payload);
+            }
+            if self.trace_seq != 0 {
+                pb_trace::record(Event::span(
+                    EventKind::PoolJob,
+                    self.trace_seq,
+                    start as u64,
+                    job_start,
+                    [start as u64, end as u64, 0, 0],
+                ));
             }
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -169,6 +188,17 @@ impl Shared {
             }
             for stealer in &self.stealers {
                 if let Steal::Success(job) = stealer.steal() {
+                    // SAFETY: the batch state outlives its jobs (the
+                    // submitter blocks until the batch drains).
+                    let seq = unsafe { (*job.batch).trace_seq };
+                    if seq != 0 {
+                        pb_trace::record(Event::instant(
+                            EventKind::PoolSteal,
+                            seq,
+                            job.start as u64,
+                            [job.start as u64, job.end as u64, 0, 0],
+                        ));
+                    }
                     return Some(job);
                 }
             }
@@ -198,6 +228,34 @@ pub struct PoolBatchStats {
     pub tasks: u64,
     /// Largest single batch (tasks).
     pub max_batch: u64,
+}
+
+impl PoolBatchStats {
+    /// The traffic between an `earlier` snapshot of the same pool's
+    /// stats and this one: counter fields subtract; `max_batch` — a
+    /// running maximum, from which a windowed maximum is not
+    /// recoverable — reports the new high-water mark if it rose during
+    /// the window and 0 otherwise.
+    pub fn delta_since(&self, earlier: &PoolBatchStats) -> PoolBatchStats {
+        PoolBatchStats {
+            dispatched: self.dispatched.saturating_sub(earlier.dispatched),
+            inline: self.inline.saturating_sub(earlier.inline),
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            max_batch: if self.max_batch > earlier.max_batch {
+                self.max_batch
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Folds another delta into this one (`max_batch` takes the max).
+    pub fn absorb(&mut self, other: &PoolBatchStats) {
+        self.dispatched += other.dispatched;
+        self.inline += other.inline;
+        self.tasks += other.tasks;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
 }
 
 /// A work-stealing thread pool (see the module docs).
@@ -341,6 +399,12 @@ impl Pool {
             }
             return;
         }
+        let tracing = pb_trace::enabled();
+        let (trace_seq, batch_start) = if tracing {
+            (pb_trace::next_seq(), pb_trace::now_ns())
+        } else {
+            (0, 0)
+        };
         // Top-level degenerate batches run inline *without* marking
         // task depth: their tasks occupy no worker, so parallelism
         // nested inside them should still fan out across the idle pool.
@@ -348,6 +412,15 @@ impl Pool {
             self.count_batch(count, false);
             for i in 0..count {
                 task(i);
+            }
+            if tracing {
+                pb_trace::record(Event::span(
+                    EventKind::PoolBatch,
+                    trace_seq,
+                    0,
+                    batch_start,
+                    [count as u64, 1, 0, 0],
+                ));
             }
             return;
         }
@@ -371,6 +444,7 @@ impl Pool {
             panic: Mutex::new(None),
             done_lock: Mutex::new(()),
             done: Condvar::new(),
+            trace_seq,
         };
 
         let mut start = 0;
@@ -416,6 +490,16 @@ impl Pool {
                     }
                 }
             }
+        }
+
+        if tracing {
+            pb_trace::record(Event::span(
+                EventKind::PoolBatch,
+                trace_seq,
+                0,
+                batch_start,
+                [count as u64, chunks as u64, 1, 0],
+            ));
         }
 
         let payload = state.panic.lock().expect("panic slot poisoned").take();
@@ -620,6 +704,27 @@ mod tests {
         assert_eq!(stats.inline, 1, "only the degenerate top-level batch");
         assert_eq!(stats.tasks, 64 + 1 + 2);
         assert_eq!(stats.max_batch, 64);
+    }
+
+    #[test]
+    fn batch_stats_delta_since_windows_the_counters() {
+        let pool = Pool::with_threads(4);
+        pool.run_indexed(64, |_| {});
+        let snap = pool.batch_stats();
+        pool.run_indexed(1, |_| {});
+        pool.run_indexed(32, |_| {});
+        let delta = pool.batch_stats().delta_since(&snap);
+        assert_eq!(delta.dispatched, 1);
+        assert_eq!(delta.inline, 1);
+        assert_eq!(delta.tasks, 33);
+        // max_batch did not rise past the earlier snapshot's 64, so the
+        // window reports no new high-water mark.
+        assert_eq!(delta.max_batch, 0);
+        let mut acc = PoolBatchStats::default();
+        acc.absorb(&delta);
+        acc.absorb(&snap.delta_since(&PoolBatchStats::default()));
+        assert_eq!(acc.tasks, 64 + 33);
+        assert_eq!(acc.max_batch, 64);
     }
 
     #[test]

@@ -25,9 +25,11 @@
 //! single-trial fallback path.
 
 use pb_config::{Config, Value};
-use pb_runtime::parallel::parallel_map;
+use pb_runtime::parallel::parallel_gen;
+use pb_runtime::pool::{Pool, PoolBatchStats};
 use pb_runtime::{TraceNode, TrialOutcome, TrialRunner};
 use pb_stats::OnlineStats;
+use pb_trace::{Event, EventKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::Path;
@@ -241,6 +243,13 @@ pub struct Evaluator<'a> {
     runner: &'a dyn TrialRunner,
     mode: EvalMode,
     cache: Option<TrialCache>,
+    /// Pool batch traffic attributable to trial execution: the global
+    /// pool's stats delta across every `execute`/single-trial window.
+    /// Only the coordinator thread executes trials' windows, so the
+    /// mutex is uncontended; in sequential mode the window also
+    /// captures kernel batches the trials spawned at top level (the
+    /// honest semantic: everything the pool did while trials ran).
+    pool_trial: Mutex<PoolBatchStats>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -254,12 +263,21 @@ impl<'a> Evaluator<'a> {
             runner,
             mode,
             cache: memoize.then(TrialCache::default),
+            pool_trial: Mutex::new(PoolBatchStats::default()),
         }
     }
 
     /// The active execution mode.
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// Accumulated pool batch traffic of this evaluator's trial
+    /// execution windows (see the field docs). Subtracting it from a
+    /// whole-run pool delta separates trial batches from the tuner's
+    /// own kernel batches.
+    pub fn pool_trial_stats(&self) -> PoolBatchStats {
+        *self.pool_trial.lock().expect("pool stats poisoned")
     }
 
     /// Requests served from the cache without executing a trial
@@ -302,8 +320,24 @@ impl<'a> Evaluator<'a> {
     /// sequential mode. Identical results and identical final cache
     /// state either way.
     pub fn run_batch(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
+        let tracing = pb_trace::enabled();
+        let (batch_seq, batch_start) = if tracing {
+            (pb_trace::next_seq(), pb_trace::now_ns())
+        } else {
+            (0, 0)
+        };
         let Some(cache) = &self.cache else {
-            return self.execute(requests);
+            let outcomes = self.execute(requests);
+            if tracing {
+                pb_trace::record(Event::span(
+                    EventKind::EvalBatch,
+                    batch_seq,
+                    0,
+                    batch_start,
+                    [requests.len() as u64, requests.len() as u64, 0, 0],
+                ));
+            }
+            return outcomes;
         };
 
         let keys: Vec<CacheKey> = requests
@@ -352,6 +386,20 @@ impl<'a> Evaluator<'a> {
             .fetch_add(miss_requests.len() as u64, Ordering::Relaxed);
 
         let executed = self.execute(&miss_requests);
+        if tracing {
+            pb_trace::record(Event::span(
+                EventKind::EvalBatch,
+                batch_seq,
+                0,
+                batch_start,
+                [
+                    requests.len() as u64,
+                    miss_requests.len() as u64,
+                    hits + hits_warm,
+                    coalesced,
+                ],
+            ));
+        }
         {
             let mut map = cache.map.lock().expect("trial cache poisoned");
             for (key, &mi) in &miss_of_key {
@@ -373,17 +421,87 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Executes every request (no cache involvement), parallel or
-    /// sequential per the mode.
+    /// sequential per the mode, windowing the pool's batch stats into
+    /// [`Evaluator::pool_trial_stats`].
     fn execute(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
-        match self.mode {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let before = Pool::global().batch_stats();
+        let trace_seq = if pb_trace::enabled() {
+            pb_trace::next_seq()
+        } else {
+            0
+        };
+        let outcomes = match self.mode {
             EvalMode::Sequential => requests
                 .iter()
-                .map(|r| self.runner.run_trial(r.config(), r.n, r.seed))
+                .enumerate()
+                .map(|(i, r)| self.run_one(trace_seq, i, r))
                 .collect(),
-            EvalMode::Parallel => parallel_map(requests, 2, |r| {
-                self.runner.run_trial(r.config(), r.n, r.seed)
+            // `parallel_gen` (not `parallel_map`) so each trial knows
+            // its request index — the deterministic `idx` of its trace
+            // event. Behaviorally identical: `parallel_map` is this
+            // exact call.
+            EvalMode::Parallel => parallel_gen(requests.len(), 2, |i| {
+                self.run_one(trace_seq, i, &requests[i])
             }),
+        };
+        let delta = Pool::global().batch_stats().delta_since(&before);
+        self.pool_trial
+            .lock()
+            .expect("pool stats poisoned")
+            .absorb(&delta);
+        outcomes
+    }
+
+    /// Executes one demand-driven trial on the calling thread,
+    /// windowing pool stats and tracing it like a one-request batch.
+    fn run_single(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
+        let before = Pool::global().batch_stats();
+        let trace_seq = if pb_trace::enabled() {
+            pb_trace::next_seq()
+        } else {
+            0
+        };
+        let t0 = if trace_seq != 0 {
+            pb_trace::now_ns()
+        } else {
+            0
+        };
+        let outcome = self.runner.run_trial(config, n, seed);
+        if trace_seq != 0 {
+            pb_trace::record(Event::span(
+                EventKind::Trial,
+                trace_seq,
+                0,
+                t0,
+                [n, seed, outcome.virtual_cost as u64, 0],
+            ));
         }
+        let delta = Pool::global().batch_stats().delta_since(&before);
+        self.pool_trial
+            .lock()
+            .expect("pool stats poisoned")
+            .absorb(&delta);
+        outcome
+    }
+
+    /// Runs one trial of a batch, tracing it when `trace_seq != 0`.
+    fn run_one(&self, trace_seq: u64, index: usize, r: &TrialRequest) -> TrialOutcome {
+        if trace_seq == 0 {
+            return self.runner.run_trial(r.config(), r.n, r.seed);
+        }
+        let t0 = pb_trace::now_ns();
+        let outcome = self.runner.run_trial(r.config(), r.n, r.seed);
+        pb_trace::record(Event::span(
+            EventKind::Trial,
+            trace_seq,
+            index as u64,
+            t0,
+            [r.n, r.seed, outcome.virtual_cost as u64, 0],
+        ));
+        outcome
     }
 
     /// Preloads the trial memo from a cross-run sidecar written by
@@ -533,7 +651,7 @@ impl TrialRunner for Evaluator<'_> {
     /// calling thread otherwise.
     fn run_trial(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
         let Some(cache) = &self.cache else {
-            return self.runner.run_trial(config, n, seed);
+            return self.run_single(config, n, seed);
         };
         let key = (config_fingerprint(config), n, seed);
         {
@@ -544,7 +662,7 @@ impl TrialRunner for Evaluator<'_> {
             }
         }
         cache.misses.fetch_add(1, Ordering::Relaxed);
-        let outcome = self.runner.run_trial(config, n, seed);
+        let outcome = self.run_single(config, n, seed);
         cache.map.lock().expect("trial cache poisoned").insert(
             key,
             CachedTrial {

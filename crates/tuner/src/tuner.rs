@@ -23,8 +23,10 @@ use crate::exec::{EvalMode, Evaluator};
 use crate::mutators::MutatorPool;
 use crate::population::Population;
 use pb_config::{AccuracyBins, Config, Schema, TunableKind, Value};
+use pb_runtime::pool::{Pool, PoolBatchStats};
 use pb_runtime::{TrialOutcome, TrialRunner, TunedEntry, TunedProgram};
 use pb_stats::{Comparator, ComparatorConfig};
+use pb_trace::{Event, EventKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -209,6 +211,24 @@ pub struct TunerStats {
     pub pair_memo_hits: u64,
 }
 
+/// Work-stealing-pool traffic windowed to one tuning run.
+///
+/// Kept out of [`TunerStats`] deliberately: sequential and parallel
+/// runs of the same seed make identical tuner decisions but different
+/// pool traffic, and `TunerStats` equality is the determinism
+/// contract (`tests/parallel_determinism.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunPoolStats {
+    /// Every batch the global pool ran during the tuning run,
+    /// including kernel-level batches spawned inside trial executions.
+    pub total: PoolBatchStats,
+    /// Batches the pool ran while trial batches were executing — the
+    /// evaluator's windows around [`Evaluator`] trial execution. The
+    /// remainder (`total - trial`) is kernel traffic outside trial
+    /// windows.
+    pub trial: PoolBatchStats,
+}
+
 /// A tuned program plus the run's statistics and frontier summary.
 #[derive(Debug)]
 pub struct TuningOutcome {
@@ -218,6 +238,49 @@ pub struct TuningOutcome {
     pub stats: TunerStats,
     /// Population size at the end of training.
     pub final_population: usize,
+    /// Pool batch traffic windowed to this run (not part of the
+    /// determinism contract — see [`RunPoolStats`]).
+    pub pool: RunPoolStats,
+}
+
+/// An in-flight tracing span around one tuner phase: captures the
+/// sequence number, start time, and a pool-stats snapshot at `begin`,
+/// and records the span — with the phase's pool batch delta as its
+/// args — at `end`. `None` when tracing is disabled, so the off path
+/// is a single branch.
+struct PhaseSpan {
+    kind: EventKind,
+    seq: u64,
+    idx: u64,
+    start_ns: u64,
+    pool_before: PoolBatchStats,
+}
+
+impl PhaseSpan {
+    fn begin(kind: EventKind, idx: u64) -> Option<PhaseSpan> {
+        if !pb_trace::enabled() {
+            return None;
+        }
+        Some(PhaseSpan {
+            kind,
+            seq: pb_trace::next_seq(),
+            idx,
+            start_ns: pb_trace::now_ns(),
+            pool_before: Pool::global().batch_stats(),
+        })
+    }
+
+    fn end(span: Option<PhaseSpan>) {
+        let Some(span) = span else { return };
+        let delta = Pool::global().batch_stats().delta_since(&span.pool_before);
+        pb_trace::record(Event::span(
+            span.kind,
+            span.seq,
+            span.idx,
+            span.start_ns,
+            [delta.dispatched, delta.inline, delta.tasks, delta.max_batch],
+        ));
+    }
 }
 
 /// Wraps a [`TrialRunner`] to count trial executions.
@@ -340,6 +403,13 @@ impl<'a> Autotuner<'a> {
         let comparator = Comparator::new(self.options.comparator);
         let mut rng = SmallRng::seed_from_u64(self.options.seed);
         let mut stats = TunerStats::default();
+        let pool_at_start = Pool::global().batch_stats();
+        let run_tracing = pb_trace::enabled();
+        let (run_seq, run_start) = if run_tracing {
+            (pb_trace::next_seq(), pb_trace::now_ns())
+        } else {
+            (0, 0)
+        };
         let mut next_id: u64 = 0;
         let mut alloc_id = || {
             let id = next_id;
@@ -367,8 +437,11 @@ impl<'a> Autotuner<'a> {
         }
 
         let sizes = self.options.size_schedule();
-        for &n in &sizes {
+        for (gen_idx, &n) in sizes.iter().enumerate() {
+            let gen_span = PhaseSpan::begin(EventKind::Generation, gen_idx as u64);
+            let span = PhaseSpan::begin(EventKind::PhaseTest, n);
             pop.test_all(&evaluator, n, self.options.min_trials);
+            PhaseSpan::end(span);
             for _round in 0..self.options.rounds_per_size {
                 self.random_mutation(
                     &evaluator,
@@ -383,6 +456,7 @@ impl<'a> Autotuner<'a> {
                 );
                 if self.targets_not_reached(&pop, n) {
                     stats.guided_runs += 1;
+                    let span = PhaseSpan::begin(EventKind::PhaseGuided, n);
                     self.guided_mutation(
                         &evaluator,
                         &schema,
@@ -391,7 +465,9 @@ impl<'a> Autotuner<'a> {
                         &mut stats,
                         &mut alloc_id,
                     );
+                    PhaseSpan::end(span);
                 }
+                let span = PhaseSpan::begin(EventKind::PhasePrune, n);
                 let report = pop.prune(
                     n,
                     &self.bins,
@@ -399,12 +475,24 @@ impl<'a> Autotuner<'a> {
                     &evaluator,
                     &comparator,
                 );
+                PhaseSpan::end(span);
                 stats.pruned += report.removed;
                 stats.prune_rounds += report.arena.rounds;
                 stats.prune_draws += report.arena.draws;
                 stats.prune_max_batch = stats.prune_max_batch.max(report.arena.max_round);
                 stats.pair_memo_queries += report.arena.memo_queries;
                 stats.pair_memo_hits += report.arena.memo_hits;
+            }
+            if let Some(g) = gen_span {
+                // A generation's headline arg is its input size.
+                let delta = Pool::global().batch_stats().delta_since(&g.pool_before);
+                pb_trace::record(Event::span(
+                    EventKind::Generation,
+                    g.seq,
+                    g.idx,
+                    g.start_ns,
+                    [n, delta.dispatched, delta.inline, delta.tasks],
+                ));
             }
         }
 
@@ -454,10 +542,24 @@ impl<'a> Autotuner<'a> {
             // fail the tuning run that produced a valid program.
             let _ = evaluator.save_sidecar(path);
         }
+        let pool_delta = Pool::global().batch_stats().delta_since(&pool_at_start);
+        if run_tracing {
+            pb_trace::record(Event::span(
+                EventKind::TuningRun,
+                run_seq,
+                0,
+                run_start,
+                [self.options.seed, sizes.len() as u64, stats.trials, 0],
+            ));
+        }
         Ok(TuningOutcome {
             program: TunedProgram::new(schema.name(), self.bins, entries),
             stats,
             final_population: pop.len(),
+            pool: RunPoolStats {
+                total: pool_delta,
+                trial: evaluator.pool_trial_stats(),
+            },
         })
     }
 
@@ -512,6 +614,7 @@ impl<'a> Autotuner<'a> {
         // Phase 1 — plan. Parents are drawn from the round-start
         // population (accepted children join the parent pool next
         // round).
+        let span = PhaseSpan::begin(EventKind::PhaseMutate, n);
         let parent_count = pop.len();
         let mut planned: Vec<(usize, Candidate)> = Vec::new();
         for _ in 0..self.options.mutation_attempts {
@@ -543,6 +646,7 @@ impl<'a> Autotuner<'a> {
             }
             offset += count;
         }
+        PhaseSpan::end(span);
 
         // Phase 3 — merge through the arena. All children join the
         // population at fixed indices after the parents; rejected ones
@@ -552,6 +656,7 @@ impl<'a> Autotuner<'a> {
             stats.children_created += 1;
             pop.add(child);
         }
+        let span = PhaseSpan::begin(EventKind::PhaseMerge, n);
         let (accepted, report) = pop.merge_children(
             &parent_of,
             n,
@@ -559,6 +664,7 @@ impl<'a> Autotuner<'a> {
             comparator,
             self.options.comparator.alpha,
         );
+        PhaseSpan::end(span);
         stats.children_accepted += accepted.iter().filter(|&&a| a).count() as u64;
         pop.retain_indexed(|idx| idx < parent_count || accepted[idx - parent_count]);
         stats.merge_rounds += report.rounds;

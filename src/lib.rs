@@ -17,6 +17,8 @@
 //! * [`tuner`] — the accuracy-aware genetic autotuner (§5).
 //! * [`runtime`] — execution of tuned transforms, accuracy guarantees
 //!   (§3.3).
+//! * [`trace`] — zero-perturbation structured tracing across all of
+//!   the above, with Perfetto-loadable export.
 //! * [`linalg`] / [`multigrid`] — the numeric substrates the benchmarks
 //!   need (the paper used LAPACK; we implement the routines from
 //!   scratch).
@@ -44,4 +46,5 @@ pub use pb_linalg as linalg;
 pub use pb_multigrid as multigrid;
 pub use pb_runtime as runtime;
 pub use pb_stats as stats;
+pub use pb_trace as trace;
 pub use pb_tuner as tuner;

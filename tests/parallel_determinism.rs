@@ -152,6 +152,46 @@ fn merging_and_pair_memo_are_bit_identical_and_batched() {
     }
 }
 
+/// Tracing must be pure observation (the `pb_trace` contract): with
+/// recording enabled, every tuner decision, every statistic, and
+/// every counter must be bitwise what it is with tracing disabled —
+/// in both evaluator modes. Only the event log may differ.
+#[test]
+fn tracing_does_not_perturb_tuner_decisions() {
+    use petabricks::trace::EventKind;
+    force_parallel_pool();
+    let bins = vec![ratio_to_accuracy(1.5), ratio_to_accuracy(1.1)];
+    let seed = 0x17ACE;
+    let off_seq = tune(BinPacking, bins.clone(), 128, seed, false);
+    let off_par = tune(BinPacking, bins.clone(), 128, seed, true);
+    assert_bit_identical(&off_seq, &off_par);
+
+    petabricks::trace::enable();
+    let on_seq = tune(BinPacking, bins.clone(), 128, seed, false);
+    let on_par = tune(BinPacking, bins, 128, seed, true);
+    let trace = petabricks::trace::collect();
+    petabricks::trace::disable();
+
+    assert_bit_identical(&off_seq, &on_seq);
+    assert_bit_identical(&off_seq, &on_par);
+    // The traced runs really recorded the tuner hierarchy (one
+    // tuning-run span each) — tracing was on, not silently off.
+    let runs = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::TuningRun)
+        .count();
+    assert!(
+        runs >= 2,
+        "expected >= 2 tuning_run spans, got {runs} of {} events",
+        trace.events.len()
+    );
+    assert!(
+        trace.events.iter().any(|e| e.kind == EventKind::Trial),
+        "traced runs must record trial spans"
+    );
+}
+
 #[test]
 fn memoization_does_not_change_results_only_work() {
     force_parallel_pool();

@@ -7,7 +7,9 @@
 //! The harness measures total allocations for runs whose inner loops
 //! differ by ~256x in trip count and asserts the totals match (small
 //! slack for test-harness noise): any per-iteration allocation in the
-//! dispatch loop would show up tens of thousands of times over.
+//! dispatch loop would show up tens of thousands of times over. The
+//! same bound is then re-pinned with `pb_trace` VM chunk profiling
+//! enabled — observability must not cost the hot path its guarantee.
 //!
 //! This file holds exactly one test so no concurrent test thread
 //! pollutes the global allocation counter.
@@ -115,6 +117,52 @@ fn dispatch_loop_is_allocation_free_in_steady_state() {
         long_allocs <= short_allocs + 64,
         "dispatch loop allocates per iteration: {short_allocs} allocs for \
          {RUNS}x{SHORT} iterations vs {long_allocs} for {RUNS}x{LONG}"
+    );
+
+    // With VM chunk profiling enabled the contract must hold
+    // unchanged: the per-chunk counters live on the stack during the
+    // dispatch loop and merge into an already-populated table after
+    // it returns, so steady state stays allocation-free. Warm first —
+    // the initial `record_chunk` per (thread, chunk) label inserts.
+    petabricks::trace::set_vm_profiling(true);
+    for _ in 0..2 {
+        run_hot(&interp, &schema, SHORT);
+        run_hot(&interp, &schema, LONG);
+    }
+
+    let c0 = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..RUNS {
+        run_hot(&interp, &schema, SHORT);
+    }
+    let short_profiled = ALLOCS.load(Ordering::Relaxed) - c0;
+
+    let d0 = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..RUNS {
+        run_hot(&interp, &schema, LONG);
+    }
+    let long_profiled = ALLOCS.load(Ordering::Relaxed) - d0;
+
+    petabricks::trace::set_vm_profiling(false);
+    assert!(
+        long_profiled <= short_profiled + 64,
+        "profiled dispatch loop allocates per iteration: {short_profiled} \
+         allocs for {RUNS}x{SHORT} iterations vs {long_profiled} for \
+         {RUNS}x{LONG}"
+    );
+
+    // And the profile was really collected: both transforms' chunks
+    // appear with execution counts.
+    let chunks = petabricks::trace::chunk_snapshot();
+    assert!(
+        chunks.iter().any(|c| c.label.starts_with("helper::")),
+        "expected a helper chunk in the profile: {:?}",
+        chunks.iter().map(|c| &c.label).collect::<Vec<_>>()
+    );
+    assert!(
+        chunks
+            .iter()
+            .all(|c| c.executions > 0 && c.instructions() > 0),
+        "profiled chunks must carry counts"
     );
 
     // And the result is still the interpreter's, bit for bit.

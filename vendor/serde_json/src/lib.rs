@@ -271,13 +271,28 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path: one byte, no UTF-8 validation.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multi-byte UTF-8 character, validating
+                    // only its own bytes (validating the whole remaining
+                    // input per character is quadratic on large inputs).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(format!("invalid UTF-8 lead byte {b:#x}")),
+                    };
+                    let bytes = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    let s = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
+                    out.push(s.chars().next().expect("non-empty"));
+                    self.pos += len;
                 }
             }
         }
