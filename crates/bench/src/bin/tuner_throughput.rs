@@ -103,6 +103,17 @@ struct ModeReport {
     pair_memo_hits: u64,
     /// `hits / queries`.
     pair_memo_hit_rate: f64,
+    /// Trial attempts that panicked (caught and retried by the
+    /// evaluator's fault isolation; zero on these healthy workloads).
+    trial_panics: u64,
+    /// Trial attempts that overran the soft deadline.
+    trial_timeouts: u64,
+    /// Trial attempts that reported a non-finite cost.
+    trial_nonfinite: u64,
+    /// Re-executions triggered by faulting attempts.
+    trial_retries: u64,
+    /// Trials quarantined after exhausting their retries.
+    quarantined: u64,
     /// Every pool batch during this tuning run (trial fan-out plus
     /// kernel-level batches inside trial executions).
     pool_total: PoolWindow,
@@ -207,6 +218,11 @@ where
         pair_memo_queries: stats.pair_memo_queries,
         pair_memo_hits: stats.pair_memo_hits,
         pair_memo_hit_rate: rate(stats.pair_memo_hits, stats.pair_memo_queries),
+        trial_panics: stats.trial_panics,
+        trial_timeouts: stats.trial_timeouts,
+        trial_nonfinite: stats.trial_nonfinite,
+        trial_retries: stats.trial_retries,
+        quarantined: stats.quarantined,
         pool_total: outcome.pool.total.into(),
         pool_trial: outcome.pool.trial.into(),
         pool_kernel_dispatched: outcome
@@ -372,4 +388,14 @@ fn main() {
         binpack.parallel.arena_mean_round_width,
         PRE_ARENA_MEAN_ROUND_WIDTH,
     );
+    for w in &report.workloads {
+        for mode in [&w.sequential, &w.parallel] {
+            assert_eq!(
+                (mode.trial_panics, mode.trial_nonfinite, mode.quarantined),
+                (0, 0, 0),
+                "{}: healthy workloads must never trip fault isolation",
+                w.name
+            );
+        }
+    }
 }

@@ -41,6 +41,27 @@ pub struct TrialOutcome {
     pub accuracy: f64,
 }
 
+impl TrialOutcome {
+    /// The deterministic worst-case verdict recorded for a trial whose
+    /// every attempt faulted (panicked, timed out, or produced a
+    /// non-finite cost) and whose retries are exhausted: infinite cost
+    /// on every axis and `-inf` accuracy, so a quarantined candidate
+    /// loses every time comparison, meets no accuracy target, and is
+    /// never persisted to a trial-cache sidecar (which skips
+    /// non-finite entries).
+    pub const QUARANTINED: TrialOutcome = TrialOutcome {
+        time: f64::INFINITY,
+        wall_seconds: f64::INFINITY,
+        virtual_cost: f64::INFINITY,
+        accuracy: f64::NEG_INFINITY,
+    };
+
+    /// Whether this outcome is the quarantine sentinel.
+    pub fn is_quarantined(&self) -> bool {
+        *self == TrialOutcome::QUARANTINED
+    }
+}
+
 /// A variable-accuracy transform: the paper's `transform` construct
 /// (§2–3) expressed as a Rust trait.
 ///
@@ -310,6 +331,39 @@ mod tests {
         let out = runner.run_trial(&config, 10, 1);
         assert_eq!(out.time, out.wall_seconds);
         assert!(out.wall_seconds >= 0.0);
+    }
+
+    #[test]
+    fn wall_clock_model_still_records_virtual_cost_and_accuracy() {
+        // Wall-clock tuning keeps the deterministic observables: the
+        // virtual cost and accuracy of a trial are functions of
+        // (config, n, seed) regardless of cost model, so diagnostics
+        // can cross-check noisy timings against them.
+        let wall = TransformRunner::new(Toy, CostModel::WallClock);
+        let virt = TransformRunner::new(Toy, CostModel::Virtual);
+        let config = wall.schema().default_config();
+        let w = wall.run_trial(&config, 64, 9);
+        let v = virt.run_trial(&config, 64, 9);
+        assert_eq!(w.virtual_cost, v.virtual_cost);
+        assert_eq!(w.accuracy, v.accuracy);
+        assert!(w.time.is_finite());
+        // And only the virtual model may be memoized.
+        assert!(!wall.deterministic());
+        assert!(virt.deterministic());
+    }
+
+    #[test]
+    fn quarantine_sentinel_is_worst_on_every_axis() {
+        let q = TrialOutcome::QUARANTINED;
+        assert!(q.is_quarantined());
+        assert_eq!(q.time, f64::INFINITY);
+        assert_eq!(q.wall_seconds, f64::INFINITY);
+        assert_eq!(q.virtual_cost, f64::INFINITY);
+        assert_eq!(q.accuracy, f64::NEG_INFINITY);
+        // A healthy outcome is never mistaken for the sentinel.
+        let runner = TransformRunner::new(Toy, CostModel::Virtual);
+        let config = runner.schema().default_config();
+        assert!(!runner.run_trial(&config, 10, 1).is_quarantined());
     }
 
     #[test]

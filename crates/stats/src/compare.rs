@@ -13,6 +13,7 @@
 //!    highest expected reduction in standard error, and repeat.
 
 use crate::online::OnlineStats;
+use crate::robust::{Robustness, SampleStats};
 use crate::ttest::welch_t_test;
 use std::collections::HashMap;
 
@@ -100,6 +101,12 @@ pub struct ComparatorConfig {
     pub same_epsilon: f64,
     /// Confidence required to declare the difference negligible.
     pub same_confidence: f64,
+    /// How sample-retaining statistics are summarized before testing
+    /// (see [`Robustness`]). Only consulted by the sample-aware entry
+    /// points ([`Comparator::decide_samples`] and
+    /// [`Comparator::decide_pair_samples`]); the plain
+    /// [`OnlineStats`]-based paths have no samples to robustify.
+    pub robustness: Robustness,
 }
 
 impl Default for ComparatorConfig {
@@ -110,6 +117,7 @@ impl Default for ComparatorConfig {
             alpha: 0.05,
             same_epsilon: 0.01,
             same_confidence: 0.95,
+            robustness: Robustness::Mean,
         }
     }
 }
@@ -159,19 +167,75 @@ impl Comparator {
     /// is the blocking wrapper that consumes these steps one at a
     /// time, so the two paths request identical draw sequences.
     pub fn decide(&self, a_stats: &OnlineStats, b_stats: &OnlineStats) -> CompareStep {
+        self.decide_counts(a_stats.count(), a_stats, b_stats.count(), b_stats)
+    }
+
+    /// [`Comparator::decide`] over sample-retaining statistics: each
+    /// side's observations are first summarized under the configured
+    /// [`Robustness`] policy, then tested. Trial-count bookkeeping
+    /// (minimum fill, budget) uses the *raw* sample counts, so a
+    /// trimmed summary never tricks the protocol into re-running
+    /// trials it already has.
+    ///
+    /// Under [`Robustness::Mean`] this is bit-identical to
+    /// [`Comparator::decide`] on the pass-through accumulators.
+    pub fn decide_samples(&self, a_stats: &SampleStats, b_stats: &SampleStats) -> CompareStep {
+        match self.config.robustness {
+            // No copies on the hot (deterministic-tuning) path.
+            Robustness::Mean => self.decide_counts(
+                a_stats.count(),
+                a_stats.online(),
+                b_stats.count(),
+                b_stats.online(),
+            ),
+            policy => {
+                let a_summary = a_stats.summary(policy);
+                let b_summary = b_stats.summary(policy);
+                self.decide_counts(a_stats.count(), &a_summary, b_stats.count(), &b_summary)
+            }
+        }
+    }
+
+    /// The shared decision core: `a_count` / `b_count` are the raw
+    /// trial counts (driving minimum-fill and budget bookkeeping),
+    /// `a_stats` / `b_stats` the summaries to test — identical to the
+    /// raw accumulators on the classic path, robustified on the
+    /// sample-aware path.
+    fn decide_counts(
+        &self,
+        a_count: u64,
+        a_stats: &OnlineStats,
+        b_count: u64,
+        b_stats: &OnlineStats,
+    ) -> CompareStep {
         let cfg = &self.config;
+        // Non-finite summaries decide immediately: a candidate
+        // quarantined after repeated trial faults carries a worst-cost
+        // sentinel (`+inf`, or NaN once mixed with finite samples) and
+        // must lose deterministically — without burning trial draws on
+        // a side that can never produce a finite mean. Never fires for
+        // healthy measurements (empty stats have mean 0.0).
+        let a_bad = !a_stats.mean().is_finite();
+        let b_bad = !b_stats.mean().is_finite();
+        if a_bad || b_bad {
+            return CompareStep::Decided(match (a_bad, b_bad) {
+                (true, false) => CompareOutcome::Greater,
+                (false, true) => CompareOutcome::Less,
+                _ => CompareOutcome::Same,
+            });
+        }
         // Bring both candidates up to the minimum trial count (A
         // first, matching the blocking loop's fill order).
-        if a_stats.count() < cfg.min_trials {
+        if a_count < cfg.min_trials {
             return CompareStep::NeedMore {
                 which: Which::A,
-                draws: cfg.min_trials - a_stats.count(),
+                draws: cfg.min_trials - a_count,
             };
         }
-        if b_stats.count() < cfg.min_trials {
+        if b_count < cfg.min_trials {
             return CompareStep::NeedMore {
                 which: Which::B,
-                draws: cfg.min_trials - b_stats.count(),
+                draws: cfg.min_trials - b_count,
             };
         }
 
@@ -193,8 +257,8 @@ impl Comparator {
         }
 
         // Step 3: both candidates exhausted their budget.
-        let a_full = a_stats.count() >= cfg.max_trials;
-        let b_full = b_stats.count() >= cfg.max_trials;
+        let a_full = a_count >= cfg.max_trials;
+        let b_full = b_count >= cfg.max_trials;
         if a_full && b_full {
             return CompareStep::Decided(CompareOutcome::Same);
         }
@@ -377,6 +441,28 @@ impl Comparator {
             return CompareStep::Decided(outcome);
         }
         let step = self.decide(a_stats, b_stats);
+        if let CompareStep::Decided(outcome) = step {
+            memo.record(a_id, b_id, outcome);
+        }
+        step
+    }
+
+    /// [`Comparator::decide_pair`] over sample-retaining statistics
+    /// (see [`Comparator::decide_samples`]): the tuner's comparison
+    /// arena routes every contest through here so the configured
+    /// [`Robustness`] policy governs all tuning decisions.
+    pub fn decide_pair_samples(
+        &self,
+        memo: &mut PairMemo,
+        a_id: u64,
+        a_stats: &SampleStats,
+        b_id: u64,
+        b_stats: &SampleStats,
+    ) -> CompareStep {
+        if let Some(outcome) = memo.lookup(a_id, b_id) {
+            return CompareStep::Decided(outcome);
+        }
+        let step = self.decide_samples(a_stats, b_stats);
         if let CompareStep::Decided(outcome) = step {
             memo.record(a_id, b_id, outcome);
         }
@@ -593,6 +679,91 @@ mod tests {
         ));
         assert!(memo.is_empty());
         assert_eq!((memo.queries(), memo.hits()), (1, 0));
+    }
+
+    #[test]
+    fn non_finite_summaries_lose_immediately() {
+        let comparator = Comparator::default();
+        let healthy: OnlineStats = [1.0, 1.0, 1.0].into_iter().collect();
+        let mut poisoned = OnlineStats::new();
+        poisoned.push(f64::INFINITY);
+        // Even below min_trials, the quarantined side loses without
+        // requesting a single draw: its summary can never become
+        // finite, so extra trials would be wasted.
+        assert_eq!(
+            comparator.decide(&poisoned, &healthy),
+            CompareStep::Decided(CompareOutcome::Greater)
+        );
+        assert_eq!(
+            comparator.decide(&healthy, &poisoned),
+            CompareStep::Decided(CompareOutcome::Less)
+        );
+        assert_eq!(
+            comparator.decide(&poisoned, &poisoned),
+            CompareStep::Decided(CompareOutcome::Same)
+        );
+        // Mixing finite samples in degrades the mean to NaN — still
+        // non-finite, still an immediate loss.
+        poisoned.push(1.0);
+        assert!(poisoned.mean().is_nan());
+        assert_eq!(
+            comparator.decide(&poisoned, &healthy),
+            CompareStep::Decided(CompareOutcome::Greater)
+        );
+    }
+
+    #[test]
+    fn decide_samples_under_mean_policy_matches_decide_bitwise() {
+        let comparator = Comparator::default();
+        let data_a = [1.0, 3.0, 2.0, 5.0];
+        let data_b = [4.0, 4.5];
+        let sa: SampleStats = data_a.into_iter().collect();
+        let sb: SampleStats = data_b.into_iter().collect();
+        let oa: OnlineStats = data_a.into_iter().collect();
+        let ob: OnlineStats = data_b.into_iter().collect();
+        assert_eq!(
+            comparator.decide_samples(&sa, &sb),
+            comparator.decide(&oa, &ob)
+        );
+    }
+
+    #[test]
+    fn winsorized_policy_recovers_verdict_flipped_by_outliers() {
+        // Candidate A is truly faster (1.0 vs 2.0), but one of its ten
+        // trials caught a 40x measurement outlier; B is steady. Under
+        // the mean policy the outlier drags A's mean above B's *and*
+        // inflates its variance enough to drown the t-test, so the
+        // protocol exhausts the budget undecided — selection cannot
+        // prefer the genuinely faster candidate. Winsorizing clamps
+        // the outlier and recovers the true verdict from the same
+        // observations.
+        let base = ComparatorConfig {
+            min_trials: 3,
+            max_trials: 10,
+            ..ComparatorConfig::default()
+        };
+        let mean_cmp = Comparator::new(base);
+        let robust_cmp = Comparator::new(ComparatorConfig {
+            robustness: Robustness::Winsorized { fraction: 0.1 },
+            ..base
+        });
+        let a: SampleStats = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 40.0]
+            .into_iter()
+            .collect();
+        let b: SampleStats = [2.0, 2.05, 1.95, 2.0, 2.05, 1.95, 2.0, 2.05, 1.95, 2.0]
+            .into_iter()
+            .collect();
+        assert!(a.mean() > b.mean(), "the outlier must flip the raw means");
+        assert_eq!(
+            mean_cmp.decide_samples(&a, &b),
+            CompareStep::Decided(CompareOutcome::Same),
+            "mean policy cannot separate the candidates"
+        );
+        assert_eq!(
+            robust_cmp.decide_samples(&a, &b),
+            CompareStep::Decided(CompareOutcome::Less),
+            "winsorized policy recovers the true ordering"
+        );
     }
 
     #[test]

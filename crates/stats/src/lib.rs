@@ -15,6 +15,9 @@
 //!   function.
 //! * [`Comparator`] — the adaptive trial-count comparison protocol from
 //!   §5.5.1 (run more trials only when the decision is still ambiguous).
+//! * [`SampleStats`] / [`Robustness`] — sample-retaining statistics and
+//!   the winsorized/trimmed summary policies that keep the comparison
+//!   protocol honest under noisy (wall-clock) measurement.
 //! * [`linear_fit`] — least-squares line fit used for trend estimation.
 //!
 //! # Examples
@@ -35,6 +38,7 @@ pub mod lsq;
 pub mod normal;
 pub mod online;
 pub mod order;
+pub mod robust;
 pub mod special;
 pub mod ttest;
 
@@ -45,4 +49,5 @@ pub use lsq::{linear_fit, LinearFit};
 pub use normal::Normal;
 pub use online::OnlineStats;
 pub use order::{total_cmp_nan_first, total_cmp_nan_last};
+pub use robust::{Robustness, SampleStats};
 pub use ttest::{welch_t_test, TTest};

@@ -61,10 +61,33 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
-/// Events per thread kept in the ring; older events are overwritten
-/// (and counted in [`Trace::dropped`]). Power of two so the index mask
-/// is a single `and`.
-const RING_CAP: usize = 1 << 15;
+/// Environment variable overriding the per-thread ring capacity
+/// (events kept per thread before wrap-around). Read once per
+/// process, on first ring registration; the value is rounded up to a
+/// power of two so the slot index stays a single mask. Absent,
+/// unparsable, or zero values fall back to [`DEFAULT_RING_CAP`].
+pub const RING_CAP_ENV: &str = "PB_TRACE_RING";
+
+/// Default events per thread kept in the ring; older events are
+/// overwritten (and counted in [`Trace::dropped`]). Power of two so
+/// the index mask is a single `and`.
+const DEFAULT_RING_CAP: usize = 1 << 15;
+
+/// The active per-thread ring capacity: [`RING_CAP_ENV`] if set, else
+/// [`DEFAULT_RING_CAP`].
+fn ring_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| parse_ring_cap(std::env::var(RING_CAP_ENV).ok().as_deref()))
+}
+
+/// Pure parse half of [`ring_cap`]: round a positive integer up to a
+/// power of two, defaulting on anything else.
+fn parse_ring_cap(raw: Option<&str>) -> usize {
+    match raw.and_then(|value| value.trim().parse::<usize>().ok()) {
+        None | Some(0) => DEFAULT_RING_CAP,
+        Some(cap) => cap.next_power_of_two(),
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Global switches
@@ -299,7 +322,8 @@ impl Event {
 struct Ring {
     /// Trace-local thread id.
     thread: u32,
-    /// Total events ever written; slot = `head & (RING_CAP - 1)`.
+    /// Total events ever written; slot = `head & (slots.len() - 1)`
+    /// (capacity from [`ring_cap`], always a power of two).
     /// `Release` on write, `Acquire` on collect, so the collector sees
     /// fully-written slots.
     head: AtomicU64,
@@ -327,7 +351,7 @@ fn register_ring() -> Arc<Ring> {
     let ring = Arc::new(Ring {
         thread: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
         head: AtomicU64::new(0),
-        slots: (0..RING_CAP)
+        slots: (0..ring_cap())
             .map(|_| UnsafeCell::new(Event::ZERO))
             .collect(),
     });
@@ -342,7 +366,7 @@ pub fn record(ev: Event) {
     RECORDER.with(|cell| {
         let ring = cell.get_or_init(register_ring);
         let n = ring.head.load(Ordering::Relaxed);
-        let slot = ring.slots[(n as usize) & (RING_CAP - 1)].get();
+        let slot = ring.slots[(n as usize) & (ring.slots.len() - 1)].get();
         // SAFETY: this thread is the ring's only writer; the slot is
         // below the published head, so no reader touches it yet.
         unsafe {
@@ -475,12 +499,12 @@ pub fn collect() -> Trace {
     let mut dropped = 0u64;
     for ring in &rings {
         let head = ring.head.load(Ordering::Acquire);
-        let kept = head.min(RING_CAP as u64);
+        let kept = head.min(ring.slots.len() as u64);
         dropped += head - kept;
         for i in (head - kept)..head {
             // SAFETY: slots below the Acquire-loaded head are fully
             // written, and we only collect at quiescent points.
-            events.push(unsafe { *ring.slots[(i as usize) & (RING_CAP - 1)].get() });
+            events.push(unsafe { *ring.slots[(i as usize) & (ring.slots.len() - 1)].get() });
         }
     }
     events.sort_by(|x, y| {
@@ -730,6 +754,22 @@ mod tests {
             c: 3,
             d: 4,
         }
+    }
+
+    #[test]
+    fn ring_cap_parses_rounds_and_defaults() {
+        assert_eq!(parse_ring_cap(None), DEFAULT_RING_CAP);
+        assert_eq!(parse_ring_cap(Some("")), DEFAULT_RING_CAP);
+        assert_eq!(parse_ring_cap(Some("not a number")), DEFAULT_RING_CAP);
+        assert_eq!(parse_ring_cap(Some("0")), DEFAULT_RING_CAP);
+        assert_eq!(parse_ring_cap(Some("1")), 1);
+        assert_eq!(parse_ring_cap(Some("4096")), 4096);
+        assert_eq!(parse_ring_cap(Some(" 4096 ")), 4096, "whitespace tolerated");
+        assert_eq!(
+            parse_ring_cap(Some("5000")),
+            8192,
+            "rounds up to a power of two"
+        );
     }
 
     #[test]

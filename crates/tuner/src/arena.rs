@@ -31,7 +31,7 @@
 
 use crate::candidate::Candidate;
 use crate::exec::Evaluator;
-use pb_stats::{Comparator, CompareOutcome, CompareStep, OnlineStats, PairMemo, Which};
+use pb_stats::{Comparator, CompareOutcome, CompareStep, PairMemo, SampleStats, Which};
 use std::collections::BTreeMap;
 
 /// Counters for one arena session (folded into
@@ -158,7 +158,7 @@ impl<'a, 'r> Arena<'a, 'r> {
     /// execute as one batch through the evaluator, merging back in
     /// candidate-index order.
     pub fn run<C: Contest>(&mut self, cands: &mut [Candidate], n: u64, contests: &mut [C]) {
-        let empty = OnlineStats::new();
+        let empty = SampleStats::new();
         loop {
             let mut demands: BTreeMap<usize, u64> = BTreeMap::new();
             let mut all_done = true;
@@ -170,7 +170,7 @@ impl<'a, 'r> Arena<'a, 'r> {
                     debug_assert_ne!(a, b, "cannot compare a candidate to itself");
                     let time_a = cands_ro[a].stats(n).map(|s| &s.time).unwrap_or(&empty);
                     let time_b = cands_ro[b].stats(n).map(|s| &s.time).unwrap_or(&empty);
-                    let step = comparator.decide_pair(
+                    let step = comparator.decide_pair_samples(
                         memo,
                         cands_ro[a].id,
                         time_a,

@@ -9,14 +9,18 @@ use crate::exec::TrialRequest;
 use crate::mutators::MutationRecord;
 use pb_config::Config;
 use pb_runtime::{TrialOutcome, TrialRunner};
-use pb_stats::OnlineStats;
+use pb_stats::{OnlineStats, SampleStats};
 use std::collections::BTreeMap;
 
 /// Cached timing and accuracy statistics for one input size.
 #[derive(Debug, Clone, Default)]
 pub struct SizeStats {
-    /// Cost observations (per the runner's cost model).
-    pub time: OnlineStats,
+    /// Cost observations (per the runner's cost model). Sample-
+    /// retaining, so the comparator's [`pb_stats::Robustness`] policy
+    /// can winsorize or trim noisy wall-clock measurements; the
+    /// pass-through mean/variance are bit-identical to the plain
+    /// accumulator.
+    pub time: SampleStats,
     /// Accuracy-metric observations.
     pub accuracy: OnlineStats,
 }

@@ -32,9 +32,11 @@ use pb_stats::OnlineStats;
 use pb_trace::{Event, EventKind};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How an [`Evaluator`] executes a batch of trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,6 +47,89 @@ pub enum EvalMode {
     /// Batches run one trial at a time on the calling thread (forced
     /// sequential mode; the determinism baseline).
     Sequential,
+}
+
+/// Structured classification of one failed trial execution attempt.
+///
+/// Trials are hostile territory: a candidate configuration can drive a
+/// transform into a panic, an unbounded slowdown, or a NaN cost. The
+/// evaluator turns each of those into a `TrialError` — counted,
+/// retried, and ultimately quarantined — instead of letting it
+/// propagate and kill the tuning run (or poison the work-stealing
+/// pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrialError {
+    /// The trial panicked (caught via `catch_unwind`; the pool never
+    /// sees the unwind).
+    Panic,
+    /// The trial completed but exceeded the soft deadline
+    /// ([`FaultPolicy::deadline`]).
+    Timeout,
+    /// The trial reported a non-finite cost (NaN or ±inf `time`).
+    NonFinite,
+}
+
+/// The evaluator's fault-handling policy: how many times a faulting
+/// trial is retried (with deterministic backoff) before its outcome is
+/// replaced by the quarantine sentinel
+/// ([`TrialOutcome::QUARANTINED`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Retries after the first failed attempt (`2` means up to three
+    /// attempts total).
+    pub max_retries: u32,
+    /// Soft deadline per attempt: an attempt whose wall time exceeds
+    /// this counts as [`TrialError::Timeout`] even though it ran to
+    /// completion. `None` (the default) disables the check — and its
+    /// per-trial clock reads. Note that timeout classification depends
+    /// on real time, so enabling it trades bit-reproducibility of the
+    /// fault *counters* for protection against hangs; panic and
+    /// non-finite classification are deterministic.
+    pub deadline: Option<Duration>,
+    /// Base of the deterministic linear backoff between attempts
+    /// (attempt `k` sleeps `k × backoff`). Deterministic in *schedule*
+    /// — how long is slept never influences any decision.
+    pub backoff: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: 2,
+            deadline: None,
+            backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+/// What the evaluator's memo cache is allowed to do with a recorded
+/// outcome — the explicit form of the "wall-clock runners are never
+/// memoized" rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoPolicy {
+    /// Serve recorded outcomes verbatim. Sound only when trials are
+    /// pure functions of `(config, n, seed)` — the virtual cost
+    /// model.
+    Replay,
+    /// Never serve a recorded outcome: every request re-executes, so
+    /// noisy (wall-clock) measurements are re-sampled rather than
+    /// replayed. Replaying them would feed the comparator
+    /// zero-variance copies of one measurement and turn one unlucky
+    /// outlier into a permanent verdict.
+    Resample,
+}
+
+impl MemoPolicy {
+    /// The sound policy for a runner: [`MemoPolicy::Replay`] only when
+    /// memoization was requested *and* the runner's trials are
+    /// deterministic.
+    pub fn for_runner(requested: bool, deterministic: bool) -> MemoPolicy {
+        if requested && deterministic {
+            MemoPolicy::Replay
+        } else {
+            MemoPolicy::Resample
+        }
+    }
 }
 
 /// One planned trial: a configuration to run at input size `n` with a
@@ -243,6 +328,19 @@ pub struct Evaluator<'a> {
     runner: &'a dyn TrialRunner,
     mode: EvalMode,
     cache: Option<TrialCache>,
+    /// Fault isolation policy applied around every trial execution.
+    faults: FaultPolicy,
+    /// Attempts that panicked (caught, never propagated).
+    trial_panics: AtomicU64,
+    /// Attempts that exceeded the soft deadline.
+    trial_timeouts: AtomicU64,
+    /// Attempts that reported a non-finite cost.
+    trial_nonfinite: AtomicU64,
+    /// Re-executions triggered by a faulting attempt.
+    trial_retries: AtomicU64,
+    /// Trials whose every attempt faulted: their outcome is the
+    /// [`TrialOutcome::QUARANTINED`] sentinel.
+    quarantined: AtomicU64,
     /// Pool batch traffic attributable to trial execution: the global
     /// pool's stats delta across every `execute`/single-trial window.
     /// Only the coordinator thread executes trials' windows, so the
@@ -257,19 +355,88 @@ impl<'a> Evaluator<'a> {
     /// whenever trials are deterministic functions of
     /// `(config, n, seed)`, i.e. under the virtual cost model; disable
     /// it when tuning on wall-clock time, where repeated measurements
-    /// genuinely differ.
+    /// genuinely differ. (The explicit form is
+    /// [`Evaluator::with_memo_policy`].)
     pub fn new(runner: &'a dyn TrialRunner, mode: EvalMode, memoize: bool) -> Self {
+        Self::with_memo_policy(
+            runner,
+            mode,
+            if memoize {
+                MemoPolicy::Replay
+            } else {
+                MemoPolicy::Resample
+            },
+        )
+    }
+
+    /// Wraps `runner` with an explicit cache policy; see
+    /// [`MemoPolicy`] (and [`MemoPolicy::for_runner`] for the gate the
+    /// tuner applies).
+    pub fn with_memo_policy(runner: &'a dyn TrialRunner, mode: EvalMode, memo: MemoPolicy) -> Self {
         Evaluator {
             runner,
             mode,
-            cache: memoize.then(TrialCache::default),
+            cache: (memo == MemoPolicy::Replay).then(TrialCache::default),
+            faults: FaultPolicy::default(),
+            trial_panics: AtomicU64::new(0),
+            trial_timeouts: AtomicU64::new(0),
+            trial_nonfinite: AtomicU64::new(0),
+            trial_retries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             pool_trial: Mutex::new(PoolBatchStats::default()),
         }
+    }
+
+    /// Replaces the fault isolation policy (builder-style).
+    pub fn with_faults(mut self, faults: FaultPolicy) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// The active execution mode.
     pub fn mode(&self) -> EvalMode {
         self.mode
+    }
+
+    /// The active memoization policy.
+    pub fn memo_policy(&self) -> MemoPolicy {
+        if self.cache.is_some() {
+            MemoPolicy::Replay
+        } else {
+            MemoPolicy::Resample
+        }
+    }
+
+    /// The active fault isolation policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.faults
+    }
+
+    /// Trial attempts that panicked (caught and classified, never
+    /// propagated to the pool or the tuning loop).
+    pub fn trial_panics(&self) -> u64 {
+        self.trial_panics.load(Ordering::Relaxed)
+    }
+
+    /// Trial attempts that exceeded [`FaultPolicy::deadline`].
+    pub fn trial_timeouts(&self) -> u64 {
+        self.trial_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Trial attempts that reported a non-finite cost.
+    pub fn trial_nonfinite(&self) -> u64 {
+        self.trial_nonfinite.load(Ordering::Relaxed)
+    }
+
+    /// Re-executions triggered by faulting attempts.
+    pub fn trial_retries(&self) -> u64 {
+        self.trial_retries.load(Ordering::Relaxed)
+    }
+
+    /// Trials that exhausted their retries and were recorded as
+    /// [`TrialOutcome::QUARANTINED`].
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Accumulated pool batch traffic of this evaluator's trial
@@ -455,6 +622,63 @@ impl<'a> Evaluator<'a> {
         outcomes
     }
 
+    /// Classifies a completed attempt: timed out, non-finite cost, or
+    /// healthy (`None`).
+    fn classify(&self, started: Option<Instant>, outcome: &TrialOutcome) -> Option<TrialError> {
+        if let (Some(deadline), Some(started)) = (self.faults.deadline, started) {
+            if started.elapsed() > deadline {
+                return Some(TrialError::Timeout);
+            }
+        }
+        if !outcome.time.is_finite() {
+            return Some(TrialError::NonFinite);
+        }
+        None
+    }
+
+    /// Executes one trial attempt under full fault isolation: panics
+    /// are caught (`catch_unwind` — the pool's unwind machinery never
+    /// engages), soft-deadline overruns and non-finite costs are
+    /// classified as [`TrialError`]s, and faulting attempts retry with
+    /// deterministic linear backoff up to [`FaultPolicy::max_retries`]
+    /// times. A trial whose every attempt faults is *quarantined*: its
+    /// recorded outcome is the deterministic worst-cost sentinel
+    /// [`TrialOutcome::QUARANTINED`], which loses every comparison and
+    /// meets no accuracy target, so tournaments, arena contests, and
+    /// merges degrade gracefully instead of aborting the run.
+    fn guarded_run(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
+        let mut attempt: u32 = 0;
+        loop {
+            let started = self.faults.deadline.map(|_| Instant::now());
+            let error =
+                match catch_unwind(AssertUnwindSafe(|| self.runner.run_trial(config, n, seed))) {
+                    Ok(outcome) => match self.classify(started, &outcome) {
+                        None => return outcome,
+                        Some(error) => error,
+                    },
+                    Err(_) => TrialError::Panic,
+                };
+            match error {
+                TrialError::Panic => self.trial_panics.fetch_add(1, Ordering::Relaxed),
+                TrialError::Timeout => self.trial_timeouts.fetch_add(1, Ordering::Relaxed),
+                TrialError::NonFinite => self.trial_nonfinite.fetch_add(1, Ordering::Relaxed),
+            };
+            if attempt >= self.faults.max_retries {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return TrialOutcome::QUARANTINED;
+            }
+            attempt += 1;
+            self.trial_retries.fetch_add(1, Ordering::Relaxed);
+            // Transient faults (a cold cache, a contended resource)
+            // deserve breathing room; the schedule is a deterministic
+            // function of the attempt number and never feeds back into
+            // any decision.
+            if !self.faults.backoff.is_zero() {
+                std::thread::sleep(self.faults.backoff.saturating_mul(attempt));
+            }
+        }
+    }
+
     /// Executes one demand-driven trial on the calling thread,
     /// windowing pool stats and tracing it like a one-request batch.
     fn run_single(&self, config: &Config, n: u64, seed: u64) -> TrialOutcome {
@@ -469,7 +693,7 @@ impl<'a> Evaluator<'a> {
         } else {
             0
         };
-        let outcome = self.runner.run_trial(config, n, seed);
+        let outcome = self.guarded_run(config, n, seed);
         if trace_seq != 0 {
             pb_trace::record(Event::span(
                 EventKind::Trial,
@@ -490,10 +714,10 @@ impl<'a> Evaluator<'a> {
     /// Runs one trial of a batch, tracing it when `trace_seq != 0`.
     fn run_one(&self, trace_seq: u64, index: usize, r: &TrialRequest) -> TrialOutcome {
         if trace_seq == 0 {
-            return self.runner.run_trial(r.config(), r.n, r.seed);
+            return self.guarded_run(r.config(), r.n, r.seed);
         }
         let t0 = pb_trace::now_ns();
-        let outcome = self.runner.run_trial(r.config(), r.n, r.seed);
+        let outcome = self.guarded_run(r.config(), r.n, r.seed);
         pb_trace::record(Event::span(
             EventKind::Trial,
             trace_seq,
@@ -525,8 +749,20 @@ impl<'a> Evaluator<'a> {
         let Ok(text) = std::fs::read_to_string(path) else {
             return 0;
         };
-        let Ok(file) = serde_json::from_str::<SidecarFile>(&text) else {
-            return 0;
+        let file = match serde_json::from_str::<SidecarFile>(&text) {
+            Ok(file) => file,
+            Err(_) => {
+                // A corrupted or truncated sidecar (a crashed writer
+                // predating atomic renames, a bad disk, a manual edit)
+                // must degrade to a cold start, not an aborted tuning
+                // run — but silently ignoring real data loss helps
+                // nobody, so say what happened.
+                eprintln!(
+                    "pb_tuner: trial-cache sidecar {} is corrupted or truncated; starting cold",
+                    path.display()
+                );
+                return 0;
+            }
         };
         if file.transform != self.runner.name()
             || file.schema != format!("{:016x}", schema_fingerprint(self.runner.schema()))
@@ -923,6 +1159,213 @@ mod tests {
         assert_eq!(eval.load_sidecar(&path), 0);
         let uncached = Evaluator::new(&runner, EvalMode::Sequential, false);
         assert_eq!(uncached.load_sidecar(&path), 0);
+    }
+
+    /// Panics while fewer than `fail_first` calls have been made, then
+    /// behaves like `Linear`. `&self`-mutable via an atomic so the
+    /// object-safe `Transform` interface stays untouched.
+    struct Flaky {
+        fail_first: u64,
+        calls: AtomicU64,
+    }
+
+    impl Flaky {
+        fn new(fail_first: u64) -> Self {
+            Flaky {
+                fail_first,
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl Transform for Flaky {
+        type Input = ();
+        type Output = ();
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn schema(&self) -> Schema {
+            let mut s = Schema::new("flaky");
+            s.add_accuracy_variable("v", 1, 100);
+            s
+        }
+        fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+        fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.fail_first {
+                panic!("injected trial panic (test)");
+            }
+            ctx.charge(ctx.size() as f64);
+        }
+        fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+            0.5
+        }
+    }
+
+    fn quiet_faults(max_retries: u32) -> FaultPolicy {
+        FaultPolicy {
+            max_retries,
+            deadline: None,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn transient_panic_recovers_after_retry() {
+        let runner = TransformRunner::new(Flaky::new(1), CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true).with_faults(quiet_faults(2));
+        let config = runner.schema().default_config();
+        let out = eval.run_batch(&[request(&config, 8, 0)]);
+        assert_eq!(out[0].time, 8.0, "the retry produced a healthy outcome");
+        assert_eq!(eval.trial_panics(), 1);
+        assert_eq!(eval.trial_retries(), 1);
+        assert_eq!(eval.quarantined(), 0);
+        // The healthy (post-retry) outcome is what got memoized.
+        let again = eval.run_batch(&[request(&config, 8, 0)]);
+        assert_eq!(again[0], out[0]);
+        assert_eq!(eval.cache_hits(), 1);
+        assert_eq!(eval.trial_panics(), 1, "no re-execution, no new faults");
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_with_the_sentinel() {
+        let runner = TransformRunner::new(Flaky::new(u64::MAX), CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true).with_faults(quiet_faults(2));
+        let config = runner.schema().default_config();
+        let out = eval.run_batch(&[request(&config, 8, 0)]);
+        assert!(out[0].is_quarantined());
+        assert_eq!(eval.trial_panics(), 3, "initial attempt + two retries");
+        assert_eq!(eval.trial_retries(), 2);
+        assert_eq!(eval.quarantined(), 1);
+        // The sentinel is non-finite, so a sidecar save skips it.
+        let path =
+            std::env::temp_dir().join(format!("pb_sidecar_quarantine_{}.json", std::process::id()));
+        eval.save_sidecar(&path).unwrap();
+        let warm = Evaluator::new(&runner, EvalMode::Sequential, true);
+        assert_eq!(warm.load_sidecar(&path), 0, "sentinels never persist");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_finite_costs_are_classified_and_quarantined() {
+        struct NanCost;
+        impl Transform for NanCost {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "nan_cost"
+            }
+            fn schema(&self) -> Schema {
+                let mut s = Schema::new("nan_cost");
+                s.add_accuracy_variable("v", 1, 100);
+                s
+            }
+            fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+            fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+                ctx.charge(f64::NAN);
+            }
+            fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+                0.5
+            }
+        }
+        let runner = TransformRunner::new(NanCost, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true).with_faults(quiet_faults(1));
+        let config = runner.schema().default_config();
+        let out = eval.run_batch(&[request(&config, 8, 0)]);
+        assert!(out[0].is_quarantined());
+        assert_eq!(eval.trial_nonfinite(), 2);
+        assert_eq!(eval.trial_panics(), 0);
+        assert_eq!(eval.quarantined(), 1);
+    }
+
+    #[test]
+    fn slow_trials_trip_the_soft_deadline() {
+        struct Slow;
+        impl Transform for Slow {
+            type Input = ();
+            type Output = ();
+            fn name(&self) -> &str {
+                "slow"
+            }
+            fn schema(&self) -> Schema {
+                let mut s = Schema::new("slow");
+                s.add_accuracy_variable("v", 1, 100);
+                s
+            }
+            fn generate_input(&self, _n: u64, _rng: &mut SmallRng) {}
+            fn execute(&self, _i: &(), ctx: &mut ExecCtx<'_>) {
+                std::thread::sleep(Duration::from_millis(5));
+                ctx.charge(1.0);
+            }
+            fn accuracy(&self, _i: &(), _o: &()) -> f64 {
+                0.5
+            }
+        }
+        let runner = TransformRunner::new(Slow, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true).with_faults(FaultPolicy {
+            max_retries: 1,
+            deadline: Some(Duration::from_micros(100)),
+            backoff: Duration::ZERO,
+        });
+        let config = runner.schema().default_config();
+        let out = eval.run_batch(&[request(&config, 8, 0)]);
+        assert!(
+            out[0].is_quarantined(),
+            "every attempt overran the deadline"
+        );
+        assert_eq!(eval.trial_timeouts(), 2);
+        assert_eq!(eval.quarantined(), 1);
+    }
+
+    #[test]
+    fn memo_policy_gate_replays_only_deterministic_runners() {
+        assert_eq!(MemoPolicy::for_runner(true, true), MemoPolicy::Replay);
+        assert_eq!(MemoPolicy::for_runner(true, false), MemoPolicy::Resample);
+        assert_eq!(MemoPolicy::for_runner(false, true), MemoPolicy::Resample);
+        assert_eq!(MemoPolicy::for_runner(false, false), MemoPolicy::Resample);
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::with_memo_policy(&runner, EvalMode::Sequential, MemoPolicy::Replay);
+        assert_eq!(eval.memo_policy(), MemoPolicy::Replay);
+        let eval = Evaluator::with_memo_policy(&runner, EvalMode::Sequential, MemoPolicy::Resample);
+        assert_eq!(eval.memo_policy(), MemoPolicy::Resample);
+    }
+
+    #[test]
+    fn wall_clock_trials_resample_through_the_evaluator() {
+        // The wall-clock satellite: real measurements flow through
+        // `run_batch`/`run_trial` under `MemoPolicy::Resample`, every
+        // request re-executes, and outcomes stay finite.
+        let runner = TransformRunner::new(Linear, CostModel::WallClock);
+        let memo = MemoPolicy::for_runner(true, runner.deterministic());
+        assert_eq!(memo, MemoPolicy::Resample);
+        let eval = Evaluator::with_memo_policy(&runner, EvalMode::Sequential, memo);
+        let config = runner.schema().default_config();
+        let reqs = vec![request(&config, 8, 0), request(&config, 8, 0)];
+        for outcome in eval.run_batch(&reqs) {
+            assert!(outcome.time.is_finite());
+            assert_eq!(outcome.time, outcome.wall_seconds);
+        }
+        // Demand-driven draws re-execute too: no hits, no misses
+        // counted (there is no cache at all).
+        let _ = eval.run_trial(&config, 8, trial_seed(8, 0));
+        assert_eq!(eval.cache_hits(), 0);
+        assert_eq!(eval.cache_misses(), 0);
+        assert_eq!(eval.quarantined(), 0);
+    }
+
+    #[test]
+    fn corrupted_sidecar_starts_cold() {
+        let runner = TransformRunner::new(Linear, CostModel::Virtual);
+        let eval = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let path =
+            std::env::temp_dir().join(format!("pb_sidecar_corrupt_{}.json", std::process::id()));
+        // Truncated JSON — the classic torn write.
+        std::fs::write(&path, "{\"transform\": \"linear\", \"entr").unwrap();
+        assert_eq!(eval.load_sidecar(&path), 0);
+        // The evaluator is fully usable afterwards.
+        let config = runner.schema().default_config();
+        let out = eval.run_batch(&[request(&config, 8, 0)]);
+        assert_eq!(out[0].time, 8.0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! the fastest `K` per accuracy bin (§5.5.4).
 
 use crate::candidate::Candidate;
-use crate::exec::{EvalMode, Evaluator};
+use crate::exec::{EvalMode, Evaluator, FaultPolicy, MemoPolicy};
 use crate::mutators::MutatorPool;
 use crate::population::Population;
 use pb_config::{AccuracyBins, Config, Schema, TunableKind, Value};
@@ -102,8 +102,17 @@ pub struct TunerOptions {
     /// Only takes effect when the runner reports
     /// [`TrialRunner::deterministic`] trials (the virtual cost
     /// model); wall-clock runners are never memoized, since their
-    /// repeated measurements genuinely differ.
+    /// repeated measurements genuinely differ (see
+    /// [`MemoPolicy`](crate::exec::MemoPolicy)).
     pub memoize_trials: bool,
+    /// Retries granted to a faulting trial (panic, soft-deadline
+    /// overrun, non-finite cost) before it is quarantined with the
+    /// deterministic worst-cost sentinel. See
+    /// [`FaultPolicy`](crate::exec::FaultPolicy).
+    pub max_trial_retries: u32,
+    /// Soft per-attempt deadline for trial execution; `None` disables
+    /// the check (and its clock reads).
+    pub trial_deadline: Option<std::time::Duration>,
 }
 
 impl Default for TunerOptions {
@@ -122,6 +131,8 @@ impl Default for TunerOptions {
             seed: 0x5EED,
             parallel_trials: true,
             memoize_trials: true,
+            max_trial_retries: 2,
+            trial_deadline: None,
         }
     }
 }
@@ -148,6 +159,8 @@ impl TunerOptions {
             seed,
             parallel_trials: true,
             memoize_trials: true,
+            max_trial_retries: 2,
+            trial_deadline: None,
         }
     }
 
@@ -209,6 +222,42 @@ pub struct TunerStats {
     /// Lookups answered from a recorded verdict — comparisons neither
     /// re-decided nor re-tested.
     pub pair_memo_hits: u64,
+    /// Trial attempts that panicked (caught by the evaluator's fault
+    /// isolation, never propagated).
+    pub trial_panics: u64,
+    /// Trial attempts that exceeded the soft deadline
+    /// ([`TunerOptions::trial_deadline`]).
+    pub trial_timeouts: u64,
+    /// Trial attempts that reported a non-finite cost.
+    pub trial_nonfinite: u64,
+    /// Trial re-executions triggered by faulting attempts.
+    pub trial_retries: u64,
+    /// Trials quarantined after exhausting their retries (recorded
+    /// with the deterministic worst-cost sentinel).
+    pub quarantined: u64,
+}
+
+impl TunerStats {
+    /// This run's *decision* counters: everything that describes what
+    /// the tuner decided, with the raw attempt/fault counters zeroed
+    /// out. Two runs whose decision images are equal made identical
+    /// choices even if one needed retries to get there — the chaos
+    /// contract (`tests/fault_injection.rs`) compares a fault-injected
+    /// run against a fault-free run this way, since retried attempts
+    /// legitimately inflate `trials` and the fault counters without
+    /// changing a single verdict. `quarantined` is *kept*: a
+    /// quarantine replaces an outcome and therefore is a decision
+    /// input.
+    pub fn decision_image(&self) -> TunerStats {
+        TunerStats {
+            trials: 0,
+            trial_panics: 0,
+            trial_timeouts: 0,
+            trial_nonfinite: 0,
+            trial_retries: 0,
+            ..*self
+        }
+    }
 }
 
 /// Work-stealing-pool traffic windowed to one tuning run.
@@ -394,8 +443,13 @@ impl<'a> Autotuner<'a> {
         // (config, n, seed); a wall-clock runner says it is not, and
         // serving it cached timings would feed the comparator
         // zero-variance samples.
-        let memoize = self.options.memoize_trials && counting.deterministic();
-        let evaluator = Evaluator::new(&counting, mode, memoize);
+        let memo = MemoPolicy::for_runner(self.options.memoize_trials, counting.deterministic());
+        let evaluator =
+            Evaluator::with_memo_policy(&counting, mode, memo).with_faults(FaultPolicy {
+                max_retries: self.options.max_trial_retries,
+                deadline: self.options.trial_deadline,
+                ..FaultPolicy::default()
+            });
         if let Some(path) = &self.trial_cache {
             evaluator.load_sidecar(path);
         }
@@ -537,6 +591,11 @@ impl<'a> Autotuner<'a> {
         stats.cache_hits_warm = evaluator.cache_hits_warm();
         stats.cache_misses = evaluator.cache_misses();
         stats.cache_coalesced = evaluator.cache_coalesced();
+        stats.trial_panics = evaluator.trial_panics();
+        stats.trial_timeouts = evaluator.trial_timeouts();
+        stats.trial_nonfinite = evaluator.trial_nonfinite();
+        stats.trial_retries = evaluator.trial_retries();
+        stats.quarantined = evaluator.quarantined();
         if let Some(path) = &self.trial_cache {
             // Best-effort: a read-only training directory should not
             // fail the tuning run that produced a valid program.

@@ -19,6 +19,8 @@
 //!   (§3.3).
 //! * [`trace`] — zero-perturbation structured tracing across all of
 //!   the above, with Perfetto-loadable export.
+//! * [`faults`] — seeded deterministic fault and noise injection for
+//!   chaos-testing the tuner's trial isolation and robust statistics.
 //! * [`linalg`] / [`multigrid`] — the numeric substrates the benchmarks
 //!   need (the paper used LAPACK; we implement the routines from
 //!   scratch).
@@ -41,6 +43,7 @@
 
 pub use pb_benchmarks as benchmarks;
 pub use pb_config as config;
+pub use pb_faults as faults;
 pub use pb_lang as lang;
 pub use pb_linalg as linalg;
 pub use pb_multigrid as multigrid;

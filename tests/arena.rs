@@ -109,10 +109,10 @@ fn blocking_reference_merge(
             let time_of = |pop: &Population, i: usize| {
                 pop.candidates()[i]
                     .stats(n)
-                    .map(|s| s.time)
+                    .map(|s| s.time.clone())
                     .unwrap_or_default()
             };
-            let step = comparator.decide(&time_of(pop, child), &time_of(pop, parent));
+            let step = comparator.decide_samples(&time_of(pop, child), &time_of(pop, parent));
             match step {
                 CompareStep::Decided(outcome) => break outcome,
                 CompareStep::NeedMore { which, draws } => {
