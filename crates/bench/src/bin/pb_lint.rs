@@ -1,0 +1,134 @@
+//! `pb_lint` — the DSL linter and chunk-verifier front-end.
+//!
+//! ```text
+//! pb_lint [--deny-warnings] <file-or-dir>...
+//! ```
+//!
+//! Each argument is a `.pb` source file or a directory walked
+//! recursively for `.pb` files. Every file is parsed, sema-checked,
+//! compiled, and run through [`pb_lang::lint_program`]: rule chunks
+//! are verified at `O0` and pass-by-pass through the `O2` pipeline,
+//! tunable references are checked against the transform's schema, and
+//! DSL-level lints (dead accuracy variables, range-collapsed tunables,
+//! unconsumed rule products, tree-walking fallbacks) are reported as
+//! warnings.
+//!
+//! Exit codes: `0` clean, `1` any error (or any warning under
+//! `--deny-warnings`), `2` usage or I/O failure — so CI can gate on it
+//! directly.
+
+use pb_lang::{check_program, lint_program, parse_program, Severity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect_sources(path: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    if path.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            collect_sources(&entry, out)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "pb") {
+        out.push(path.to_path_buf());
+    } else if !path.exists() {
+        return Err(format!("{}: no such file or directory", path.display()));
+    }
+    Ok(())
+}
+
+fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    pb_lang::token::Span::new(offset, offset).line_col(source)
+}
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut roots = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: pb_lint [--deny-warnings] <file-or-dir>...");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("pb_lint: unknown flag `{arg}`");
+                return ExitCode::from(2);
+            }
+            _ => roots.push(PathBuf::from(arg)),
+        }
+    }
+    if roots.is_empty() {
+        eprintln!("usage: pb_lint [--deny-warnings] <file-or-dir>...");
+        return ExitCode::from(2);
+    }
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if let Err(e) = collect_sources(root, &mut files) {
+            eprintln!("pb_lint: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("pb_lint: no .pb files under {roots:?}");
+        return ExitCode::from(2);
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pb_lint: {}: {e}", file.display());
+                return ExitCode::from(2);
+            }
+        };
+        let path = file.display();
+        let program = match parse_program(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("{path}: error: parse failed: {e}");
+                errors += 1;
+                continue;
+            }
+        };
+        if let Err(es) = check_program(&program) {
+            for e in es {
+                let (line, col) = line_col(&source, e.span.start);
+                println!("{path}:{line}:{col}: error: {}", e.message);
+                errors += 1;
+            }
+            continue;
+        }
+        for lint in lint_program(&program) {
+            let loc = match lint.span {
+                Some(span) => {
+                    let (line, col) = line_col(&source, span.start);
+                    format!("{path}:{line}:{col}")
+                }
+                None => format!("{path}"),
+            };
+            println!("{loc}: {}: {}", lint.severity, lint.message);
+            match lint.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+            }
+        }
+    }
+
+    let failed = errors > 0 || (deny_warnings && warnings > 0);
+    println!(
+        "pb_lint: {} file(s), {errors} error(s), {warnings} warning(s){}",
+        files.len(),
+        if failed { " — FAILED" } else { "" }
+    );
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

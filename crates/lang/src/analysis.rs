@@ -1,0 +1,1547 @@
+//! Static analysis over compiled bytecode: a chunk **verifier** and an
+//! **abstract interpreter**, plus the DSL-level lints behind the
+//! `pb_lint` CLI.
+//!
+//! The differential suite pins the VM *dynamically* — outputs, RNG
+//! draws, and virtual cost bit-identical to the tree-walking
+//! interpreter at every [`crate::opt::OptLevel`]. This module adds the
+//! static half of that contract:
+//!
+//! * [`verify_chunk`] / [`verify_code`] prove a [`Chunk`] is
+//!   *well-formed* before dispatch: every jump (including the fused
+//!   `JumpCmp*`/`AddImmJump` forms and `Switch` tables) lands inside
+//!   the chunk, every register/slot/name index is in bounds, every
+//!   register is defined on every path before it is read (forward
+//!   must-defined dataflow over the CFG), every `Switch` is guarded by
+//!   the clamping `Choice` that feeds it, and every `Charge` is
+//!   positive and finite. Violations carry a typed
+//!   [`ViolationKind`] so regression tests can pin exactly *which*
+//!   invariant a hand-broken chunk trips.
+//! * [`charge_signature`] summarizes a chunk's cost accounting as the
+//!   ordered per-straight-line-region charge totals;
+//!   [`crate::opt::optimize`] checks the signature after every pass
+//!   (under `PB_VERIFY=1` or in debug builds), so a `Charge` hoisted
+//!   across control flow is attributed to the pass that moved it.
+//! * [`analyze_chunk`] runs a forward abstract interpretation over the
+//!   same CFG, inferring per-register and per-slot abstract kinds
+//!   (bool/int/float scalars with a constant-ness lattice, arrays with
+//!   rank) as a [`ChunkFacts`] artifact attached to
+//!   [`crate::compile::CompiledTransform`] — the seed for the typed IR
+//!   the ROADMAP's native-code tier needs.
+//! * [`lint_program`] layers DSL-level lints on top of sema and the
+//!   verifier: dead tunables, unconsumed rule products, tunables whose
+//!   range collapses to a constant, and rules whose chunks fail
+//!   verification.
+
+use crate::ast::{Program, Rule, Transform};
+use crate::compile::{Chunk, FirstArg, Instr, Operand, Slot};
+use crate::opt::{for_each_def, for_each_use, is_terminator, jump_targets, OptLevel};
+use crate::sema::{collect_block_vars, collect_expr_vars};
+use crate::token::Span;
+use pb_config::{Schema, TunableKind};
+use std::collections::HashSet;
+use std::fmt;
+
+// ---- violations --------------------------------------------------------
+
+/// Which well-formedness invariant a chunk breaks. Each variant is one
+/// distinct verifier check; the hand-broken regression corpus pins one
+/// chunk per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A jump/switch target past `code.len()` (`== len` is legal
+    /// fall-off termination).
+    BadJumpTarget,
+    /// A register reference `>= n_regs`.
+    RegOutOfBounds,
+    /// A slot reference `>= n_slots` (instruction operand or
+    /// input/output binding table).
+    SlotOutOfBounds,
+    /// An interned-name index `>= names.len()`.
+    NameOutOfBounds,
+    /// A register that may be read before any definition reaches it.
+    UseBeforeDef,
+    /// A `Switch` whose table is empty or that is not fed by an
+    /// adjacent clamping `Choice` covering its table.
+    UnguardedSwitch,
+    /// A `Charge` amount that is not finite and positive, or a
+    /// `Choice` with zero branches.
+    BadCharge,
+    /// Per-region charge totals changed across an optimizer pass —
+    /// cost was hoisted across control flow.
+    ChargeMoved,
+    /// A `Bin`-family or fused-compare instruction carrying an
+    /// operator the VM cannot dispatch there (`&&`/`||` lower to
+    /// jumps; `JumpCmp*` requires a comparison).
+    BadOperator,
+    /// A tunable name with no entry in the config schema.
+    UnknownTunable,
+    /// A tunable resolved to the wrong kind (e.g. `ForEnoughPrep` on a
+    /// non-accuracy-variable, `Choice` branches exceeding the site's
+    /// algorithm count).
+    TunableMismatch,
+}
+
+impl ViolationKind {
+    /// Stable lower-snake name (for diagnostics and test pins).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViolationKind::BadJumpTarget => "bad_jump_target",
+            ViolationKind::RegOutOfBounds => "reg_out_of_bounds",
+            ViolationKind::SlotOutOfBounds => "slot_out_of_bounds",
+            ViolationKind::NameOutOfBounds => "name_out_of_bounds",
+            ViolationKind::UseBeforeDef => "use_before_def",
+            ViolationKind::UnguardedSwitch => "unguarded_switch",
+            ViolationKind::BadCharge => "bad_charge",
+            ViolationKind::ChargeMoved => "charge_moved",
+            ViolationKind::BadOperator => "bad_operator",
+            ViolationKind::UnknownTunable => "unknown_tunable",
+            ViolationKind::TunableMismatch => "tunable_mismatch",
+        }
+    }
+}
+
+/// One verifier finding, anchored to an instruction index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Instruction index the violation is anchored to.
+    pub at: usize,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at instr {}: {}",
+            self.kind.name(),
+            self.at,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+fn violation(kind: ViolationKind, at: usize, detail: impl Into<String>) -> Violation {
+    Violation {
+        kind,
+        at,
+        detail: detail.into(),
+    }
+}
+
+// ---- instruction walkers ----------------------------------------------
+// `crate::opt` owns the register use/def walkers (shared with liveness
+// and DCE); the verifier additionally needs *every* slot, name, and
+// jump-target reference, including write targets the optimizer's
+// read-oriented walkers skip.
+
+fn for_each_target(instr: &Instr, mut f: impl FnMut(usize)) {
+    match instr {
+        Instr::Jump { target }
+        | Instr::AddImmJump { target, .. }
+        | Instr::JumpIfZero { target, .. }
+        | Instr::JumpIfNonZero { target, .. }
+        | Instr::JumpIfGe { target, .. }
+        | Instr::JumpCmp { target, .. }
+        | Instr::JumpCmpImm { target, .. } => f(*target),
+        Instr::Switch { targets, .. } => {
+            for t in targets {
+                f(*t);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn for_each_slot(instr: &Instr, mut f: impl FnMut(Slot)) {
+    match instr {
+        Instr::LoadSlotNum { slot, .. }
+        | Instr::StoreSlotNum { slot, .. }
+        | Instr::Shape { slot, .. }
+        | Instr::LoadIdx1 { slot, .. }
+        | Instr::LoadIdx2 { slot, .. }
+        | Instr::StoreIdx1 { slot, .. }
+        | Instr::StoreIdx2 { slot, .. }
+        | Instr::BinStoreIdx1 { slot, .. } => f(*slot),
+        Instr::CopySlot { dst, src }
+        | Instr::SlotUpdImm { dst, src, .. }
+        | Instr::SlotUpdReg { dst, src, .. } => {
+            f(*dst);
+            f(*src);
+        }
+        Instr::CallHost {
+            first, rest, dst, ..
+        } => {
+            f(*dst);
+            match first {
+                FirstArg::Var(s) | FirstArg::Anon(Operand::Slot(s)) => f(*s),
+                FirstArg::Anon(Operand::Reg(_)) => {}
+            }
+            for op in rest {
+                if let Operand::Slot(s) = op {
+                    f(*s);
+                }
+            }
+        }
+        Instr::CallTransform { args, dst, .. } => {
+            f(*dst);
+            for op in args {
+                if let Operand::Slot(s) = op {
+                    f(*s);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn for_each_name(instr: &Instr, mut f: impl FnMut(u16)) {
+    match instr {
+        Instr::LoadParam { name, .. }
+        | Instr::ForEnoughPrep { name, .. }
+        | Instr::Choice { name, .. }
+        | Instr::CallHost { name, .. }
+        | Instr::CallTransform { name, .. } => f(*name),
+        _ => {}
+    }
+}
+
+fn is_cmp_op(op: crate::ast::BinOp) -> bool {
+    use crate::ast::BinOp::*;
+    matches!(op, Eq | Ne | Lt | Le | Gt | Ge)
+}
+
+// ---- the verifier ------------------------------------------------------
+
+/// Verifies one chunk. See [`verify_code`].
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] in instruction order.
+pub fn verify_chunk(chunk: &Chunk) -> Result<(), Violation> {
+    verify_code(
+        &chunk.code,
+        chunk.n_regs,
+        chunk.n_slots,
+        chunk.names.len(),
+        &chunk.input_slots,
+        &chunk.output_slots,
+    )
+}
+
+/// Verifies a code sequence against its declared register/slot/name
+/// counts: jump-target validity, operand bounds, `Switch` guarding,
+/// charge sanity, and register def-before-use (forward must-defined
+/// dataflow over the CFG; registers are checked on *every* path, with
+/// unreachable blocks excluded).
+///
+/// Operates on parts rather than a [`Chunk`] so the optimizer can
+/// re-verify mid-pipeline, where only the instruction vector exists.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`] in instruction order.
+pub fn verify_code(
+    code: &[Instr],
+    n_regs: u16,
+    n_slots: u16,
+    n_names: usize,
+    input_slots: &[Slot],
+    output_slots: &[Slot],
+) -> Result<(), Violation> {
+    for &s in input_slots.iter().chain(output_slots) {
+        if s >= n_slots {
+            return Err(violation(
+                ViolationKind::SlotOutOfBounds,
+                0,
+                format!("binding slot s{s} >= n_slots {n_slots}"),
+            ));
+        }
+    }
+    for (i, instr) in code.iter().enumerate() {
+        let mut first: Option<Violation> = None;
+        let mut note = |v: Violation| {
+            if first.is_none() {
+                first = Some(v);
+            }
+        };
+        for_each_target(instr, |t| {
+            if t > code.len() {
+                note(violation(
+                    ViolationKind::BadJumpTarget,
+                    i,
+                    format!("target {t} past code end {}", code.len()),
+                ));
+            }
+        });
+        let mut check_reg = |r: u16| {
+            if r >= n_regs {
+                note(violation(
+                    ViolationKind::RegOutOfBounds,
+                    i,
+                    format!("r{r} >= n_regs {n_regs}"),
+                ));
+            }
+        };
+        for_each_use(instr, &mut check_reg);
+        for_each_def(instr, &mut check_reg);
+        for_each_slot(instr, |s| {
+            if s >= n_slots {
+                note(violation(
+                    ViolationKind::SlotOutOfBounds,
+                    i,
+                    format!("s{s} >= n_slots {n_slots}"),
+                ));
+            }
+        });
+        for_each_name(instr, |idx| {
+            if idx as usize >= n_names {
+                note(violation(
+                    ViolationKind::NameOutOfBounds,
+                    i,
+                    format!("name index {idx} >= names.len() {n_names}"),
+                ));
+            }
+        });
+        match instr {
+            Instr::Charge { amount } if !(amount.is_finite() && *amount > 0.0) => {
+                note(violation(
+                    ViolationKind::BadCharge,
+                    i,
+                    format!("charge amount {amount} is not finite and positive"),
+                ));
+            }
+            Instr::Choice { branches, .. } if *branches == 0 => {
+                note(violation(
+                    ViolationKind::BadCharge,
+                    i,
+                    "choice with zero branches",
+                ));
+            }
+            Instr::Switch { src, targets } => {
+                // A `Switch` is only safe when the instruction feeding
+                // `src` is the adjacent `Choice` whose clamp
+                // (`pick.min(branches - 1)`) covers the target table.
+                // Nops may sit between them mid-pipeline.
+                let guard = (0..i)
+                    .rev()
+                    .map(|p| &code[p])
+                    .find(|instr| !matches!(instr, Instr::Nop));
+                let guarded = matches!(
+                    guard,
+                    Some(Instr::Choice { dst, branches, .. })
+                        if dst == src && (1..=targets.len()).contains(&(*branches as usize))
+                );
+                if targets.is_empty() || !guarded {
+                    note(violation(
+                        ViolationKind::UnguardedSwitch,
+                        i,
+                        format!(
+                            "switch on r{src} with {} targets lacks an adjacent clamping choice",
+                            targets.len()
+                        ),
+                    ));
+                }
+            }
+            Instr::Bin { op, .. } => {
+                if matches!(op, crate::ast::BinOp::And | crate::ast::BinOp::Or) {
+                    note(violation(
+                        ViolationKind::BadOperator,
+                        i,
+                        "&&/|| lower to jumps; Bin cannot dispatch them",
+                    ));
+                }
+            }
+            Instr::BinRI { op, .. }
+            | Instr::BinIR { op, .. }
+            | Instr::SlotUpdImm { op, .. }
+            | Instr::SlotUpdReg { op, .. }
+            | Instr::BinStoreIdx1 { op, .. } => {
+                if matches!(op, crate::ast::BinOp::And | crate::ast::BinOp::Or) {
+                    note(violation(
+                        ViolationKind::BadOperator,
+                        i,
+                        "&&/|| lower to jumps; fused arithmetic cannot dispatch them",
+                    ));
+                }
+            }
+            Instr::JumpCmp { op, .. } | Instr::JumpCmpImm { op, .. } if !is_cmp_op(*op) => {
+                note(violation(
+                    ViolationKind::BadOperator,
+                    i,
+                    format!("fused compare carries non-comparison operator {op:?}"),
+                ));
+            }
+            _ => {}
+        }
+        if let Some(v) = first {
+            return Err(v);
+        }
+    }
+    verify_def_before_use(code, n_regs)
+}
+
+/// Basic-block structure shared by the dataflow passes below: block
+/// start indices, an index→block map, and per-block successors.
+struct Cfg {
+    starts: Vec<usize>,
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG. All jump targets must already be validated
+    /// (`<= code.len()`).
+    fn build(code: &[Instr]) -> Cfg {
+        let n = code.len();
+        let targets = jump_targets(code);
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for i in 0..n {
+            if targets[i] {
+                leader[i] = true;
+            }
+            if is_terminator(&code[i]) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+        let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+        let mut block_of = vec![0usize; n];
+        for (b, &start) in starts.iter().enumerate() {
+            let end = starts.get(b + 1).copied().unwrap_or(n);
+            for slot in block_of.iter_mut().take(end).skip(start) {
+                *slot = b;
+            }
+        }
+        Cfg { starts, block_of }
+    }
+
+    fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    fn range(&self, b: usize, n: usize) -> std::ops::Range<usize> {
+        self.starts[b]..self.starts.get(b + 1).copied().unwrap_or(n)
+    }
+
+    fn successors(&self, code: &[Instr], b: usize, out: &mut Vec<usize>) {
+        out.clear();
+        let n = code.len();
+        let last = self.range(b, n).end - 1;
+        let mut push = |t: usize| {
+            if t < n {
+                out.push(self.block_of[t]);
+            }
+        };
+        match &code[last] {
+            Instr::Jump { target } | Instr::AddImmJump { target, .. } => push(*target),
+            Instr::JumpIfZero { target, .. }
+            | Instr::JumpIfNonZero { target, .. }
+            | Instr::JumpIfGe { target, .. }
+            | Instr::JumpCmp { target, .. }
+            | Instr::JumpCmpImm { target, .. } => {
+                push(*target);
+                push(last + 1);
+            }
+            Instr::Switch { targets, .. } => {
+                for t in targets {
+                    push(*t);
+                }
+            }
+            Instr::Return => {}
+            _ => push(last + 1),
+        }
+    }
+}
+
+/// Forward must-defined dataflow: at every instruction, every register
+/// read must be defined on *all* paths from entry. Unreachable blocks
+/// start at ⊤ (all-defined) so they cannot raise false positives.
+fn verify_def_before_use(code: &[Instr], n_regs: u16) -> Result<(), Violation> {
+    let n = code.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let cfg = Cfg::build(code);
+    let nb = cfg.len();
+    let words = (n_regs as usize).div_ceil(64).max(1);
+
+    let mut in_sets: Vec<Vec<u64>> = vec![vec![u64::MAX; words]; nb];
+    in_sets[0] = vec![0; words];
+
+    let mut succ = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let mut cur = in_sets[b].clone();
+            for i in cfg.range(b, n) {
+                for_each_def(&code[i], |r| cur[r as usize / 64] |= 1 << (r as usize % 64));
+            }
+            cfg.successors(code, b, &mut succ);
+            for &s in &succ {
+                for (dst, src) in in_sets[s].iter_mut().zip(&cur) {
+                    let next = *dst & *src;
+                    changed |= next != *dst;
+                    *dst = next;
+                }
+            }
+        }
+    }
+
+    for (b, in_set) in in_sets.iter().enumerate() {
+        let mut cur = in_set.clone();
+        for i in cfg.range(b, n) {
+            let mut undef = None;
+            for_each_use(&code[i], |r| {
+                if cur[r as usize / 64] & (1 << (r as usize % 64)) == 0 && undef.is_none() {
+                    undef = Some(r);
+                }
+            });
+            if let Some(r) = undef {
+                return Err(violation(
+                    ViolationKind::UseBeforeDef,
+                    i,
+                    format!("r{r} may be read before any definition reaches it"),
+                ));
+            }
+            for_each_def(&code[i], |r| cur[r as usize / 64] |= 1 << (r as usize % 64));
+        }
+    }
+    Ok(())
+}
+
+/// The chunk's cost-accounting shape: ordered per-straight-line-region
+/// charge totals (zero-total regions elided, so pure `Nop` compaction
+/// cannot perturb it). Every optimizer pass must preserve this
+/// signature exactly — `fold_charges` merges within a region, never
+/// across one — which is what "no `Charge` hoisted across control
+/// flow" means statically.
+///
+/// Jump targets must already be validated (`<= code.len()`).
+pub fn charge_signature(code: &[Instr]) -> Vec<f64> {
+    let targets = jump_targets(code);
+    let mut sig = Vec::new();
+    let mut cur = 0.0f64;
+    let flush = |cur: &mut f64, sig: &mut Vec<f64>| {
+        if *cur != 0.0 {
+            sig.push(*cur);
+            *cur = 0.0;
+        }
+    };
+    for (i, instr) in code.iter().enumerate() {
+        if targets[i] {
+            flush(&mut cur, &mut sig);
+        }
+        if let Instr::Charge { amount } = instr {
+            cur += *amount;
+        }
+        if is_terminator(instr) {
+            flush(&mut cur, &mut sig);
+        }
+    }
+    flush(&mut cur, &mut sig);
+    sig
+}
+
+// ---- schema validation -------------------------------------------------
+
+/// Validates every tunable reference in `chunk` against `schema` under
+/// `prefix` (the `<callee>.`-style namespace the chunk executes in):
+/// `LoadParam`/`ForEnoughPrep`/`Choice` names must resolve, a
+/// `ForEnoughPrep` must name an accuracy variable, and a `Choice` must
+/// name a choice site whose algorithm count matches its branch count.
+/// Host-function and callee names are resolved at runtime and skipped.
+///
+/// # Errors
+///
+/// Returns the first [`Violation`]
+/// ([`ViolationKind::UnknownTunable`]/[`ViolationKind::TunableMismatch`]).
+pub fn verify_tunables(chunk: &Chunk, schema: &Schema, prefix: &str) -> Result<(), Violation> {
+    let resolve = |idx: u16, at: usize| -> Result<&pb_config::Tunable, Violation> {
+        let name = chunk.names.get(idx as usize).ok_or_else(|| {
+            violation(
+                ViolationKind::NameOutOfBounds,
+                at,
+                format!("name index {idx}"),
+            )
+        })?;
+        let full = format!("{prefix}{name}");
+        schema.tunable(&full).map(|(_, t)| t).ok_or_else(|| {
+            violation(
+                ViolationKind::UnknownTunable,
+                at,
+                format!("`{full}` is not in the config schema"),
+            )
+        })
+    };
+    for (i, instr) in chunk.code.iter().enumerate() {
+        match instr {
+            Instr::LoadParam { name, .. } => {
+                resolve(*name, i)?;
+            }
+            Instr::ForEnoughPrep { name, .. } => {
+                let t = resolve(*name, i)?;
+                if !matches!(t.kind(), TunableKind::AccuracyVariable { .. }) {
+                    return Err(violation(
+                        ViolationKind::TunableMismatch,
+                        i,
+                        format!("`{}` is not an accuracy variable", t.name()),
+                    ));
+                }
+            }
+            Instr::Choice { name, branches, .. } => {
+                let t = resolve(*name, i)?;
+                match t.kind() {
+                    TunableKind::ChoiceSite { num_algorithms }
+                        if *num_algorithms == *branches as usize => {}
+                    _ => {
+                        return Err(violation(
+                            ViolationKind::TunableMismatch,
+                            i,
+                            format!("`{}` is not a {branches}-way choice site", t.name()),
+                        ));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+// ---- abstract interpretation -------------------------------------------
+
+/// Scalar kind lattice: `Bool ⊑ Int ⊑ Float` (every bool is 0/1,
+/// every int is an integral `f64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ScalarKind {
+    /// Always `0.0` or `1.0` (comparisons, logic).
+    Bool,
+    /// Always an integral `f64` (counters, indices, shapes, tunables).
+    Int,
+    /// Any `f64`.
+    Float,
+}
+
+impl fmt::Display for ScalarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ScalarKind::Bool => "bool",
+            ScalarKind::Int => "int",
+            ScalarKind::Float => "float",
+        })
+    }
+}
+
+/// Abstract value: the join-semilattice element inferred for a
+/// register or slot.
+///
+/// Equality is lattice-element identity: constants compare **bitwise**
+/// (`NaN == NaN`), matching [`AbsValue::join`]'s merge rule — the
+/// fixpoint in [`analyze_chunk`] relies on a folded `NaN` constant
+/// being equal to itself to converge.
+#[derive(Debug, Clone, Copy)]
+pub enum AbsValue {
+    /// Unreached / never holds a value.
+    Bottom,
+    /// A scalar of the given kind; `cst` when every reaching value is
+    /// the same constant (bitwise).
+    Scalar {
+        /// The scalar kind.
+        kind: ScalarKind,
+        /// The constant value, if provably unique.
+        cst: Option<f64>,
+    },
+    /// An array of the given rank (1 or 2).
+    Array {
+        /// Number of dimensions.
+        rank: u8,
+    },
+    /// Anything (host-call results, mixed scalar/array).
+    Any,
+}
+
+impl PartialEq for AbsValue {
+    fn eq(&self, other: &AbsValue) -> bool {
+        use AbsValue::*;
+        match (self, other) {
+            (Bottom, Bottom) | (Any, Any) => true,
+            (Scalar { kind: ka, cst: ca }, Scalar { kind: kb, cst: cb }) => {
+                ka == kb && ca.map(f64::to_bits) == cb.map(f64::to_bits)
+            }
+            (Array { rank: a }, Array { rank: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AbsValue {}
+
+impl AbsValue {
+    /// A non-constant scalar.
+    pub fn scalar(kind: ScalarKind) -> AbsValue {
+        AbsValue::Scalar { kind, cst: None }
+    }
+
+    /// A known constant (kind inferred from the value).
+    pub fn constant(v: f64) -> AbsValue {
+        AbsValue::Scalar {
+            kind: const_kind(v),
+            cst: Some(v),
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: AbsValue) -> AbsValue {
+        use AbsValue::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Scalar { kind: ka, cst: ca }, Scalar { kind: kb, cst: cb }) => Scalar {
+                kind: ka.max(kb),
+                cst: match (ca, cb) {
+                    (Some(a), Some(b)) if a.to_bits() == b.to_bits() => Some(a),
+                    _ => None,
+                },
+            },
+            (Array { rank: a }, Array { rank: b }) if a == b => Array { rank: a },
+            _ => Any,
+        }
+    }
+
+    fn as_scalar(self) -> (ScalarKind, Option<f64>) {
+        match self {
+            AbsValue::Scalar { kind, cst } => (kind, cst),
+            _ => (ScalarKind::Float, None),
+        }
+    }
+}
+
+impl fmt::Display for AbsValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsValue::Bottom => f.write_str("bot"),
+            AbsValue::Scalar { kind, cst: None } => write!(f, "{kind}"),
+            AbsValue::Scalar { kind, cst: Some(v) } => write!(f, "{kind}={v}"),
+            AbsValue::Array { rank } => write!(f, "arr{rank}"),
+            AbsValue::Any => f.write_str("any"),
+        }
+    }
+}
+
+fn const_kind(v: f64) -> ScalarKind {
+    if v.is_finite() && v.fract() == 0.0 {
+        ScalarKind::Int
+    } else {
+        ScalarKind::Float
+    }
+}
+
+/// Per-chunk inferred facts: the join, over every reachable program
+/// point, of each register's and slot's abstract value. This is the
+/// artifact the ROADMAP's typed IR consumes — e.g. a slot inferred
+/// `arr2` can dispatch rank-specialized indexing, a reg inferred `int`
+/// can skip float-path checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkFacts {
+    /// Slot state at chunk entry (rule bindings from the transform
+    /// declaration; everything else ⊥). Kept so the facts can be
+    /// recomputed after re-optimization without the AST.
+    pub entry_slots: Vec<AbsValue>,
+    /// Per-register inferred kind (⊥ = never written / unreachable).
+    pub regs: Vec<AbsValue>,
+    /// Per-slot inferred kind, entry state included.
+    pub slots: Vec<AbsValue>,
+}
+
+impl ChunkFacts {
+    /// Compact one-line rendering of the slot kinds (stable, for test
+    /// pins and diagnostics): `s0=arr2 s1=int …`.
+    pub fn render_slots(&self) -> String {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("s{i}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Entry slot state for a rule chunk, from the transform's data
+/// declarations: each input/output binding is a scalar or an array of
+/// the declared rank; local slots start ⊥.
+pub fn entry_slots(transform: &Transform, rule: &Rule, chunk: &Chunk) -> Vec<AbsValue> {
+    let mut slots = vec![AbsValue::Bottom; chunk.n_slots as usize];
+    let bound = [
+        (&rule.inputs, &chunk.input_slots),
+        (&rule.outputs, &chunk.output_slots),
+    ];
+    for (bindings, slot_list) in bound {
+        for (b, &s) in bindings.iter().zip(slot_list.iter()) {
+            let v = match transform.data(&b.data) {
+                Some(p) if p.dims.is_empty() => AbsValue::scalar(ScalarKind::Float),
+                Some(p) => AbsValue::Array {
+                    rank: p.dims.len() as u8,
+                },
+                None => AbsValue::Any,
+            };
+            if let Some(slot) = slots.get_mut(s as usize) {
+                *slot = v;
+            }
+        }
+    }
+    slots
+}
+
+/// Runs the abstract interpreter over a verified chunk: forward
+/// fixpoint over the CFG, joining states at merge points, then a final
+/// accumulation pass folding every post-instruction state into the
+/// returned [`ChunkFacts`].
+///
+/// `entry_slots` is the slot state at chunk entry (see
+/// [`entry_slots`]); it is padded/truncated to `n_slots`.
+pub fn analyze_chunk(chunk: &Chunk, entry_slots: &[AbsValue]) -> ChunkFacts {
+    let n = chunk.code.len();
+    let nr = chunk.n_regs as usize;
+    let ns = chunk.n_slots as usize;
+    let mut entry = entry_slots.to_vec();
+    entry.resize(ns, AbsValue::Bottom);
+
+    let mut facts = ChunkFacts {
+        entry_slots: entry.clone(),
+        regs: vec![AbsValue::Bottom; nr],
+        slots: entry.clone(),
+    };
+    if n == 0 {
+        return facts;
+    }
+
+    let code = &chunk.code;
+    let cfg = Cfg::build(code);
+    let nb = cfg.len();
+    let mut in_regs: Vec<Vec<AbsValue>> = vec![vec![AbsValue::Bottom; nr]; nb];
+    let mut in_slots: Vec<Vec<AbsValue>> = vec![vec![AbsValue::Bottom; ns]; nb];
+    in_slots[0] = entry;
+
+    let mut succ = Vec::new();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nb {
+            let mut regs = in_regs[b].clone();
+            let mut slots = in_slots[b].clone();
+            for i in cfg.range(b, n) {
+                step(&code[i], &mut regs, &mut slots);
+            }
+            cfg.successors(code, b, &mut succ);
+            for &s in &succ {
+                for (dst, &v) in in_regs[s].iter_mut().zip(&regs) {
+                    let next = dst.join(v);
+                    changed |= next != *dst;
+                    *dst = next;
+                }
+                for (dst, &v) in in_slots[s].iter_mut().zip(&slots) {
+                    let next = dst.join(v);
+                    changed |= next != *dst;
+                    *dst = next;
+                }
+            }
+        }
+    }
+
+    for b in 0..nb {
+        let mut regs = in_regs[b].clone();
+        let mut slots = in_slots[b].clone();
+        for i in cfg.range(b, n) {
+            step(&code[i], &mut regs, &mut slots);
+            for (dst, &v) in facts.regs.iter_mut().zip(&regs) {
+                *dst = dst.join(v);
+            }
+            for (dst, &v) in facts.slots.iter_mut().zip(&slots) {
+                *dst = dst.join(v);
+            }
+        }
+    }
+    facts
+}
+
+/// Abstract result of `a op b`.
+fn abs_bin(
+    op: crate::ast::BinOp,
+    a: (ScalarKind, Option<f64>),
+    b: (ScalarKind, Option<f64>),
+) -> AbsValue {
+    use crate::ast::BinOp::*;
+    if matches!(op, And | Or) {
+        // Malformed (the VM cannot dispatch it); stay conservative.
+        return AbsValue::scalar(ScalarKind::Bool);
+    }
+    let cst = match (a.1, b.1) {
+        (Some(x), Some(y)) => Some(crate::opt::apply_bin(op, x, y)),
+        _ => None,
+    };
+    if is_cmp_op(op) {
+        return AbsValue::Scalar {
+            kind: ScalarKind::Bool,
+            cst,
+        };
+    }
+    match cst {
+        Some(v) => AbsValue::constant(v),
+        None => {
+            let kind = match op {
+                Div => ScalarKind::Float,
+                _ => a.0.max(b.0).max(ScalarKind::Int),
+            };
+            AbsValue::scalar(kind)
+        }
+    }
+}
+
+/// Transfer function: one instruction over (registers, slots).
+fn step(instr: &Instr, regs: &mut [AbsValue], slots: &mut [AbsValue]) {
+    use crate::compile::{MathFn1, MathFn2};
+    let reg = |regs: &[AbsValue], r: u16| regs[r as usize].as_scalar();
+    match instr {
+        Instr::Const { dst, val } => regs[*dst as usize] = AbsValue::constant(*val),
+        Instr::Move { dst, src } => regs[*dst as usize] = regs[*src as usize],
+        Instr::LoadSlotNum { dst, slot } => {
+            regs[*dst as usize] = match slots[*slot as usize] {
+                v @ AbsValue::Scalar { .. } => v,
+                _ => AbsValue::scalar(ScalarKind::Float),
+            };
+        }
+        Instr::StoreSlotNum { slot, src } => {
+            let (kind, cst) = reg(regs, *src);
+            slots[*slot as usize] = AbsValue::Scalar { kind, cst };
+        }
+        Instr::CopySlot { dst, src } => slots[*dst as usize] = slots[*src as usize],
+        Instr::LoadParam { dst, .. }
+        | Instr::ForEnoughPrep { dst, .. }
+        | Instr::Choice { dst, .. } => {
+            regs[*dst as usize] = AbsValue::scalar(ScalarKind::Int);
+        }
+        Instr::Bin { op, dst, a, b } => {
+            regs[*dst as usize] = abs_bin(*op, reg(regs, *a), reg(regs, *b));
+        }
+        Instr::BinRI { op, dst, a, imm } => {
+            regs[*dst as usize] = abs_bin(*op, reg(regs, *a), (const_kind(*imm), Some(*imm)));
+        }
+        Instr::BinIR { op, dst, imm, b } => {
+            regs[*dst as usize] = abs_bin(*op, (const_kind(*imm), Some(*imm)), reg(regs, *b));
+        }
+        Instr::Neg { dst, src } => {
+            let (kind, cst) = reg(regs, *src);
+            regs[*dst as usize] = AbsValue::Scalar {
+                kind: kind.max(ScalarKind::Int),
+                cst: cst.map(|v| -v),
+            };
+        }
+        Instr::Not { dst, src } => {
+            let (_, cst) = reg(regs, *src);
+            regs[*dst as usize] = AbsValue::Scalar {
+                kind: ScalarKind::Bool,
+                cst: cst.map(|v| (v == 0.0) as i64 as f64),
+            };
+        }
+        Instr::TestNonZero { dst, src } => {
+            let (_, cst) = reg(regs, *src);
+            regs[*dst as usize] = AbsValue::Scalar {
+                kind: ScalarKind::Bool,
+                cst: cst.map(|v| (v != 0.0) as i64 as f64),
+            };
+        }
+        Instr::Math1 { f, dst, src } => {
+            let (kind, cst) = reg(regs, *src);
+            let kind = match f {
+                MathFn1::Floor | MathFn1::Ceil => ScalarKind::Int,
+                MathFn1::Abs => kind,
+                MathFn1::Sqrt | MathFn1::Exp | MathFn1::Log => ScalarKind::Float,
+            };
+            regs[*dst as usize] = AbsValue::Scalar {
+                kind,
+                cst: cst.map(|v| crate::vm::apply_math1(*f, v)),
+            };
+        }
+        Instr::Math2 { f, dst, a, b } => {
+            let (ka, ca) = reg(regs, *a);
+            let (kb, cb) = reg(regs, *b);
+            let kind = match f {
+                MathFn2::Min | MathFn2::Max => ka.max(kb),
+                MathFn2::Pow => ScalarKind::Float,
+            };
+            let cst = match (ca, cb) {
+                (Some(x), Some(y)) => Some(crate::vm::apply_math2(*f, x, y)),
+                _ => None,
+            };
+            regs[*dst as usize] = AbsValue::Scalar { kind, cst };
+        }
+        Instr::Rand { dst, .. } => regs[*dst as usize] = AbsValue::scalar(ScalarKind::Float),
+        Instr::Shape { dst, .. } => regs[*dst as usize] = AbsValue::scalar(ScalarKind::Int),
+        Instr::LoadIdx1 { dst, .. } | Instr::LoadIdx2 { dst, .. } => {
+            regs[*dst as usize] = AbsValue::scalar(ScalarKind::Float);
+        }
+        // Element writes refine nothing: the slot keeps its array kind.
+        Instr::StoreIdx1 { .. } | Instr::StoreIdx2 { .. } | Instr::BinStoreIdx1 { .. } => {}
+        Instr::AddImm { dst, imm } | Instr::AddImmJump { dst, imm, .. } => {
+            let a = reg(regs, *dst);
+            regs[*dst as usize] =
+                abs_bin(crate::ast::BinOp::Add, a, (const_kind(*imm), Some(*imm)));
+        }
+        Instr::TruncPair { a, b } => {
+            regs[*a as usize] = AbsValue::scalar(ScalarKind::Int);
+            regs[*b as usize] = AbsValue::scalar(ScalarKind::Int);
+        }
+        Instr::WhileGuard { counter } => {
+            regs[*counter as usize] = AbsValue::scalar(ScalarKind::Int);
+        }
+        Instr::SlotUpdImm {
+            op,
+            dst,
+            src,
+            imm,
+            imm_on_left,
+        } => {
+            let s = match slots[*src as usize] {
+                AbsValue::Scalar { kind, cst } => (kind, cst),
+                _ => (ScalarKind::Float, None),
+            };
+            let imm = (const_kind(*imm), Some(*imm));
+            let v = if *imm_on_left {
+                abs_bin(*op, imm, s)
+            } else {
+                abs_bin(*op, s, imm)
+            };
+            slots[*dst as usize] = v;
+        }
+        Instr::SlotUpdReg { op, dst, src, b } => {
+            let s = match slots[*src as usize] {
+                AbsValue::Scalar { kind, cst } => (kind, cst),
+                _ => (ScalarKind::Float, None),
+            };
+            slots[*dst as usize] = abs_bin(*op, s, reg(regs, *b));
+        }
+        Instr::CallHost { first, dst, .. } => {
+            slots[*dst as usize] = AbsValue::Any;
+            if let FirstArg::Var(s) = first {
+                // The host may overwrite its mutable first argument
+                // with anything.
+                slots[*s as usize] = AbsValue::Any;
+            }
+        }
+        Instr::CallTransform { dst, .. } => slots[*dst as usize] = AbsValue::Any,
+        Instr::Jump { .. }
+        | Instr::JumpIfZero { .. }
+        | Instr::JumpIfNonZero { .. }
+        | Instr::JumpIfGe { .. }
+        | Instr::JumpCmp { .. }
+        | Instr::JumpCmpImm { .. }
+        | Instr::Switch { .. }
+        | Instr::Charge { .. }
+        | Instr::Return
+        | Instr::Nop => {}
+    }
+}
+
+// ---- DSL-level lints ---------------------------------------------------
+
+/// Lint severity. Errors always fail `pb_lint`; warnings fail it under
+/// `--deny-warnings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable.
+    Warning,
+    /// Broken: failed verification or unresolvable references.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    /// Error or warning.
+    pub severity: Severity,
+    /// Source span the finding anchors to, when one exists.
+    pub span: Option<Span>,
+    /// The message.
+    pub message: String,
+}
+
+/// Every name a transform references: rule bodies, rule binding data,
+/// and data dimension expressions.
+fn transform_referenced_names(t: &Transform) -> HashSet<String> {
+    let mut names = HashSet::new();
+    for rule in &t.rules {
+        collect_block_vars(&rule.body, &mut names);
+        for b in rule.inputs.iter().chain(&rule.outputs) {
+            names.insert(b.data.clone());
+        }
+    }
+    for p in t.all_data() {
+        for dim in &p.dims {
+            collect_expr_vars(dim, &mut names);
+        }
+    }
+    names
+}
+
+/// Runs the DSL-level lints over a parsed (and sema-checked) program:
+///
+/// * **error** — a rule chunk fails verification (at `O0` or through
+///   the `O2` pass pipeline), or references a tunable missing from the
+///   transform's schema;
+/// * **warning** — an accuracy variable nothing reads, a tunable whose
+///   range collapses to a single value, a rule producing only data no
+///   rule consumes and no output needs, a rule that falls back to the
+///   tree-walking interpreter.
+pub fn lint_program(program: &Program) -> Vec<Lint> {
+    let mut lints = Vec::new();
+    let compiled = crate::compile::compile_program(program);
+    for t in &program.transforms {
+        let schema = crate::traininfo::extract_schema(program, &t.name);
+        let referenced = transform_referenced_names(t);
+
+        for av in &t.accuracy_variables {
+            if !referenced.contains(&av.name) {
+                lints.push(Lint {
+                    severity: Severity::Warning,
+                    span: Some(av.span),
+                    message: format!(
+                        "transform `{}`: accuracy variable `{}` is never read",
+                        t.name, av.name
+                    ),
+                });
+            }
+        }
+
+        for (_, tunable) in schema.iter() {
+            if tunable.name().contains('.') {
+                continue; // reported by the callee's own lint run
+            }
+            let collapsed = match *tunable.kind() {
+                TunableKind::Cutoff { min, max }
+                | TunableKind::AccuracyVariable { min, max }
+                | TunableKind::UserDefined { min, max } => min == max,
+                TunableKind::FloatParam { min, max } => min == max,
+                TunableKind::Switch { num_values } => num_values <= 1,
+                TunableKind::ChoiceSite { num_algorithms } => num_algorithms <= 1,
+            };
+            if collapsed {
+                lints.push(Lint {
+                    severity: Severity::Warning,
+                    span: Some(t.span),
+                    message: format!(
+                        "transform `{}`: tunable `{}` range collapses to a constant",
+                        t.name,
+                        tunable.name()
+                    ),
+                });
+            }
+        }
+
+        // Data consumed somewhere: a rule input, an output, or a name
+        // referenced by any body/dimension (metrics read outputs).
+        let consumed: HashSet<&str> = t
+            .rules
+            .iter()
+            .flat_map(|r| r.inputs.iter().map(|b| b.data.as_str()))
+            .chain(t.outputs.iter().map(|p| p.name.as_str()))
+            .collect();
+        for (ri, rule) in t.rules.iter().enumerate() {
+            let live = rule
+                .outputs
+                .iter()
+                .any(|b| consumed.contains(b.data.as_str()));
+            if !live && !rule.outputs.is_empty() {
+                lints.push(Lint {
+                    severity: Severity::Warning,
+                    span: Some(rule.span),
+                    message: format!(
+                        "transform `{}`: rule #{ri} is unreachable — nothing consumes {}",
+                        t.name,
+                        rule.outputs
+                            .iter()
+                            .map(|b| format!("`{}`", b.data))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+
+        let Some(ct) = compiled.transform(&t.name) else {
+            continue;
+        };
+        for (ri, (rule, compiled_rule)) in t.rules.iter().zip(&ct.rules).enumerate() {
+            let chunk = match compiled_rule {
+                Ok(chunk) => chunk,
+                Err(e) => {
+                    lints.push(Lint {
+                        severity: Severity::Warning,
+                        span: Some(rule.span),
+                        message: format!(
+                            "transform `{}`: rule #{ri} falls back to tree-walking ({e})",
+                            t.name
+                        ),
+                    });
+                    continue;
+                }
+            };
+            let mut broken = |what: &str| {
+                lints.push(Lint {
+                    severity: Severity::Error,
+                    span: Some(rule.span),
+                    message: format!("transform `{}`: rule #{ri}: {what}", t.name),
+                });
+            };
+            if let Err(v) = verify_chunk(chunk) {
+                broken(&format!("chunk fails verification: {v}"));
+                continue;
+            }
+            match crate::opt::optimize_verified(chunk, OptLevel::O2, true) {
+                Err(v) => broken(&v.to_string()),
+                Ok(opt_chunk) => {
+                    if let Err(v) = verify_tunables(&opt_chunk, &schema, "") {
+                        broken(&v.to_string());
+                    }
+                }
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::OptLevel;
+
+    fn chunk(code: Vec<Instr>, n_regs: u16, n_slots: u16, names: Vec<String>) -> Chunk {
+        Chunk {
+            label: "test::r0".into(),
+            code,
+            names,
+            n_regs,
+            n_slots,
+            input_slots: vec![],
+            output_slots: vec![],
+            opt: OptLevel::O0,
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_chunk() {
+        let c = chunk(
+            vec![
+                Instr::Charge { amount: 1.0 },
+                Instr::Const { dst: 0, val: 2.0 },
+                Instr::StoreSlotNum { slot: 0, src: 0 },
+                Instr::Return,
+            ],
+            1,
+            1,
+            vec![],
+        );
+        verify_chunk(&c).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_jump_target() {
+        let c = chunk(vec![Instr::Jump { target: 5 }], 0, 0, vec![]);
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::BadJumpTarget);
+        assert_eq!(v.at, 0);
+    }
+
+    #[test]
+    fn fall_off_target_is_legal() {
+        let c = chunk(vec![Instr::Jump { target: 1 }], 0, 0, vec![]);
+        verify_chunk(&c).unwrap();
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let c = chunk(
+            vec![Instr::Move { dst: 0, src: 1 }, Instr::Return],
+            2,
+            0,
+            vec![],
+        );
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::UseBeforeDef);
+    }
+
+    #[test]
+    fn rejects_one_sided_definition() {
+        // r1 defined only on the taken branch; the join reads it.
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 0.0 },
+                Instr::JumpIfZero { cond: 0, target: 3 },
+                Instr::Const { dst: 1, val: 1.0 },
+                Instr::Move { dst: 2, src: 1 },
+                Instr::Return,
+            ],
+            3,
+            0,
+            vec![],
+        );
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::UseBeforeDef);
+        assert_eq!(v.at, 3);
+    }
+
+    #[test]
+    fn accepts_both_sided_definition() {
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 0.0 },
+                Instr::JumpIfZero { cond: 0, target: 4 },
+                Instr::Const { dst: 1, val: 1.0 },
+                Instr::Jump { target: 5 },
+                Instr::Const { dst: 1, val: 2.0 },
+                Instr::Move { dst: 2, src: 1 },
+                Instr::Return,
+            ],
+            3,
+            0,
+            vec![],
+        );
+        verify_chunk(&c).unwrap();
+    }
+
+    #[test]
+    fn rejects_slot_out_of_bounds() {
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 1.0 },
+                Instr::StoreSlotNum { slot: 3, src: 0 },
+            ],
+            1,
+            1,
+            vec![],
+        );
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::SlotOutOfBounds);
+        assert_eq!(v.at, 1);
+    }
+
+    #[test]
+    fn rejects_reg_out_of_bounds() {
+        let c = chunk(vec![Instr::Const { dst: 7, val: 0.0 }], 2, 0, vec![]);
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::RegOutOfBounds);
+    }
+
+    #[test]
+    fn rejects_name_out_of_bounds() {
+        let c = chunk(vec![Instr::LoadParam { dst: 0, name: 4 }], 1, 0, vec![]);
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::NameOutOfBounds);
+    }
+
+    #[test]
+    fn rejects_unguarded_switch() {
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 0.0 },
+                Instr::Switch {
+                    src: 0,
+                    targets: vec![2, 2],
+                },
+                Instr::Return,
+            ],
+            1,
+            0,
+            vec![],
+        );
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::UnguardedSwitch);
+    }
+
+    #[test]
+    fn accepts_choice_guarded_switch() {
+        let c = chunk(
+            vec![
+                Instr::Choice {
+                    dst: 0,
+                    name: 0,
+                    branches: 2,
+                },
+                Instr::Switch {
+                    src: 0,
+                    targets: vec![2, 2],
+                },
+                Instr::Return,
+            ],
+            1,
+            0,
+            vec!["either_0".into()],
+        );
+        verify_chunk(&c).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_charge() {
+        let c = chunk(vec![Instr::Charge { amount: -1.0 }], 0, 0, vec![]);
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::BadCharge);
+    }
+
+    #[test]
+    fn rejects_bad_operator() {
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 1.0 },
+                Instr::Const { dst: 1, val: 1.0 },
+                Instr::Bin {
+                    op: crate::ast::BinOp::And,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
+            ],
+            3,
+            0,
+            vec![],
+        );
+        let v = verify_chunk(&c).unwrap_err();
+        assert_eq!(v.kind, ViolationKind::BadOperator);
+    }
+
+    #[test]
+    fn charge_signature_elides_zero_regions_and_sums() {
+        let code = vec![
+            Instr::Charge { amount: 1.0 },
+            Instr::Charge { amount: 1.0 },
+            Instr::Jump { target: 3 },
+            Instr::Charge { amount: 1.0 },
+            Instr::Return,
+        ];
+        assert_eq!(charge_signature(&code), vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn join_is_a_lattice() {
+        use AbsValue::*;
+        let int = AbsValue::scalar(ScalarKind::Int);
+        let a2 = Array { rank: 2 };
+        assert_eq!(Bottom.join(int), int);
+        assert_eq!(int.join(Bottom), int);
+        assert_eq!(a2.join(a2), a2);
+        assert_eq!(a2.join(Array { rank: 1 }), Any);
+        assert_eq!(int.join(a2), Any);
+        assert_eq!(
+            AbsValue::constant(3.0).join(AbsValue::constant(3.0)),
+            AbsValue::constant(3.0)
+        );
+        assert_eq!(
+            AbsValue::constant(3.0).join(AbsValue::constant(4.0)),
+            AbsValue::scalar(ScalarKind::Int)
+        );
+        assert_eq!(
+            AbsValue::constant(1.5).join(AbsValue::constant(2.0)),
+            AbsValue::scalar(ScalarKind::Float)
+        );
+    }
+
+    #[test]
+    fn abstract_interp_infers_kinds_and_consts() {
+        // s0 = const 6 (3 * 2 folded abstractly), r-level bool from a
+        // comparison.
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 3.0 },
+                Instr::BinRI {
+                    op: crate::ast::BinOp::Mul,
+                    dst: 1,
+                    a: 0,
+                    imm: 2.0,
+                },
+                Instr::StoreSlotNum { slot: 0, src: 1 },
+                Instr::Bin {
+                    op: crate::ast::BinOp::Lt,
+                    dst: 2,
+                    a: 0,
+                    b: 1,
+                },
+                Instr::Return,
+            ],
+            3,
+            1,
+            vec![],
+        );
+        let facts = analyze_chunk(&c, &[]);
+        assert_eq!(facts.slots[0], AbsValue::constant(6.0));
+        assert_eq!(
+            facts.regs[2],
+            AbsValue::Scalar {
+                kind: ScalarKind::Bool,
+                cst: Some(1.0)
+            }
+        );
+    }
+
+    #[test]
+    fn loop_counter_loses_constness_but_stays_int() {
+        // r0 = 0; loop: r0 += 1; jump back — the join forces non-const
+        // but keeps int.
+        let c = chunk(
+            vec![
+                Instr::Const { dst: 0, val: 0.0 },
+                Instr::AddImmJump {
+                    dst: 0,
+                    imm: 1.0,
+                    target: 1,
+                },
+            ],
+            1,
+            0,
+            vec![],
+        );
+        let facts = analyze_chunk(&c, &[]);
+        assert_eq!(facts.regs[0], AbsValue::scalar(ScalarKind::Int));
+    }
+
+    #[test]
+    fn nan_constants_converge() {
+        // Equality is bitwise, so a folded NaN constant is equal to
+        // itself — the fixpoint's changed-check relies on that to
+        // terminate when a NaN stays live across a back-edge.
+        assert_eq!(AbsValue::constant(f64::NAN), AbsValue::constant(f64::NAN));
+        let c = chunk(
+            vec![
+                Instr::Const {
+                    dst: 0,
+                    val: f64::NAN,
+                },
+                Instr::Const { dst: 1, val: 1.0 },
+                Instr::JumpIfZero { cond: 1, target: 4 },
+                Instr::Jump { target: 1 },
+                Instr::Return,
+            ],
+            2,
+            0,
+            vec![],
+        );
+        verify_chunk(&c).unwrap();
+        let facts = analyze_chunk(&c, &[]);
+        let (kind, cst) = facts.regs[0].as_scalar();
+        assert_eq!(kind, ScalarKind::Float);
+        assert!(cst.is_some_and(f64::is_nan));
+    }
+}

@@ -639,6 +639,11 @@ pub struct CompiledTransform {
     /// `Some(chunk)` for compiled rules, `None` where the rule falls
     /// back to the tree-walking interpreter (with the reason).
     pub rules: Vec<Result<Chunk, CompileError>>,
+    /// Inferred [`crate::analysis::ChunkFacts`] per rule (`None` where
+    /// the rule did not compile) — the typed-IR seed. Recomputed from
+    /// each facts' stored entry state when the chunks are
+    /// re-optimized.
+    pub facts: Vec<Option<crate::analysis::ChunkFacts>>,
 }
 
 /// All compiled transforms of a program, keyed by transform name.
@@ -663,6 +668,16 @@ impl CompiledProgram {
         self.transforms.get(name)
     }
 
+    /// The inferred facts for `transform`'s rule `rule_idx`, if that
+    /// rule compiled.
+    pub fn facts(&self, transform: &str, rule_idx: usize) -> Option<&crate::analysis::ChunkFacts> {
+        self.transforms
+            .get(transform)?
+            .facts
+            .get(rule_idx)?
+            .as_ref()
+    }
+
     /// Runs the optimizer pipeline ([`crate::opt`]) over every compiled
     /// chunk. Every [`crate::opt::OptLevel`] is observably identical to
     /// the unoptimized bytecode (and the tree-walker).
@@ -670,8 +685,20 @@ impl CompiledProgram {
     pub fn optimized(mut self, level: crate::opt::OptLevel) -> Self {
         if level != crate::opt::OptLevel::O0 {
             for t in self.transforms.values_mut() {
-                for chunk in t.rules.iter_mut().flatten() {
-                    *chunk = crate::opt::optimize(chunk, level);
+                for (chunk, facts) in t.rules.iter_mut().zip(t.facts.iter_mut()) {
+                    if let Ok(chunk) = chunk {
+                        *chunk = crate::opt::optimize(chunk, level);
+                        // Re-infer over the optimized code from the same
+                        // entry state, so the facts always describe the
+                        // chunk that will actually dispatch.
+                        *facts = Some(crate::analysis::analyze_chunk(
+                            chunk,
+                            facts
+                                .as_ref()
+                                .map(|f| f.entry_slots.as_slice())
+                                .unwrap_or(&[]),
+                        ));
+                    }
                 }
             }
         }
@@ -696,12 +723,23 @@ impl CompiledProgram {
 pub fn compile_program(program: &Program) -> CompiledProgram {
     let mut transforms = HashMap::new();
     for t in &program.transforms {
-        let rules = t
+        let rules: Vec<Result<Chunk, CompileError>> = t
             .rules
             .iter()
             .map(|rule| compile_rule(program, t, rule))
             .collect();
-        transforms.insert(t.name.clone(), CompiledTransform { rules });
+        let facts = t
+            .rules
+            .iter()
+            .zip(&rules)
+            .map(|(rule, compiled)| {
+                compiled.as_ref().ok().map(|chunk| {
+                    let entry = crate::analysis::entry_slots(t, rule, chunk);
+                    crate::analysis::analyze_chunk(chunk, &entry)
+                })
+            })
+            .collect();
+        transforms.insert(t.name.clone(), CompiledTransform { rules, facts });
     }
     CompiledProgram { transforms }
 }

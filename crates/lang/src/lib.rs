@@ -59,6 +59,7 @@
 //! assert_eq!(program.transforms.len(), 2);
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod cdg;
 pub mod compile;
@@ -73,10 +74,14 @@ pub mod traininfo;
 pub mod transform;
 pub mod vm;
 
+pub use analysis::{
+    analyze_chunk, charge_signature, entry_slots, lint_program, verify_chunk, verify_code,
+    verify_tunables, AbsValue, ChunkFacts, Lint, ScalarKind, Severity, Violation, ViolationKind,
+};
 pub use ast::Program;
 pub use compile::{compile_program, opcode_is_fused, CompiledProgram, N_OPCODES, OPCODE_NAMES};
 pub use interp::{Dims, Interpreter, Value};
-pub use opt::OptLevel;
+pub use opt::{optimize_verified, OptLevel, PassViolation};
 pub use parser::{parse_program, ParseError};
 pub use sema::{check_program, SemaError};
 pub use traininfo::extract_schema;

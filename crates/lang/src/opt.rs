@@ -71,31 +71,150 @@ pub enum OptLevel {
     O2,
 }
 
+/// A verifier violation attributed to the optimizer pass that
+/// introduced it (or to `lowering` when the input chunk was already
+/// malformed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassViolation {
+    /// Pass name: `lowering`, `local_value`, `dce`, `compact`, `fuse`,
+    /// `fold_charges`, or `renumber_regs`.
+    pub pass: &'static str,
+    /// The chunk's label.
+    pub label: String,
+    /// The underlying violation.
+    pub violation: crate::analysis::Violation,
+}
+
+impl std::fmt::Display for PassViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pass `{}` broke chunk `{}`: {}",
+            self.pass, self.label, self.violation
+        )
+    }
+}
+
+impl std::error::Error for PassViolation {}
+
+/// Whether the pipeline re-verifies after every pass by default:
+/// `PB_VERIFY=1` forces it on, `PB_VERIFY=0` off, unset follows
+/// `debug_assertions`.
+pub fn verify_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| match std::env::var("PB_VERIFY") {
+        Ok(v) => !(v.is_empty() || v == "0"),
+        Err(_) => cfg!(debug_assertions),
+    })
+}
+
 /// Runs the pass pipeline over one chunk. [`OptLevel::O0`] returns the
-/// chunk unchanged.
+/// chunk unchanged. Under `PB_VERIFY=1` (or in debug builds) the chunk
+/// is re-verified after every pass; a violation panics with the name
+/// of the pass that introduced it.
 pub fn optimize(chunk: &Chunk, level: OptLevel) -> Chunk {
+    match optimize_verified(chunk, level, verify_enabled()) {
+        Ok(c) => c,
+        Err(v) => panic!("optimizer bug: {v}"),
+    }
+}
+
+/// [`optimize`] with explicit control over pass-by-pass verification.
+/// With `verify` off this is the plain pipeline (no per-pass cost);
+/// with it on, [`crate::analysis::verify_code`] runs after every pass
+/// and the per-region charge signature
+/// ([`crate::analysis::charge_signature`]) is checked against the
+/// input's, so the first pass to break an invariant — including
+/// hoisting a `Charge` across control flow — is named in the error.
+///
+/// # Errors
+///
+/// Returns the [`PassViolation`] for the first pass whose output fails
+/// verification (pass `lowering` if the input chunk is already bad).
+pub fn optimize_verified(
+    chunk: &Chunk,
+    level: OptLevel,
+    verify: bool,
+) -> Result<Chunk, PassViolation> {
+    use crate::analysis::{charge_signature, verify_code, Violation, ViolationKind};
+
+    let n_names = chunk.names.len();
+    let check = |pass: &'static str,
+                 code: &[Instr],
+                 n_regs: u16,
+                 want_sig: Option<&[f64]>|
+     -> Result<(), PassViolation> {
+        let fail = |violation: Violation| PassViolation {
+            pass,
+            label: chunk.label.clone(),
+            violation,
+        };
+        verify_code(
+            code,
+            n_regs,
+            chunk.n_slots,
+            n_names,
+            &chunk.input_slots,
+            &chunk.output_slots,
+        )
+        .map_err(fail)?;
+        if let Some(want) = want_sig {
+            let got = charge_signature(code);
+            if got != want {
+                return Err(fail(Violation {
+                    kind: ViolationKind::ChargeMoved,
+                    at: 0,
+                    detail: format!("charge signature changed: {want:?} -> {got:?}"),
+                }));
+            }
+        }
+        Ok(())
+    };
+
+    let sig = if verify {
+        check("lowering", &chunk.code, chunk.n_regs, None)?;
+        Some(charge_signature(&chunk.code))
+    } else {
+        None
+    };
     if level == OptLevel::O0 {
-        return chunk.clone();
+        return Ok(chunk.clone());
     }
     let mut code = chunk.code.clone();
+    let gate = |pass: &'static str, code: &[Instr]| -> Result<(), PassViolation> {
+        match &sig {
+            Some(sig) => check(pass, code, chunk.n_regs, Some(sig)),
+            None => Ok(()),
+        }
+    };
 
     // Value tracking and DCE cascade (a folded constant exposes a dead
     // `Const`, whose removal exposes nothing further), so two rounds
     // reach the fixpoint for the shapes lowering produces.
     for _ in 0..2 {
         local_value_pass(&mut code, level);
+        gate("local_value", &code)?;
         dce(&mut code, &chunk.output_slots);
+        gate("dce", &code)?;
         code = compact(code);
+        gate("compact", &code)?;
     }
     if level >= OptLevel::O2 {
         fuse(&mut code);
+        gate("fuse", &code)?;
         dce(&mut code, &chunk.output_slots);
+        gate("dce", &code)?;
         fold_charges(&mut code);
+        gate("fold_charges", &code)?;
         code = compact(code);
+        gate("compact", &code)?;
     }
 
     let (code, n_regs) = renumber_regs(code);
-    Chunk {
+    if let Some(sig) = &sig {
+        check("renumber_regs", &code, n_regs, Some(sig))?;
+    }
+    Ok(Chunk {
         label: chunk.label.clone(),
         code,
         names: chunk.names.clone(),
@@ -104,14 +223,14 @@ pub fn optimize(chunk: &Chunk, level: OptLevel) -> Chunk {
         input_slots: chunk.input_slots.clone(),
         output_slots: chunk.output_slots.clone(),
         opt: level,
-    }
+    })
 }
 
 // ---- instruction facts -------------------------------------------------
 
 /// Registers an instruction reads (including the old value of
 /// read-modify-write destinations).
-fn for_each_use(instr: &Instr, mut f: impl FnMut(Reg)) {
+pub(crate) fn for_each_use(instr: &Instr, mut f: impl FnMut(Reg)) {
     match instr {
         Instr::Move { src, .. }
         | Instr::Neg { src, .. }
@@ -196,7 +315,7 @@ fn for_each_use(instr: &Instr, mut f: impl FnMut(Reg)) {
 }
 
 /// Registers an instruction writes.
-fn for_each_def(instr: &Instr, mut f: impl FnMut(Reg)) {
+pub(crate) fn for_each_def(instr: &Instr, mut f: impl FnMut(Reg)) {
     match instr {
         Instr::Const { dst, .. }
         | Instr::Move { dst, .. }
@@ -251,7 +370,7 @@ fn is_pure(instr: &Instr) -> bool {
 }
 
 /// Whether the instruction ends a straight-line region.
-fn is_terminator(instr: &Instr) -> bool {
+pub(crate) fn is_terminator(instr: &Instr) -> bool {
     matches!(
         instr,
         Instr::Jump { .. }
@@ -269,7 +388,7 @@ fn is_terminator(instr: &Instr) -> bool {
 /// Indices that are jump targets (block leaders, minus index 0 and
 /// fall-throughs, which the passes that need full leader sets add
 /// themselves).
-fn jump_targets(code: &[Instr]) -> Vec<bool> {
+pub(crate) fn jump_targets(code: &[Instr]) -> Vec<bool> {
     let mut targets = vec![false; code.len() + 1];
     for instr in code {
         match instr {

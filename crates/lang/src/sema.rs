@@ -1,9 +1,96 @@
 //! Semantic analysis: name resolution and well-formedness checks.
 
-use crate::ast::{Expr, Program, Stmt, Transform};
+use crate::ast::{Block, Expr, LValue, Program, Stmt, Transform};
 use crate::token::Span;
 use std::collections::HashSet;
 use std::fmt;
+
+/// Collects every name an expression references (variables, indexed
+/// arrays, names inside call arguments and index expressions) into
+/// `out`. Shared by the lint layer ([`crate::analysis`]) to find
+/// dead tunables and unread accuracy variables.
+pub fn collect_expr_vars(expr: &Expr, out: &mut HashSet<String>) {
+    match expr {
+        Expr::Number(..) => {}
+        Expr::Var(name, _) => {
+            out.insert(name.clone());
+        }
+        Expr::Index { name, indices, .. } => {
+            out.insert(name.clone());
+            for e in indices {
+                collect_expr_vars(e, out);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for e in args {
+                collect_expr_vars(e, out);
+            }
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_expr_vars(lhs, out);
+            collect_expr_vars(rhs, out);
+        }
+        Expr::Unary { operand, .. } => collect_expr_vars(operand, out),
+    }
+}
+
+/// Collects every name a block references — assignment targets
+/// included, since writing `Out` still *uses* the data — into `out`.
+pub fn collect_block_vars(block: &Block, out: &mut HashSet<String>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { value, .. } => collect_expr_vars(value, out),
+            Stmt::Assign { target, value, .. } => {
+                match target {
+                    LValue::Var(name) => {
+                        out.insert(name.clone());
+                    }
+                    LValue::Index { name, indices } => {
+                        out.insert(name.clone());
+                        for e in indices {
+                            collect_expr_vars(e, out);
+                        }
+                    }
+                }
+                collect_expr_vars(value, out);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                collect_expr_vars(cond, out);
+                collect_block_vars(then_block, out);
+                if let Some(e) = else_block {
+                    collect_block_vars(e, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                collect_expr_vars(cond, out);
+                collect_block_vars(body, out);
+            }
+            Stmt::For { lo, hi, body, .. } => {
+                collect_expr_vars(lo, out);
+                collect_expr_vars(hi, out);
+                collect_block_vars(body, out);
+            }
+            Stmt::ForEnough { body, .. } => collect_block_vars(body, out),
+            Stmt::Either { branches, .. } => {
+                for b in branches {
+                    collect_block_vars(b, out);
+                }
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(e) = value {
+                    collect_expr_vars(e, out);
+                }
+            }
+            Stmt::Expr { expr, .. } => collect_expr_vars(expr, out),
+            Stmt::VerifyAccuracy { .. } => {}
+        }
+    }
+}
 
 /// A semantic error with its location.
 #[derive(Debug, Clone, PartialEq)]

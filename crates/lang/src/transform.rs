@@ -126,6 +126,13 @@ impl DslTransform {
         &self.interpreter
     }
 
+    /// The inferred [`crate::analysis::ChunkFacts`] for this
+    /// transform's rule `rule_idx`, if that rule compiled — the facts
+    /// describe the chunk at the opt level this transform dispatches.
+    pub fn chunk_facts(&self, rule_idx: usize) -> Option<&crate::analysis::ChunkFacts> {
+        self.interpreter.compiled()?.facts(&self.name, rule_idx)
+    }
+
     /// Runs the accuracy-metric transform on an input/output pair.
     ///
     /// # Errors

@@ -631,7 +631,16 @@ fn exec_loop<const PROFILE: bool>(
                 regs[*dst as usize] = pick.min(*branches as usize - 1) as f64;
             }
             Instr::Switch { src, targets } => {
-                pc = targets[regs[*src as usize] as usize];
+                // Unreachable for verified chunks (the adjacent Choice
+                // clamps the pick); a runtime error, not a panic, for
+                // anything hand-built.
+                let idx = regs[*src as usize] as usize;
+                pc = *targets.get(idx).ok_or_else(|| {
+                    err(format!(
+                        "switch index {idx} out of range ({} targets)",
+                        targets.len()
+                    ))
+                })?;
                 continue;
             }
             Instr::SlotUpdImm {

@@ -24,6 +24,7 @@
 //!   and the tunable-cutoff data-parallel helpers built on it (§5.2).
 
 pub mod ctx;
+pub mod diag;
 pub mod guarantee;
 pub mod parallel;
 pub mod pool;

@@ -34,6 +34,8 @@
 //! on top and keep the tunable `sequential_cutoff` semantics the
 //! autotuner relies on.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use pb_trace::{Event, EventKind};
 use std::any::Any;
@@ -432,10 +434,12 @@ impl Pool {
         let chunk_len = count.div_ceil(chunks);
         let chunks = count.div_ceil(chunk_len);
 
-        // Erase the closure's lifetime so jobs can carry it through
-        // the 'static queues. Sound because this function does not
-        // return until every job of the batch has executed.
         let task_obj: &(dyn Fn(usize) + Sync) = &task;
+        // SAFETY: the transmute only erases the wide reference's
+        // lifetime so jobs can carry it through the 'static queues
+        // (same pointee type, same vtable). Sound because this
+        // function does not return until every job of the batch has
+        // executed, so the borrow outlives every dereference.
         let task_ptr: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task_obj) };
         let state = BatchState {
             task: task_ptr,

@@ -756,9 +756,10 @@ impl<'a> Evaluator<'a> {
                 // predating atomic renames, a bad disk, a manual edit)
                 // must degrade to a cold start, not an aborted tuning
                 // run — but silently ignoring real data loss helps
-                // nobody, so say what happened.
-                eprintln!(
-                    "pb_tuner: trial-cache sidecar {} is corrupted or truncated; starting cold",
+                // nobody, so say what happened (suppressible via
+                // `PB_QUIET`).
+                pb_runtime::diag_warn!(
+                    "trial-cache sidecar {} is corrupted or truncated; starting cold",
                     path.display()
                 );
                 return 0;

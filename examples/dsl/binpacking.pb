@@ -1,0 +1,37 @@
+// Bin packing with an algorithmic choice per placement strategy:
+// next-fit (open a new bin when the current one overflows unit
+// capacity) or round-robin spreading. Also the shape mix the
+// `ChunkFacts` tests pin: Sizes/Bins infer `arr1`, Used stays a
+// scalar.
+
+transform binpack
+accuracy_metric binpackacc
+from Sizes[n]
+to Bins[n], Used
+{
+    to (Bins b, Used u) from (Sizes s) {
+        u = 1;
+        let fill = 0;
+        for (i in 0 .. len(s)) {
+            either {
+                if (fill + s[i] > 1) {
+                    u = u + 1;
+                    fill = 0;
+                }
+                b[i] = u - 1;
+                fill = fill + s[i];
+            } or {
+                b[i] = i % u;
+            }
+        }
+    }
+}
+
+transform binpackacc
+from Bins[n], Used, Sizes[n]
+to Accuracy
+{
+    to (Accuracy acc) from (Bins b, Used u, Sizes s) {
+        acc = len(s) / max(u, 1);
+    }
+}

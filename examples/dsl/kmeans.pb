@@ -1,0 +1,44 @@
+// The Figure-3 kmeans program (conf_cgo_AnselWCOEA11 §3): a
+// two-producer choice site over Centroids (`rule_Centroids`), `rand`
+// in rule bodies, 2-D indexing, and an accuracy-variable-sized
+// intermediate. Same program text as the differential suite pins
+// bit-identical across interpreter and VM.
+
+transform kmeans
+accuracy_metric kmeansaccuracy
+accuracy_variable k 1 64
+from Points[2, n]
+through Centroids[2, k]
+to Assignments[n]
+{
+    to (Centroids c) from (Points p) {
+        for (i in 0 .. cols(c)) {
+            let src = floor(rand(0, cols(p)));
+            c[0, i] = p[0, src];
+            c[1, i] = p[1, src];
+        }
+    }
+    to (Centroids c) from (Points p) {
+        for (i in 0 .. cols(c)) {
+            let src = i * cols(p) / cols(c);
+            c[0, i] = p[0, src];
+            c[1, i] = p[1, src];
+        }
+    }
+    to (Assignments a) from (Points p, Centroids c) {
+        for_enough {
+            for (i in 0 .. len(a)) {
+                a[i] = i % cols(c);
+            }
+        }
+    }
+}
+
+transform kmeansaccuracy
+from Assignments[n], Points[2, n]
+to Accuracy
+{
+    to (Accuracy acc) from (Assignments a, Points p) {
+        acc = 1;
+    }
+}

@@ -1,0 +1,31 @@
+// Iterative refinement (§3.2): a `for_enough` loop wrapping an
+// `either…or` choice over scalar data — the smallest program
+// exercising both variable-accuracy constructs.
+
+transform refine
+accuracy_metric refineacc
+from In[n]
+to Err, Work
+{
+    to (Err e, Work w) from (In a) {
+        e = 1;
+        for_enough {
+            either {
+                e = e / 2;
+                w = w + 1;
+            } or {
+                e = e / 4;
+                w = w + 10;
+            }
+        }
+    }
+}
+
+transform refineacc
+from Err, In[n]
+to Accuracy
+{
+    to (Accuracy acc) from (Err e, In a) {
+        acc = 0 - log(e) / log(10);
+    }
+}

@@ -1,0 +1,485 @@
+//! Static-analysis suite: the bytecode verifier and the abstract
+//! interpreter.
+//!
+//! Three layers:
+//!
+//! 1. **Fuzz acceptance** — every program the differential suite's
+//!    random-body generator produces must verify clean at `O0` and
+//!    through the verified `O1`/`O2` pass pipelines (pass-by-pass
+//!    checking on), with the charge signature preserved end to end.
+//! 2. **Hand-broken regression corpus** — chunks broken one invariant
+//!    at a time must be rejected with exactly the right
+//!    [`ViolationKind`], and the pass pipeline must attribute a bad
+//!    *input* chunk to `lowering`.
+//! 3. **`ChunkFacts` pins** — the shipped kmeans and binpacking
+//!    programs infer the expected per-slot kinds (arrays with rank,
+//!    scalar int/float, constant-ness), at `O0` and after `O2`.
+
+mod common;
+
+use common::gen_straight_line_program;
+use petabricks::lang::compile::{Chunk, Instr};
+use petabricks::lang::{
+    analyze_chunk, charge_signature, check_program, compile_program, entry_slots,
+    optimize_verified, parse_program, verify_chunk, verify_tunables, AbsValue, OptLevel,
+    ScalarKind, ViolationKind,
+};
+use proptest::prelude::*;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/examples/dsl/{name}.pb", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+// ---- fuzz acceptance ---------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated program's chunks verify clean at `O0`, and both
+    /// optimizing levels run the full pipeline with pass-by-pass
+    /// verification on — so a pass that ever emits a malformed chunk
+    /// (or moves a charge across control flow) fails here with the
+    /// pass named, not in the differential suite with a diverging
+    /// output.
+    #[test]
+    fn random_bodies_verify_clean_at_every_level(
+        seed in 0u64..10_000,
+        n_stmts in 1usize..12,
+    ) {
+        let src = gen_straight_line_program(seed, n_stmts);
+        let program = parse_program(&src).unwrap();
+        check_program(&program).unwrap();
+        let compiled = compile_program(&program);
+        let t = compiled.transform("t").unwrap();
+        for rule in &t.rules {
+            let chunk = rule.as_ref().expect("generated bodies always compile");
+            verify_chunk(chunk).unwrap_or_else(|v| panic!("O0 chunk invalid: {v}\n{src}"));
+            let sig = charge_signature(&chunk.code);
+            for level in [OptLevel::O1, OptLevel::O2] {
+                let opt = optimize_verified(chunk, level, true)
+                    .unwrap_or_else(|v| panic!("{v}\n{src}"));
+                verify_chunk(&opt).unwrap_or_else(|v| panic!("{level:?} chunk invalid: {v}"));
+                let opt_sig = charge_signature(&opt.code);
+                prop_assert!(
+                    opt_sig == sig,
+                    "charge signature not preserved at {level:?}: {sig:?} -> {opt_sig:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shipped_examples_verify_clean_with_tunables() {
+    for name in ["refine", "kmeans", "binpacking"] {
+        let src = example(name);
+        let program = parse_program(&src).unwrap();
+        check_program(&program).unwrap();
+        let compiled = compile_program(&program);
+        for t in &program.transforms {
+            let schema = petabricks::lang::extract_schema(&program, &t.name);
+            let ct = compiled.transform(&t.name).unwrap();
+            for rule in &ct.rules {
+                let chunk = rule.as_ref().expect("shipped rules all compile");
+                verify_chunk(chunk).unwrap();
+                let opt = optimize_verified(chunk, OptLevel::O2, true).unwrap();
+                verify_tunables(&opt, &schema, "").unwrap();
+            }
+        }
+    }
+}
+
+// ---- hand-broken regression corpus -------------------------------------
+
+fn chunk(code: Vec<Instr>, n_regs: u16, n_slots: u16, names: Vec<&str>) -> Chunk {
+    Chunk {
+        label: "broken::r0".into(),
+        code,
+        names: names.into_iter().map(String::from).collect(),
+        n_regs,
+        n_slots,
+        input_slots: vec![],
+        output_slots: vec![],
+        opt: OptLevel::O0,
+    }
+}
+
+#[test]
+fn corpus_bad_jump_target() {
+    let c = chunk(
+        vec![Instr::Const { dst: 0, val: 0.0 }, Instr::Jump { target: 9 }],
+        1,
+        0,
+        vec![],
+    );
+    let v = verify_chunk(&c).unwrap_err();
+    assert_eq!(v.kind, ViolationKind::BadJumpTarget);
+    assert_eq!(v.at, 1);
+}
+
+#[test]
+fn corpus_bad_fused_jump_target() {
+    // The fused compare-and-branch and add-and-jump forms carry their
+    // own targets; both must be range-checked too.
+    let cmp = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 0.0 },
+            Instr::JumpCmpImm {
+                op: petabricks::lang::ast::BinOp::Lt,
+                a: 0,
+                imm: 1.0,
+                jump_if: true,
+                target: 77,
+            },
+        ],
+        1,
+        0,
+        vec![],
+    );
+    assert_eq!(
+        verify_chunk(&cmp).unwrap_err().kind,
+        ViolationKind::BadJumpTarget
+    );
+    let aij = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 0.0 },
+            Instr::AddImmJump {
+                dst: 0,
+                imm: 1.0,
+                target: 77,
+            },
+        ],
+        1,
+        0,
+        vec![],
+    );
+    assert_eq!(
+        verify_chunk(&aij).unwrap_err().kind,
+        ViolationKind::BadJumpTarget
+    );
+}
+
+#[test]
+fn corpus_use_before_def_straight_line() {
+    let c = chunk(vec![Instr::StoreSlotNum { slot: 0, src: 3 }], 4, 1, vec![]);
+    let v = verify_chunk(&c).unwrap_err();
+    assert_eq!(v.kind, ViolationKind::UseBeforeDef);
+    assert_eq!(v.at, 0);
+}
+
+#[test]
+fn corpus_use_before_def_one_sided_branch() {
+    // r1 is defined only when the branch is taken; reading it at the
+    // join must be rejected (must-defined, not may-defined).
+    let c = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 1.0 },
+            Instr::JumpIfZero { cond: 0, target: 3 },
+            Instr::Const { dst: 1, val: 2.0 },
+            Instr::Move { dst: 2, src: 1 },
+            Instr::Return,
+        ],
+        3,
+        0,
+        vec![],
+    );
+    let v = verify_chunk(&c).unwrap_err();
+    assert_eq!(v.kind, ViolationKind::UseBeforeDef);
+    assert_eq!(v.at, 3);
+}
+
+#[test]
+fn corpus_slot_out_of_bounds() {
+    let c = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 0.0 },
+            Instr::StoreSlotNum { slot: 2, src: 0 },
+        ],
+        1,
+        2,
+        vec![],
+    );
+    let v = verify_chunk(&c).unwrap_err();
+    assert_eq!(v.kind, ViolationKind::SlotOutOfBounds);
+    assert_eq!(v.at, 1);
+}
+
+#[test]
+fn corpus_reg_out_of_bounds() {
+    let c = chunk(vec![Instr::Const { dst: 4, val: 0.0 }], 2, 0, vec![]);
+    assert_eq!(
+        verify_chunk(&c).unwrap_err().kind,
+        ViolationKind::RegOutOfBounds
+    );
+}
+
+#[test]
+fn corpus_name_out_of_bounds() {
+    let c = chunk(
+        vec![Instr::LoadParam { dst: 0, name: 1 }],
+        1,
+        0,
+        vec!["only_one"],
+    );
+    assert_eq!(
+        verify_chunk(&c).unwrap_err().kind,
+        ViolationKind::NameOutOfBounds
+    );
+}
+
+#[test]
+fn corpus_unguarded_switch() {
+    // A Switch not fed by its clamping Choice can dispatch out of
+    // range; the verifier requires the guard.
+    let c = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 7.0 },
+            Instr::Switch {
+                src: 0,
+                targets: vec![2, 2],
+            },
+            Instr::Return,
+        ],
+        1,
+        0,
+        vec![],
+    );
+    assert_eq!(
+        verify_chunk(&c).unwrap_err().kind,
+        ViolationKind::UnguardedSwitch
+    );
+}
+
+#[test]
+fn corpus_bad_charge() {
+    for amount in [-1.0, 0.0, f64::NAN, f64::INFINITY] {
+        let c = chunk(vec![Instr::Charge { amount }], 0, 0, vec![]);
+        assert_eq!(
+            verify_chunk(&c).unwrap_err().kind,
+            ViolationKind::BadCharge,
+            "amount {amount}"
+        );
+    }
+}
+
+#[test]
+fn corpus_bad_operator() {
+    let c = chunk(
+        vec![
+            Instr::Const { dst: 0, val: 1.0 },
+            Instr::BinRI {
+                op: petabricks::lang::ast::BinOp::Or,
+                dst: 1,
+                a: 0,
+                imm: 0.0,
+            },
+        ],
+        2,
+        0,
+        vec![],
+    );
+    assert_eq!(
+        verify_chunk(&c).unwrap_err().kind,
+        ViolationKind::BadOperator
+    );
+}
+
+#[test]
+fn corpus_bad_input_chunk_attributed_to_lowering() {
+    let c = chunk(vec![Instr::Jump { target: 9 }], 0, 0, vec![]);
+    let err = optimize_verified(&c, OptLevel::O2, true).unwrap_err();
+    assert_eq!(err.pass, "lowering");
+    assert_eq!(err.violation.kind, ViolationKind::BadJumpTarget);
+}
+
+#[test]
+fn corpus_unknown_and_mismatched_tunables() {
+    // Verify the refine chunk against the metric transform's schema
+    // (which has no tunables): every tunable reference is unknown.
+    let src = example("refine");
+    let program = parse_program(&src).unwrap();
+    let compiled = compile_program(&program);
+    let refine = compiled.chunk("refine", 0).unwrap();
+    let empty = petabricks::lang::extract_schema(&program, "refineacc");
+    assert_eq!(
+        verify_tunables(refine, &empty, "").unwrap_err().kind,
+        ViolationKind::UnknownTunable
+    );
+
+    // And a Choice whose branch count disagrees with the schema's
+    // choice site is a mismatch.
+    let schema = petabricks::lang::extract_schema(&program, "refine");
+    let mut tampered = refine.clone();
+    for instr in &mut tampered.code {
+        if let Instr::Choice { branches, .. } = instr {
+            *branches = 3;
+        }
+    }
+    assert_eq!(
+        verify_tunables(&tampered, &schema, "").unwrap_err().kind,
+        ViolationKind::TunableMismatch
+    );
+}
+
+// ---- ChunkFacts pins ---------------------------------------------------
+
+/// The facts for `transform`'s rule `rule_idx` of `src`, computed at
+/// `level` through the public compile → optimize path.
+fn facts_at(
+    src: &str,
+    transform: &str,
+    rule_idx: usize,
+    level: OptLevel,
+) -> petabricks::lang::ChunkFacts {
+    let program = parse_program(src).unwrap();
+    let compiled = compile_program(&program).optimized(level);
+    compiled.facts(transform, rule_idx).unwrap().clone()
+}
+
+fn slot_of(
+    src: &str,
+    transform: &str,
+    rule_idx: usize,
+    level: OptLevel,
+    binding: Binding,
+) -> usize {
+    let program = parse_program(src).unwrap();
+    let compiled = compile_program(&program).optimized(level);
+    let chunk = compiled.chunk(transform, rule_idx).unwrap();
+    match binding {
+        Binding::Input(i) => chunk.input_slots[i] as usize,
+        Binding::Output(i) => chunk.output_slots[i] as usize,
+    }
+}
+
+enum Binding {
+    Input(usize),
+    Output(usize),
+}
+
+#[test]
+fn kmeans_facts_pin_expected_kinds() {
+    let src = example("kmeans");
+    for level in [OptLevel::O0, OptLevel::O2] {
+        // Rule 2: to (Assignments a) from (Points p, Centroids c).
+        let facts = facts_at(&src, "kmeans", 2, level);
+        let points = slot_of(&src, "kmeans", 2, level, Binding::Input(0));
+        let centroids = slot_of(&src, "kmeans", 2, level, Binding::Input(1));
+        let assignments = slot_of(&src, "kmeans", 2, level, Binding::Output(0));
+        assert_eq!(
+            facts.slots[points],
+            AbsValue::Array { rank: 2 },
+            "{level:?}"
+        );
+        assert_eq!(
+            facts.slots[centroids],
+            AbsValue::Array { rank: 2 },
+            "{level:?}"
+        );
+        assert_eq!(
+            facts.slots[assignments],
+            AbsValue::Array { rank: 1 },
+            "{level:?}"
+        );
+        // Registers only ever hold scalars; the abstract domain must
+        // agree (no Array/Any leaks into the register file).
+        for (i, r) in facts.regs.iter().enumerate() {
+            assert!(
+                matches!(r, AbsValue::Bottom | AbsValue::Scalar { .. }),
+                "{level:?}: r{i} inferred {r}"
+            );
+        }
+
+        // Rule 0 (random restarts) draws via rand: its `src` index
+        // register is floor()-ed, so it must infer int, not float.
+        let facts0 = facts_at(&src, "kmeans", 0, level);
+        let p0 = slot_of(&src, "kmeans", 0, level, Binding::Input(0));
+        let c0 = slot_of(&src, "kmeans", 0, level, Binding::Output(0));
+        assert_eq!(facts0.slots[p0], AbsValue::Array { rank: 2 }, "{level:?}");
+        assert_eq!(facts0.slots[c0], AbsValue::Array { rank: 2 }, "{level:?}");
+        let src_slot = facts0
+            .slots
+            .iter()
+            .filter(|v| {
+                matches!(
+                    v,
+                    AbsValue::Scalar {
+                        kind: ScalarKind::Int,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(
+            src_slot >= 1,
+            "{level:?}: expected an int-kinded local slot (`src`)"
+        );
+    }
+}
+
+#[test]
+fn binpacking_facts_pin_expected_kinds() {
+    let src = example("binpacking");
+    for level in [OptLevel::O0, OptLevel::O2] {
+        let facts = facts_at(&src, "binpack", 0, level);
+        let sizes = slot_of(&src, "binpack", 0, level, Binding::Input(0));
+        let bins = slot_of(&src, "binpack", 0, level, Binding::Output(0));
+        let used = slot_of(&src, "binpack", 0, level, Binding::Output(1));
+        assert_eq!(facts.slots[sizes], AbsValue::Array { rank: 1 }, "{level:?}");
+        assert_eq!(facts.slots[bins], AbsValue::Array { rank: 1 }, "{level:?}");
+        // `Used` is declared scalar (float at entry) and only ever
+        // assigned integral values; the join across entry and stores
+        // keeps it a non-constant scalar, never an array.
+        assert!(
+            matches!(facts.slots[used], AbsValue::Scalar { cst: None, .. }),
+            "{level:?}: Used inferred {}",
+            facts.slots[used]
+        );
+
+        // The metric rule: Accuracy output is a scalar.
+        let mfacts = facts_at(&src, "binpackacc", 0, level);
+        let acc = slot_of(&src, "binpackacc", 0, level, Binding::Output(0));
+        assert!(
+            matches!(mfacts.slots[acc], AbsValue::Scalar { .. }),
+            "{level:?}: Accuracy inferred {}",
+            mfacts.slots[acc]
+        );
+    }
+}
+
+#[test]
+fn facts_refresh_after_optimization() {
+    // `optimized()` must re-infer over the optimized code: the facts'
+    // register file matches the *renumbered* register count, not the
+    // lowering-time one.
+    let src = example("binpacking");
+    let program = parse_program(&src).unwrap();
+    let compiled = compile_program(&program).optimized(OptLevel::O2);
+    let chunk = compiled.chunk("binpack", 0).unwrap();
+    let facts = compiled.facts("binpack", 0).unwrap();
+    assert_eq!(facts.regs.len(), chunk.n_regs as usize);
+    assert_eq!(facts.slots.len(), chunk.n_slots as usize);
+
+    // And recomputing from the stored entry state is reproducible.
+    let again = analyze_chunk(chunk, &facts.entry_slots);
+    assert_eq!(&again, facts);
+}
+
+#[test]
+fn entry_slots_come_from_declarations() {
+    let src = example("kmeans");
+    let program = parse_program(&src).unwrap();
+    let t = program.transform("kmeans").unwrap();
+    let compiled = compile_program(&program);
+    let chunk = compiled.chunk("kmeans", 2).unwrap();
+    let entry = entry_slots(t, &t.rules[2], chunk);
+    assert_eq!(
+        entry[chunk.input_slots[0] as usize],
+        AbsValue::Array { rank: 2 }
+    );
+    assert_eq!(
+        entry[chunk.output_slots[0] as usize],
+        AbsValue::Array { rank: 1 }
+    );
+}

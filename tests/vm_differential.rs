@@ -13,13 +13,14 @@
 //! only matches if the executors consumed exactly the same number of
 //! draws in the same order.
 
+mod common;
+
 use petabricks::config::{Config, Schema, Value as ConfigValue};
 use petabricks::lang::interp::Value;
 use petabricks::lang::{check_program, compile_program, parse_program, Interpreter, OptLevel};
 use petabricks::runtime::ExecCtx;
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::collections::HashMap;
 
 /// Every optimization level the pipeline exposes.
@@ -631,74 +632,11 @@ fn argument_snapshots_survive_mutating_later_arguments() {
 }
 
 // ---- randomized straight-line bodies -----------------------------------
+// The generator lives in `tests/common/mod.rs`, shared with the
+// `analysis` suite so every fuzzed program is also run through the
+// verifier.
 
-/// Builds a random scalar expression over the bound variables. Depth
-/// is bounded; division, remainder, comparisons, short-circuit logic,
-/// builtins, and `rand` are all fair game — both executors must agree
-/// bit for bit whatever comes out (including NaN and infinities).
-fn gen_expr(rng: &mut SmallRng, vars: &[String], depth: usize) -> String {
-    let leaf = depth == 0 || rng.gen_range(0..10) < 3;
-    if leaf {
-        match rng.gen_range(0..4) {
-            0 => format!("{}", rng.gen_range(-4..6)),
-            1 => format!("{}.5", rng.gen_range(0..3)),
-            2 => format!("a[{}]", rng.gen_range(0..4)),
-            _ => vars[rng.gen_range(0..vars.len())].clone(),
-        }
-    } else {
-        let a = gen_expr(rng, vars, depth - 1);
-        let b = gen_expr(rng, vars, depth - 1);
-        match rng.gen_range(0..14) {
-            0 => format!("({a} + {b})"),
-            1 => format!("({a} - {b})"),
-            2 => format!("({a} * {b})"),
-            3 => format!("({a} / {b})"),
-            4 => format!("({a} % {b})"),
-            5 => format!("({a} < {b})"),
-            6 => format!("({a} >= {b})"),
-            7 => format!("({a} == {b})"),
-            8 => format!("({a} && {b})"),
-            9 => format!("({a} || {b})"),
-            10 => format!("min({a}, {b})"),
-            11 => format!("max({a}, abs({b}))"),
-            12 => format!("floor(({a}) + sqrt(abs({b})))"),
-            // min() absorbs NaN/infinite bounds (f64::min returns the
-            // finite side), so the range below is always valid.
-            _ => format!("rand(0, min(abs({a}), 9))"),
-        }
-    }
-}
-
-/// Builds a random straight-line rule body: `let` bindings,
-/// re-assignments, and constant-indexed array writes, all scalar.
-fn gen_straight_line_program(seed: u64, n_stmts: usize) -> String {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut vars: Vec<String> = vec!["acc".to_string()];
-    let mut body = String::new();
-    for i in 0..n_stmts {
-        let expr = gen_expr(&mut rng, &vars, 3);
-        match rng.gen_range(0..4) {
-            0 => {
-                let name = format!("v{i}");
-                body.push_str(&format!("let {name} = {expr};\n"));
-                vars.push(name);
-            }
-            1 => {
-                let target = vars[rng.gen_range(0..vars.len())].clone();
-                body.push_str(&format!("{target} = {expr};\n"));
-            }
-            2 => body.push_str(&format!("o[{}] = {expr};\n", rng.gen_range(0..4))),
-            _ => body.push_str(&format!("acc = {expr};\n")),
-        }
-    }
-    format!(
-        r#"transform t from In[n] to Out[n], Acc {{
-            to (Out o, Acc acc) from (In a) {{
-                {body}
-            }}
-        }}"#
-    )
-}
+use common::gen_straight_line_program;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
