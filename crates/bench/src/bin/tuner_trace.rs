@@ -8,9 +8,11 @@
 //! exporter's contract, and what Perfetto expects.
 //!
 //! Summaries: per-phase pool batch deltas, top-N hottest VM chunks
-//! (by instructions retired, with fused-opcode share), pool
-//! utilization per worker thread, and the arena round-width
-//! histogram.
+//! (by instructions retired, with fused- and specialized-opcode
+//! shares — the latter is the share of retired ops running in the
+//! `O3` typed-specialization forms, i.e. how much of the chunk's work
+//! the facts actually covered), pool utilization per worker thread,
+//! and the arena round-width histogram.
 //!
 //! Usage: `tuner_trace <trace.json> [--top N] [--require-phases]
 //! [--require-chunks]`
@@ -19,7 +21,7 @@
 //! deltas (a tuning-run trace); `--require-chunks` fails unless it
 //! carries a VM chunk profile (a VM workload trace).
 
-use pb_lang::{opcode_is_fused, OPCODE_NAMES};
+use pb_lang::{opcode_is_fused, opcode_is_specialized, OPCODE_NAMES};
 use pb_trace::{ChromeEvent, ChromeTrace};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -138,8 +140,8 @@ fn main() -> ExitCode {
         });
         println!("\n## hottest chunks (top {top})");
         println!(
-            "{:>24} {:>12} {:>14} {:>12} {:>8}  top opcodes",
-            "chunk", "executions", "instructions", "instr/exec", "fused"
+            "{:>24} {:>12} {:>14} {:>12} {:>8} {:>8}  top opcodes",
+            "chunk", "executions", "instructions", "instr/exec", "fused", "spec"
         );
         for c in chunks.iter().take(top) {
             let instr = c.instructions();
@@ -148,6 +150,13 @@ fn main() -> ExitCode {
                 .iter()
                 .enumerate()
                 .filter(|&(i, _)| opcode_is_fused(i))
+                .map(|(_, &n)| n)
+                .sum();
+            let spec: u64 = c
+                .opcodes
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| opcode_is_specialized(i))
                 .map(|(_, &n)| n)
                 .sum();
             let mut by_count: Vec<(usize, u64)> = c
@@ -167,7 +176,7 @@ fn main() -> ExitCode {
                 })
                 .collect();
             println!(
-                "{:>24} {:>12} {:>14} {:>12.1} {:>7.1}%  {}",
+                "{:>24} {:>12} {:>14} {:>12.1} {:>7.1}% {:>7.1}%  {}",
                 c.label,
                 c.executions,
                 instr,
@@ -178,6 +187,11 @@ fn main() -> ExitCode {
                 },
                 if instr > 0 {
                     100.0 * fused as f64 / instr as f64
+                } else {
+                    0.0
+                },
+                if instr > 0 {
+                    100.0 * spec as f64 / instr as f64
                 } else {
                     0.0
                 },

@@ -1,16 +1,19 @@
 //! VM throughput: executions/sec of shipped DSL workloads on the
-//! tree-walking interpreter, the register VM on straight-from-lowering
-//! bytecode (`O0`), and the VM behind the full optimizer pipeline
-//! (`O2` — superinstruction fusion, charge folding, frame reuse and
-//! tunable-resolution caching are always on; only the bytecode level
-//! varies).
+//! tree-walking interpreter and on the register VM at every
+//! [`OptLevel`] — `O0` (straight-from-lowering bytecode), `O1`/`O2`
+//! (peephole + superinstruction fusion and charge folding; frame
+//! reuse and tunable-resolution caching are always on above `O0`),
+//! and `O3` (the typed specialization tier: facts-directed unchecked
+//! indexing, loop-invariant shape hoisting, precomputed callee
+//! binding plans). The engine list derives from [`OptLevel::ALL`], so
+//! a new level shows up here — and in the gates — by construction.
 //!
 //! Writes `BENCH_vm.json` (in the working directory) so the per-trial
 //! cost trajectory is recorded across PRs, and prints a human-readable
-//! summary. Every run cross-checks bit-identical outputs across all
-//! three engines before timing, and the process exits non-zero if the
-//! optimized VM fails to at least match the unoptimized VM — the CI
-//! smoke regression gate.
+//! summary. Every run cross-checks bitwise-equal outputs of every
+//! engine against the tree-walker before timing (recorded per level
+//! in the JSON), and the process exits non-zero if a level regresses
+//! its gate — the CI smoke regression gate.
 //!
 //! Usage: `vm_opt [--smoke] [--trace <path>]`
 //!
@@ -102,11 +105,59 @@ const REFINE: &str = r#"
     }
 "#;
 
+/// Bin packing (same program as `examples/dsl/binpacking.pb`): an
+/// `either` choice in a hot indexed loop over rank-1 arrays — the
+/// bounds-check-dominated shape the `O3` unchecked forms target.
+const BINPACK: &str = r#"
+    transform binpack
+    accuracy_metric binpackacc
+    from Sizes[n]
+    to Bins[n], Used
+    {
+        to (Bins b, Used u) from (Sizes s) {
+            u = 1;
+            let fill = 0;
+            for (i in 0 .. len(s)) {
+                either {
+                    if (fill + s[i] > 1) {
+                        u = u + 1;
+                        fill = 0;
+                    }
+                    b[i] = u - 1;
+                    fill = fill + s[i];
+                } or {
+                    b[i] = i % u;
+                }
+            }
+        }
+    }
+    transform binpackacc
+    from Bins[n], Used, Sizes[n]
+    to Accuracy
+    {
+        to (Accuracy acc) from (Bins b, Used u, Sizes s) {
+            acc = len(s) / max(u, 1);
+        }
+    }
+"#;
+
 #[derive(Debug, Serialize)]
 struct EngineReport {
     wall_seconds: f64,
     runs: u64,
     runs_per_sec: f64,
+}
+
+/// One VM optimization level's measurement.
+#[derive(Debug, Serialize)]
+struct LevelReport {
+    /// The level (`"O0"` .. `"O3"`).
+    level: String,
+    wall_seconds: f64,
+    runs: u64,
+    runs_per_sec: f64,
+    /// This level's outputs were bitwise equal to the tree-walker's.
+    bit_identical: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -115,14 +166,14 @@ struct WorkloadReport {
     /// Input size (points / signal length).
     n: u64,
     interp: EngineReport,
-    vm: EngineReport,
-    vm_opt: EngineReport,
-    /// `vm.runs_per_sec / interp.runs_per_sec`.
+    /// One entry per [`OptLevel::ALL`] member, in order.
+    levels: Vec<LevelReport>,
+    /// `O0 runs_per_sec / interp.runs_per_sec`.
     vm_over_interp: f64,
-    /// `vm_opt.runs_per_sec / vm.runs_per_sec` — the optimizer's win.
+    /// `O2 / O0` — the classic optimizer pipeline's win.
     opt_over_vm: f64,
-    /// All three engines produced bitwise-equal outputs.
-    bit_identical: bool,
+    /// `O3 / O2` — the typed specialization tier's win.
+    spec_over_opt: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -176,54 +227,76 @@ fn run_workload(w: &Workload, runs: u64) -> WorkloadReport {
     let inputs = (w.inputs)(w.n);
 
     let tree = Interpreter::new(program.clone());
-    let vm0 = Interpreter::new_compiled_at(program.clone(), OptLevel::O0);
-    let vm2 = Interpreter::new_compiled_at(program, OptLevel::O2);
-    let (compiled, total) = vm2.compiled().expect("compiled").coverage();
+    let vms: Vec<(OptLevel, Interpreter)> = OptLevel::ALL
+        .iter()
+        .map(|&level| (level, Interpreter::new_compiled_at(program.clone(), level)))
+        .collect();
+    let (compiled, total) = vms[0].1.compiled().expect("compiled").coverage();
     assert_eq!(
         compiled, total,
         "{}: uncompiled rules on the hot path",
         w.name
     );
-    let engines = [&tree, &vm0, &vm2];
 
     // Warm each engine (frames, caches, branch predictors) and collect
-    // its reference output for the cross-engine check.
-    let outs: Vec<HashMap<String, Value>> = engines
+    // its output for the cross-engine check against the tree-walker.
+    let run_once = |e: &Interpreter| {
+        let mut ctx = ExecCtx::new(&schema, &config, w.n, 7);
+        e.run(w.transform, &inputs, &mut ctx).expect("runs")
+    };
+    let reference = run_once(&tree);
+    let identical: Vec<bool> = vms
         .iter()
-        .map(|e| {
-            let mut ctx = ExecCtx::new(&schema, &config, w.n, 7);
-            e.run(w.transform, &inputs, &mut ctx).expect("runs")
-        })
+        .map(|(_, e)| outputs_eq(&reference, &run_once(e)))
         .collect();
-    let bit_identical = outputs_eq(&outs[0], &outs[1]) && outputs_eq(&outs[0], &outs[2]);
-    assert!(bit_identical, "{}: engines diverged", w.name);
+    for ((level, _), &ok) in vms.iter().zip(&identical) {
+        assert!(ok, "{}: {level:?} diverged from the tree-walker", w.name);
+    }
 
     // Engines interleave within each measurement round so ambient
     // slowdowns hit all of them alike; best-of-rounds per engine then
     // yields stable ratios even on busy single-core hosts.
-    let mut best = [f64::INFINITY; 3];
+    let mut best = vec![f64::INFINITY; 1 + vms.len()];
     for _ in 0..BATCHES {
-        for (slot, engine) in engines.iter().enumerate() {
+        let engines = std::iter::once(&tree).chain(vms.iter().map(|(_, e)| e));
+        for (slot, engine) in engines.enumerate() {
             let t = time_batch(engine, w.transform, &schema, &config, &inputs, w.n, runs);
             best[slot] = best[slot].min(t);
         }
     }
-    let report = |wall: f64| EngineReport {
-        wall_seconds: wall,
+    let interp = EngineReport {
+        wall_seconds: best[0],
         runs,
-        runs_per_sec: runs as f64 / wall,
+        runs_per_sec: runs as f64 / best[0],
     };
-    let (interp, vm, vm_opt) = (report(best[0]), report(best[1]), report(best[2]));
+    let levels: Vec<LevelReport> = vms
+        .iter()
+        .zip(&best[1..])
+        .zip(&identical)
+        .map(|(((level, _), &wall), &bit_identical)| LevelReport {
+            level: format!("{level:?}"),
+            wall_seconds: wall,
+            runs,
+            runs_per_sec: runs as f64 / wall,
+            bit_identical,
+        })
+        .collect();
+    let per = |l: OptLevel| {
+        let i = OptLevel::ALL
+            .iter()
+            .position(|&x| x == l)
+            .expect("level present");
+        levels[i].runs_per_sec
+    };
 
     WorkloadReport {
         name: w.name.to_string(),
         n: w.n,
-        vm_over_interp: vm.runs_per_sec / interp.runs_per_sec.max(1e-9),
-        opt_over_vm: vm_opt.runs_per_sec / vm.runs_per_sec.max(1e-9),
+        vm_over_interp: per(OptLevel::O0) / interp.runs_per_sec.max(1e-9),
+        opt_over_vm: per(OptLevel::O2) / per(OptLevel::O0).max(1e-9),
+        spec_over_opt: per(OptLevel::O3) / per(OptLevel::O2).max(1e-9),
         interp,
-        vm,
-        vm_opt,
-        bit_identical,
+        levels,
     }
 }
 
@@ -279,6 +352,24 @@ fn main() {
             },
             inputs: |n| [("In".to_string(), Value::Arr1(vec![0.0; n as usize]))].into(),
         },
+        Workload {
+            name: "binpacking",
+            src: BINPACK,
+            transform: "binpack",
+            n: 512,
+            configure: |_, _| {},
+            inputs: |n| {
+                [(
+                    "Sizes".to_string(),
+                    Value::Arr1(
+                        (0..n as usize)
+                            .map(|i| 0.05 + 0.9 * ((i as f64 * 0.61).sin() * 0.5 + 0.5))
+                            .collect(),
+                    ),
+                )]
+                .into()
+            },
+        },
     ];
 
     let report = Report {
@@ -292,18 +383,27 @@ fn main() {
         if smoke { ", smoke" } else { "" }
     );
     println!(
-        "{:>10} {:>14} {:>14} {:>14} {:>12} {:>12}",
-        "workload", "interp/s", "vm/s", "vm+opt/s", "vm/interp", "opt/vm"
+        "{:>10} {:>13} {:>13} {:>13} {:>13} {:>10} {:>9} {:>9}",
+        "workload", "interp/s", "O0/s", "O2/s", "O3/s", "vm/interp", "opt/vm", "spec/opt"
     );
     for w in &report.workloads {
+        let rate = |name: &str| {
+            w.levels
+                .iter()
+                .find(|l| l.level == name)
+                .map(|l| l.runs_per_sec)
+                .unwrap_or(0.0)
+        };
         println!(
-            "{:>10} {:>14.0} {:>14.0} {:>14.0} {:>11.2}x {:>11.2}x",
+            "{:>10} {:>13.0} {:>13.0} {:>13.0} {:>13.0} {:>9.2}x {:>8.2}x {:>8.2}x",
             w.name,
             w.interp.runs_per_sec,
-            w.vm.runs_per_sec,
-            w.vm_opt.runs_per_sec,
+            rate("O0"),
+            rate("O2"),
+            rate("O3"),
             w.vm_over_interp,
             w.opt_over_vm,
+            w.spec_over_opt,
         );
     }
 
@@ -321,10 +421,13 @@ fn main() {
         );
     }
 
-    // Regression gate. Smoke (CI) runs only require the optimized VM
-    // to match the baseline — shared runners are too noisy for more.
-    // Full runs additionally protect the kmeans headline (README
-    // claims >= 1.5x; gate at 1.3x so honest jitter does not flake).
+    // Regression gate. Smoke (CI) runs only require each tier to hold
+    // (within noise) what the tier below delivers — shared runners are
+    // too noisy for more. Full runs additionally protect the kmeans
+    // headline (README claims >= 1.5x; gate at 1.3x so honest jitter
+    // does not flake) and require the specialization tier to win
+    // outright on most workloads.
+    let mut spec_wins = 0;
     for w in &report.workloads {
         assert!(
             w.opt_over_vm >= 0.95,
@@ -332,6 +435,15 @@ fn main() {
             w.name,
             w.opt_over_vm
         );
+        assert!(
+            w.spec_over_opt >= 0.9,
+            "{}: O3 regressed below O2 ({:.2}x)",
+            w.name,
+            w.spec_over_opt
+        );
+        if w.spec_over_opt > 1.0 {
+            spec_wins += 1;
+        }
         if !smoke && w.name == "kmeans" {
             assert!(
                 w.opt_over_vm >= 1.3,
@@ -339,5 +451,12 @@ fn main() {
                 w.opt_over_vm
             );
         }
+    }
+    if !smoke {
+        assert!(
+            spec_wins >= 2,
+            "specialization won on only {spec_wins}/{} workloads",
+            report.workloads.len()
+        );
     }
 }

@@ -476,6 +476,80 @@ pub enum Instr {
         /// Jump target (the loop head).
         target: usize,
     },
+    // ---- specialized forms -----------------------------------------
+    // Emitted only by the facts-directed `specialize` pass at
+    // [`crate::opt::OptLevel::O3`]. Each unchecked form carries a
+    // cheap runtime guard (`0 <= idx < len`, exact float compare) and
+    // falls back to the checked form's exact dispatch when the guard
+    // fails, so error points, messages, and results stay bit-identical
+    // to the form it replaces even if the facts were over-optimistic.
+    /// `LoadIdx1` specialized for a facts-proven `arr1` slot with an
+    /// int-kind index: in-bounds indices skip the validate/truncate
+    /// path.
+    LoadIdx1U {
+        /// Destination register.
+        dst: Reg,
+        /// Array slot (facts: rank-1 array).
+        slot: Slot,
+        /// Index register (facts: int kind).
+        idx: Reg,
+    },
+    /// `LoadIdx2` specialized for a facts-proven `arr2` slot.
+    LoadIdx2U {
+        /// Destination register.
+        dst: Reg,
+        /// Array slot (facts: rank-2 array).
+        slot: Slot,
+        /// Row index register.
+        i: Reg,
+        /// Column index register.
+        j: Reg,
+    },
+    /// `StoreIdx1` specialized for a facts-proven `arr1` slot.
+    StoreIdx1U {
+        /// Array slot (facts: rank-1 array).
+        slot: Slot,
+        /// Index register.
+        idx: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `StoreIdx2` specialized for a facts-proven `arr2` slot.
+    StoreIdx2U {
+        /// Array slot (facts: rank-2 array).
+        slot: Slot,
+        /// Row index register.
+        i: Reg,
+        /// Column index register.
+        j: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `BinStoreIdx1` specialized for a facts-proven `arr1` slot.
+    BinStoreIdx1U {
+        /// The operator.
+        op: BinOp,
+        /// Destination array slot (facts: rank-1 array).
+        slot: Slot,
+        /// Index register.
+        idx: Reg,
+        /// Left operand register.
+        a: Reg,
+        /// Right operand register.
+        b: Reg,
+    },
+    /// A `Shape` read hoisted out of a loop body into its preheader by
+    /// the specializer. Dispatch is identical to [`Instr::Shape`]; the
+    /// distinct opcode lets the verifier demand the zero-trip guard
+    /// that must precede a hoisted run, and profiling count hoists.
+    ShapeHoisted {
+        /// Which query.
+        kind: ShapeKind,
+        /// Destination register.
+        dst: Reg,
+        /// The array slot.
+        slot: Slot,
+    },
     /// Placeholder left by optimizer rewrites; compaction removes every
     /// `Nop` before a chunk reaches the VM (the VM still executes it as
     /// a no-op for robustness).
@@ -484,7 +558,7 @@ pub enum Instr {
 
 /// Number of distinct opcodes ([`Instr`] variants). Profiling counter
 /// tables are sized to this.
-pub const N_OPCODES: usize = 41;
+pub const N_OPCODES: usize = 47;
 
 /// Stable lower-snake names for opcode indices, in declaration order
 /// (`OPCODE_NAMES[i.opcode_index()]` names instruction `i`).
@@ -529,6 +603,12 @@ pub const OPCODE_NAMES: [&str; N_OPCODES] = [
     "slot_upd_reg",
     "bin_store_idx1",
     "add_imm_jump",
+    "load_idx1_u",
+    "load_idx2_u",
+    "store_idx1_u",
+    "store_idx2_u",
+    "bin_store_idx1_u",
+    "shape_hoisted",
     "nop",
 ];
 
@@ -539,6 +619,15 @@ pub fn opcode_is_fused(idx: usize) -> bool {
     const BIN_RI: usize = 32;
     const ADD_IMM_JUMP: usize = 39;
     (BIN_RI..=ADD_IMM_JUMP).contains(&idx)
+}
+
+/// Whether opcode index `idx` is a specialized form introduced by the
+/// facts-directed specializer ([`crate::opt`] at `O3`): profiling
+/// counts of these are the VM's "specialization hits".
+pub fn opcode_is_specialized(idx: usize) -> bool {
+    const LOAD_IDX1_U: usize = 40;
+    const SHAPE_HOISTED: usize = 45;
+    (LOAD_IDX1_U..=SHAPE_HOISTED).contains(&idx)
 }
 
 impl Instr {
@@ -586,7 +675,13 @@ impl Instr {
             Instr::SlotUpdReg { .. } => 37,
             Instr::BinStoreIdx1 { .. } => 38,
             Instr::AddImmJump { .. } => 39,
-            Instr::Nop => 40,
+            Instr::LoadIdx1U { .. } => 40,
+            Instr::LoadIdx2U { .. } => 41,
+            Instr::StoreIdx1U { .. } => 42,
+            Instr::StoreIdx2U { .. } => 43,
+            Instr::BinStoreIdx1U { .. } => 44,
+            Instr::ShapeHoisted { .. } => 45,
+            Instr::Nop => 46,
         }
     }
 }
@@ -687,7 +782,12 @@ impl CompiledProgram {
             for t in self.transforms.values_mut() {
                 for (chunk, facts) in t.rules.iter_mut().zip(t.facts.iter_mut()) {
                     if let Ok(chunk) = chunk {
-                        *chunk = crate::opt::optimize(chunk, level);
+                        // The stored entry state seeds the O3
+                        // specializer (hoisting in particular needs
+                        // declaration-level array facts).
+                        let entry: Option<Vec<crate::analysis::AbsValue>> =
+                            facts.as_ref().map(|f| f.entry_slots.clone());
+                        *chunk = crate::opt::optimize_with_entry(chunk, level, entry.as_deref());
                         // Re-infer over the optimized code from the same
                         // entry state, so the facts always describe the
                         // chunk that will actually dispatch.

@@ -195,6 +195,34 @@ pub struct Interpreter {
     /// time. Scheduling failures are kept as strings and surface with
     /// the same message (and span) the lazy build produced.
     schedules: HashMap<String, Result<(ChoiceDependencyGraph, Vec<String>), String>>,
+    /// Per-callee [`BindingPlan`]s for scalar helper transforms,
+    /// precomputed at construction so the VM's `CallTransform` fast
+    /// path stops re-resolving names and re-validating schemas per
+    /// invocation. Empty when the program is not compiled.
+    binding_plans: HashMap<String, BindingPlan>,
+}
+
+/// A precomputed calling convention for a *scalar helper* transform:
+/// one whose inputs are all plain scalars (no dims, no `scaled_by`),
+/// with no intermediates, exactly one scalar output produced by a
+/// single rule that compiled to bytecode, and an `Ok` schedule.
+///
+/// For such a callee, everything `run_prefixed` derives per call —
+/// dimension environment (empty), input validation (scalars always
+/// pass), the zero-initialized store, the schedule walk, the choice
+/// of producing rule — is a constant of the program, so the VM's
+/// `CallTransform` dispatch can bind arguments straight into a pooled
+/// frame and execute the rule chunk, skipping the `HashMap` store
+/// round-trip entirely. The fast path is observably identical to the
+/// generic path; any argument that is not currently a scalar simply
+/// falls back.
+pub(crate) struct BindingPlan {
+    /// Index of the single producing rule in the callee transform.
+    pub(crate) rule_idx: usize,
+    /// For each of the rule's input bindings (aligned with the chunk's
+    /// `input_slots`), the caller argument position — i.e. the index
+    /// into the callee's declared input list — that binds it.
+    pub(crate) arg_for_input: Vec<usize>,
 }
 
 impl fmt::Debug for Interpreter {
@@ -216,6 +244,7 @@ impl Interpreter {
             host_fns: HashMap::new(),
             compiled: None,
             schedules,
+            binding_plans: HashMap::new(),
         }
     }
 
@@ -233,17 +262,25 @@ impl Interpreter {
     pub fn new_compiled_at(program: Program, level: OptLevel) -> Self {
         let compiled = crate::compile::compile_program(&program).optimized(level);
         let schedules = build_schedules(&program);
+        let binding_plans = build_binding_plans(&program, &compiled, &schedules);
         Interpreter {
             program,
             host_fns: HashMap::new(),
             compiled: Some(compiled),
             schedules,
+            binding_plans,
         }
     }
 
     /// The cached bytecode, when built with [`Interpreter::new_compiled`].
     pub fn compiled(&self) -> Option<&crate::compile::CompiledProgram> {
         self.compiled.as_ref()
+    }
+
+    /// The precomputed calling convention for a scalar helper callee,
+    /// if it qualified at construction.
+    pub(crate) fn binding_plan(&self, callee: &str) -> Option<&BindingPlan> {
+        self.binding_plans.get(callee)
     }
 
     /// The wrapped program.
@@ -501,6 +538,85 @@ impl Interpreter {
         }
         Ok(v.round() as usize)
     }
+}
+
+/// Qualifies each transform as a scalar helper callee and precomputes
+/// its [`BindingPlan`]. The conditions mirror exactly what the fast
+/// path skips: every per-call derivation in `run_prefixed` must be a
+/// program constant for the callee, and its single producing rule
+/// must run on the VM.
+fn build_binding_plans(
+    program: &Program,
+    compiled: &crate::compile::CompiledProgram,
+    schedules: &HashMap<String, Result<(ChoiceDependencyGraph, Vec<String>), String>>,
+) -> HashMap<String, BindingPlan> {
+    let mut plans = HashMap::new();
+    for t in &program.transforms {
+        // All inputs plain scalars: no dimension environment to build,
+        // no `scaled_by` resampling, validation always passes.
+        if t.inputs
+            .iter()
+            .any(|p| !p.dims.is_empty() || p.scaled_by.is_some())
+        {
+            continue;
+        }
+        // No accuracy variables (their `ctx.param` reads would be
+        // skipped) and exactly one scalar output, no intermediates, so
+        // the store is one zero scalar.
+        if !t.accuracy_variables.is_empty()
+            || !t.intermediates.is_empty()
+            || t.outputs.len() != 1
+            || !t.outputs[0].dims.is_empty()
+        {
+            continue;
+        }
+        // Schedule precomputed and trivial: the one output, produced by
+        // a single rule (no `ctx.choice` resolution).
+        let Some(Ok((graph, order))) = schedules.get(&t.name).map(Result::as_ref) else {
+            continue;
+        };
+        if order.len() != 1 || order[0] != t.outputs[0].name {
+            continue;
+        }
+        let producers = graph.producers(&order[0]);
+        if producers.len() != 1 {
+            continue;
+        }
+        let rule_idx = producers[0];
+        let rule = &t.rules[rule_idx];
+        // The rule must have compiled (otherwise the generic path
+        // tree-walks it) and write exactly the output.
+        let Some(chunk) = compiled.chunk(&t.name, rule_idx) else {
+            continue;
+        };
+        if rule.outputs.len() != 1
+            || rule.outputs[0].data != t.outputs[0].name
+            || chunk.output_slots.len() != 1
+            || chunk.input_slots.len() != rule.inputs.len()
+        {
+            continue;
+        }
+        // Map each rule input binding to the caller argument position
+        // that supplies it. A binding that reads anything other than a
+        // declared input (e.g. the zero-initialized output) falls back
+        // to the generic path.
+        let arg_for_input: Option<Vec<usize>> = rule
+            .inputs
+            .iter()
+            .map(|b| t.inputs.iter().position(|p| p.name == b.data))
+            .collect();
+        let Some(arg_for_input) = arg_for_input else {
+            continue;
+        };
+        plans.insert(
+            t.name.clone(),
+            BindingPlan {
+                rule_idx,
+                arg_for_input,
+            },
+        );
+    }
+    plans
 }
 
 /// Precomputes every transform's choice dependency graph and execution

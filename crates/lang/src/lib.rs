@@ -75,13 +75,17 @@ pub mod transform;
 pub mod vm;
 
 pub use analysis::{
-    analyze_chunk, charge_signature, entry_slots, lint_program, verify_chunk, verify_code,
-    verify_tunables, AbsValue, ChunkFacts, Lint, ScalarKind, Severity, Violation, ViolationKind,
+    analyze_chunk, charge_signature, count_indexed, entry_slots, lint_program, verify_chunk,
+    verify_code, verify_specialized, verify_tunables, AbsValue, ChunkFacts, Lint, ScalarKind,
+    Severity, Violation, ViolationKind,
 };
 pub use ast::Program;
-pub use compile::{compile_program, opcode_is_fused, CompiledProgram, N_OPCODES, OPCODE_NAMES};
+pub use compile::{
+    compile_program, opcode_is_fused, opcode_is_specialized, CompiledProgram, N_OPCODES,
+    OPCODE_NAMES,
+};
 pub use interp::{Dims, Interpreter, Value};
-pub use opt::{optimize_verified, OptLevel, PassViolation};
+pub use opt::{optimize_verified, optimize_verified_with_entry, OptLevel, PassViolation};
 pub use parser::{parse_program, ParseError};
 pub use sema::{check_program, SemaError};
 pub use traininfo::extract_schema;

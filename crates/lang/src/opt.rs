@@ -57,6 +57,8 @@ use crate::ast::BinOp;
 use crate::compile::{Chunk, FirstArg, Instr, Operand, Reg};
 use std::collections::HashMap;
 
+mod specialize;
+
 /// How much optimization to run between lowering and dispatch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub enum OptLevel {
@@ -67,8 +69,20 @@ pub enum OptLevel {
     O1,
     /// Everything in [`OptLevel::O1`] plus superinstruction fusion and
     /// charge folding.
-    #[default]
     O2,
+    /// Everything in [`OptLevel::O2`] plus facts-directed
+    /// specialization ([`crate::analysis::ChunkFacts`]): unchecked
+    /// length-specialized indexing, loop-invariant `Shape` hoisting
+    /// behind zero-trip guards, and (in the interpreter) precomputed
+    /// per-callee binding plans.
+    #[default]
+    O3,
+}
+
+impl OptLevel {
+    /// Every level, lowest to highest — benches and differential
+    /// suites iterate this so new tiers appear automatically.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
 }
 
 /// A verifier violation attributed to the optimizer pass that
@@ -77,7 +91,7 @@ pub enum OptLevel {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PassViolation {
     /// Pass name: `lowering`, `local_value`, `dce`, `compact`, `fuse`,
-    /// `fold_charges`, or `renumber_regs`.
+    /// `fold_charges`, `specialize`, or `renumber_regs`.
     pub pass: &'static str,
     /// The chunk's label.
     pub label: String,
@@ -119,6 +133,19 @@ pub fn optimize(chunk: &Chunk, level: OptLevel) -> Chunk {
     }
 }
 
+/// [`optimize`] with entry-slot facts for the specializer (see
+/// [`optimize_verified_with_entry`]).
+pub fn optimize_with_entry(
+    chunk: &Chunk,
+    level: OptLevel,
+    entry: Option<&[crate::analysis::AbsValue]>,
+) -> Chunk {
+    match optimize_verified_with_entry(chunk, level, verify_enabled(), entry) {
+        Ok(c) => c,
+        Err(v) => panic!("optimizer bug: {v}"),
+    }
+}
+
 /// [`optimize`] with explicit control over pass-by-pass verification.
 /// With `verify` off this is the plain pipeline (no per-pass cost);
 /// with it on, [`crate::analysis::verify_code`] runs after every pass
@@ -135,6 +162,26 @@ pub fn optimize_verified(
     chunk: &Chunk,
     level: OptLevel,
     verify: bool,
+) -> Result<Chunk, PassViolation> {
+    optimize_verified_with_entry(chunk, level, verify, None)
+}
+
+/// [`optimize_verified`] with optional entry-slot facts (see
+/// [`crate::analysis::entry_slots`]) feeding the [`OptLevel::O3`]
+/// specializer. Without them the specializer still runs, but only the
+/// rewrites that are safe from chunk-local inference alone fire —
+/// `Shape` hoisting in particular needs the entry facts to prove a
+/// hoisted read cannot introduce a new error point.
+///
+/// # Errors
+///
+/// Returns the [`PassViolation`] for the first pass whose output fails
+/// verification (pass `lowering` if the input chunk is already bad).
+pub fn optimize_verified_with_entry(
+    chunk: &Chunk,
+    level: OptLevel,
+    verify: bool,
+    entry: Option<&[crate::analysis::AbsValue]>,
 ) -> Result<Chunk, PassViolation> {
     use crate::analysis::{charge_signature, verify_code, Violation, ViolationKind};
 
@@ -181,9 +228,13 @@ pub fn optimize_verified(
         return Ok(chunk.clone());
     }
     let mut code = chunk.code.clone();
-    let gate = |pass: &'static str, code: &[Instr]| -> Result<(), PassViolation> {
+    // The specializer allocates fresh registers, so the bank size is
+    // tracked explicitly and every gate verifies against the current
+    // count.
+    let mut n_regs_cur = chunk.n_regs;
+    let gate = |pass: &'static str, code: &[Instr], n_regs: u16| -> Result<(), PassViolation> {
         match &sig {
-            Some(sig) => check(pass, code, chunk.n_regs, Some(sig)),
+            Some(sig) => check(pass, code, n_regs, Some(sig)),
             None => Ok(()),
         }
     };
@@ -193,21 +244,56 @@ pub fn optimize_verified(
     // reach the fixpoint for the shapes lowering produces.
     for _ in 0..2 {
         local_value_pass(&mut code, level);
-        gate("local_value", &code)?;
+        gate("local_value", &code, n_regs_cur)?;
         dce(&mut code, &chunk.output_slots);
-        gate("dce", &code)?;
+        gate("dce", &code, n_regs_cur)?;
         code = compact(code);
-        gate("compact", &code)?;
+        gate("compact", &code, n_regs_cur)?;
     }
     if level >= OptLevel::O2 {
         fuse(&mut code);
-        gate("fuse", &code)?;
+        gate("fuse", &code, n_regs_cur)?;
         dce(&mut code, &chunk.output_slots);
-        gate("dce", &code)?;
+        gate("dce", &code, n_regs_cur)?;
         fold_charges(&mut code);
-        gate("fold_charges", &code)?;
+        gate("fold_charges", &code, n_regs_cur)?;
         code = compact(code);
-        gate("compact", &code)?;
+        gate("compact", &code, n_regs_cur)?;
+    }
+    if level >= OptLevel::O3 {
+        // Facts for the specializer come from the code as it stands
+        // now (the forms the earlier passes produced are what dispatch
+        // will see), seeded with the caller's entry-slot facts.
+        let interim = Chunk {
+            label: chunk.label.clone(),
+            code: code.clone(),
+            names: chunk.names.clone(),
+            n_regs: n_regs_cur,
+            n_slots: chunk.n_slots,
+            input_slots: chunk.input_slots.clone(),
+            output_slots: chunk.output_slots.clone(),
+            opt: OptLevel::O2,
+        };
+        let facts = crate::analysis::analyze_chunk(&interim, entry.unwrap_or(&[]));
+        n_regs_cur = specialize::specialize(&mut code, n_regs_cur, &facts);
+        gate("specialize", &code, n_regs_cur)?;
+        if sig.is_some() {
+            crate::analysis::verify_specialized(&code, &facts).map_err(|violation| {
+                PassViolation {
+                    pass: "specialize",
+                    label: chunk.label.clone(),
+                    violation,
+                }
+            })?;
+        }
+        // The hoist rewrite leaves `Move`s where the in-loop `Shape`s
+        // were; one more cleanup round propagates and drops them.
+        local_value_pass(&mut code, level);
+        gate("local_value", &code, n_regs_cur)?;
+        dce(&mut code, &chunk.output_slots);
+        gate("dce", &code, n_regs_cur)?;
+        code = compact(code);
+        gate("compact", &code, n_regs_cur)?;
     }
 
     let (code, n_regs) = renumber_regs(code);
@@ -248,21 +334,21 @@ pub(crate) fn for_each_use(instr: &Instr, mut f: impl FnMut(Reg)) {
             f(*lo);
             f(*hi);
         }
-        Instr::LoadIdx1 { idx, .. } => f(*idx),
-        Instr::LoadIdx2 { i, j, .. } => {
+        Instr::LoadIdx1 { idx, .. } | Instr::LoadIdx1U { idx, .. } => f(*idx),
+        Instr::LoadIdx2 { i, j, .. } | Instr::LoadIdx2U { i, j, .. } => {
             f(*i);
             f(*j);
         }
-        Instr::StoreIdx1 { idx, src, .. } => {
+        Instr::StoreIdx1 { idx, src, .. } | Instr::StoreIdx1U { idx, src, .. } => {
             f(*idx);
             f(*src);
         }
-        Instr::BinStoreIdx1 { idx, a, b, .. } => {
+        Instr::BinStoreIdx1 { idx, a, b, .. } | Instr::BinStoreIdx1U { idx, a, b, .. } => {
             f(*idx);
             f(*a);
             f(*b);
         }
-        Instr::StoreIdx2 { i, j, src, .. } => {
+        Instr::StoreIdx2 { i, j, src, .. } | Instr::StoreIdx2U { i, j, src, .. } => {
             f(*i);
             f(*j);
             f(*src);
@@ -304,6 +390,7 @@ pub(crate) fn for_each_use(instr: &Instr, mut f: impl FnMut(Reg)) {
         | Instr::CopySlot { .. }
         | Instr::LoadParam { .. }
         | Instr::Shape { .. }
+        | Instr::ShapeHoisted { .. }
         | Instr::Jump { .. }
         | Instr::Charge { .. }
         | Instr::ForEnoughPrep { .. }
@@ -331,8 +418,11 @@ pub(crate) fn for_each_def(instr: &Instr, mut f: impl FnMut(Reg)) {
         | Instr::Math2 { dst, .. }
         | Instr::Rand { dst, .. }
         | Instr::Shape { dst, .. }
+        | Instr::ShapeHoisted { dst, .. }
         | Instr::LoadIdx1 { dst, .. }
+        | Instr::LoadIdx1U { dst, .. }
         | Instr::LoadIdx2 { dst, .. }
+        | Instr::LoadIdx2U { dst, .. }
         | Instr::AddImm { dst, .. }
         | Instr::AddImmJump { dst, .. }
         | Instr::ForEnoughPrep { dst, .. }
@@ -655,21 +745,26 @@ fn local_value_pass(code: &mut [Instr], level: OptLevel) {
                 *lo = canon(&facts, *lo);
                 *hi = canon(&facts, *hi);
             }
-            Instr::LoadIdx1 { idx, .. } => *idx = canon(&facts, *idx),
-            Instr::LoadIdx2 { i: a, j: b, .. } => {
+            Instr::LoadIdx1 { idx, .. } | Instr::LoadIdx1U { idx, .. } => {
+                *idx = canon(&facts, *idx)
+            }
+            Instr::LoadIdx2 { i: a, j: b, .. } | Instr::LoadIdx2U { i: a, j: b, .. } => {
                 *a = canon(&facts, *a);
                 *b = canon(&facts, *b);
             }
-            Instr::StoreIdx1 { idx, src, .. } => {
+            Instr::StoreIdx1 { idx, src, .. } | Instr::StoreIdx1U { idx, src, .. } => {
                 *idx = canon(&facts, *idx);
                 *src = canon(&facts, *src);
             }
-            Instr::BinStoreIdx1 { idx, a, b, .. } => {
+            Instr::BinStoreIdx1 { idx, a, b, .. } | Instr::BinStoreIdx1U { idx, a, b, .. } => {
                 *idx = canon(&facts, *idx);
                 *a = canon(&facts, *a);
                 *b = canon(&facts, *b);
             }
             Instr::StoreIdx2 {
+                i: a, j: b, src, ..
+            }
+            | Instr::StoreIdx2U {
                 i: a, j: b, src, ..
             } => {
                 *a = canon(&facts, *a);
@@ -1019,14 +1114,21 @@ fn fuse(code: &mut [Instr]) {
 /// no output binding — ever reads is unobservable).
 fn for_each_slot_use(instr: &Instr, mut f: impl FnMut(u16)) {
     match instr {
-        Instr::LoadSlotNum { slot, .. } | Instr::Shape { slot, .. } => f(*slot),
+        Instr::LoadSlotNum { slot, .. }
+        | Instr::Shape { slot, .. }
+        | Instr::ShapeHoisted { slot, .. } => f(*slot),
         Instr::CopySlot { src, .. } => f(*src),
         // Indexed stores read-modify the slot's array in place.
         Instr::LoadIdx1 { slot, .. }
+        | Instr::LoadIdx1U { slot, .. }
         | Instr::LoadIdx2 { slot, .. }
+        | Instr::LoadIdx2U { slot, .. }
         | Instr::StoreIdx1 { slot, .. }
+        | Instr::StoreIdx1U { slot, .. }
         | Instr::StoreIdx2 { slot, .. }
-        | Instr::BinStoreIdx1 { slot, .. } => f(*slot),
+        | Instr::StoreIdx2U { slot, .. }
+        | Instr::BinStoreIdx1 { slot, .. }
+        | Instr::BinStoreIdx1U { slot, .. } => f(*slot),
         Instr::SlotUpdImm { src, .. } => f(*src),
         Instr::SlotUpdReg { src, .. } => f(*src),
         Instr::CallHost { first, rest, .. } => {
@@ -1247,26 +1349,26 @@ fn remap_regs(instr: &mut Instr, map: &HashMap<Reg, Reg>) {
             m(lo);
             m(hi);
         }
-        Instr::Shape { dst, .. } => m(dst),
-        Instr::LoadIdx1 { dst, idx, .. } => {
+        Instr::Shape { dst, .. } | Instr::ShapeHoisted { dst, .. } => m(dst),
+        Instr::LoadIdx1 { dst, idx, .. } | Instr::LoadIdx1U { dst, idx, .. } => {
             m(dst);
             m(idx);
         }
-        Instr::LoadIdx2 { dst, i, j, .. } => {
+        Instr::LoadIdx2 { dst, i, j, .. } | Instr::LoadIdx2U { dst, i, j, .. } => {
             m(dst);
             m(i);
             m(j);
         }
-        Instr::StoreIdx1 { idx, src, .. } => {
+        Instr::StoreIdx1 { idx, src, .. } | Instr::StoreIdx1U { idx, src, .. } => {
             m(idx);
             m(src);
         }
-        Instr::BinStoreIdx1 { idx, a, b, .. } => {
+        Instr::BinStoreIdx1 { idx, a, b, .. } | Instr::BinStoreIdx1U { idx, a, b, .. } => {
             m(idx);
             m(a);
             m(b);
         }
-        Instr::StoreIdx2 { i, j, src, .. } => {
+        Instr::StoreIdx2 { i, j, src, .. } | Instr::StoreIdx2U { i, j, src, .. } => {
             m(i);
             m(j);
             m(src);

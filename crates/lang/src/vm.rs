@@ -367,7 +367,8 @@ fn bind_exec_writeback(
     Ok(())
 }
 
-/// Dispatch entry point: profiling off takes the unchanged hot loop
+/// Dispatch entry point: profiling off (or this execution skipped by
+/// the `PB_PROFILE_SAMPLE` sampling grid) takes the unchanged hot loop
 /// (monomorphized without the counting code — zero overhead); with
 /// profiling on, per-opcode executions count into a stack-local table
 /// that merges into this thread's chunk profile *after* the loop
@@ -381,7 +382,7 @@ fn exec(
     ctx: &mut ExecCtx<'_>,
     depth: usize,
 ) -> Result<(), RuntimeError> {
-    if pb_trace::vm_profiling() {
+    if pb_trace::vm_profile_due(&chunk.label) {
         let mut counts = [0u64; crate::compile::N_OPCODES];
         let result = exec_loop::<true>(interp, chunk, resolved, frame, ctx, depth, &mut counts);
         pb_trace::record_chunk(&chunk.label, &counts);
@@ -532,6 +533,116 @@ fn exec_loop<const PROFILE: bool>(
                 let v = regs[*src as usize];
                 write_element(&mut slots[*slot as usize], &[i, j], v, Span::new(0, 0))
                     .map_err(|e| err(e.message))?;
+            }
+            // Specialized (`*U`) forms: one guard compare replaces the
+            // validate/truncate/match path. The guard admits exactly
+            // the indices the checked form would accept (`v >= 0.0`
+            // excludes NaN and negatives, `v < len` excludes overflow;
+            // `v as usize` truncates like `index`), and a failed guard
+            // — index out of range *or* a slot whose runtime shape
+            // belies the facts — re-runs the checked form's exact
+            // dispatch, so results and error points are bit-identical.
+            Instr::LoadIdx1U { dst, slot, idx } => {
+                let v = regs[*idx as usize];
+                if let Value::Arr1(a) = &slots[*slot as usize] {
+                    if v >= 0.0 && v < a.len() as f64 {
+                        regs[*dst as usize] = a[v as usize];
+                        pc += 1;
+                        continue;
+                    }
+                }
+                let i = index(v)?;
+                regs[*dst as usize] = read_element(&slots[*slot as usize], &[i], Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::LoadIdx2U { dst, slot, i, j } => {
+                let vi = regs[*i as usize];
+                let vj = regs[*j as usize];
+                if let Value::Arr2 { rows, cols, data } = &slots[*slot as usize] {
+                    if vi >= 0.0 && vi < *rows as f64 && vj >= 0.0 && vj < *cols as f64 {
+                        regs[*dst as usize] = data[vi as usize * *cols + vj as usize];
+                        pc += 1;
+                        continue;
+                    }
+                }
+                let i = index(vi)?;
+                let j = index(vj)?;
+                regs[*dst as usize] =
+                    read_element(&slots[*slot as usize], &[i, j], Span::new(0, 0))
+                        .map_err(|e| err(e.message))?;
+            }
+            Instr::StoreIdx1U { slot, idx, src } => {
+                let v = regs[*idx as usize];
+                let x = regs[*src as usize];
+                if let Value::Arr1(a) = &mut slots[*slot as usize] {
+                    if v >= 0.0 && v < a.len() as f64 {
+                        a[v as usize] = x;
+                        pc += 1;
+                        continue;
+                    }
+                }
+                let i = index(v)?;
+                write_element(&mut slots[*slot as usize], &[i], x, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::StoreIdx2U { slot, i, j, src } => {
+                let vi = regs[*i as usize];
+                let vj = regs[*j as usize];
+                let x = regs[*src as usize];
+                if let Value::Arr2 { rows, cols, data } = &mut slots[*slot as usize] {
+                    if vi >= 0.0 && vi < *rows as f64 && vj >= 0.0 && vj < *cols as f64 {
+                        data[vi as usize * *cols + vj as usize] = x;
+                        pc += 1;
+                        continue;
+                    }
+                }
+                let i = index(vi)?;
+                let j = index(vj)?;
+                write_element(&mut slots[*slot as usize], &[i, j], x, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::BinStoreIdx1U {
+                op,
+                slot,
+                idx,
+                a,
+                b,
+            } => {
+                // Like `BinStoreIdx1`, the absorbed `Bin` is pure, so
+                // computing it on either side of the guard is
+                // unobservable.
+                let v = regs[*idx as usize];
+                let x = apply_bin(*op, regs[*a as usize], regs[*b as usize]);
+                if let Value::Arr1(arr) = &mut slots[*slot as usize] {
+                    if v >= 0.0 && v < arr.len() as f64 {
+                        arr[v as usize] = x;
+                        pc += 1;
+                        continue;
+                    }
+                }
+                let i = index(v)?;
+                write_element(&mut slots[*slot as usize], &[i], x, Span::new(0, 0))
+                    .map_err(|e| err(e.message))?;
+            }
+            Instr::ShapeHoisted { kind, dst, slot } => {
+                // Dispatch is `Shape`'s exactly; the distinct opcode
+                // carries the verifier's hoist contract and lets
+                // profiling count hoisted reads.
+                let v = &slots[*slot as usize];
+                regs[*dst as usize] = match (kind, v) {
+                    (ShapeKind::Len, Value::Arr1(a)) => a.len() as f64,
+                    (ShapeKind::Len, Value::Arr2 { cols, .. })
+                    | (ShapeKind::Cols, Value::Arr2 { cols, .. }) => *cols as f64,
+                    (ShapeKind::Rows, Value::Arr2 { rows, .. }) => *rows as f64,
+                    (kind, _) => {
+                        let name = match kind {
+                            ShapeKind::Len => "len",
+                            ShapeKind::Rows => "rows",
+                            ShapeKind::Cols => "cols",
+                        };
+                        return Err(err(format!("`{name}` applied to a value of wrong shape")));
+                    }
+                };
             }
             Instr::Jump { target } => {
                 pc = *target;
@@ -702,6 +813,24 @@ fn exec_loop<const PROFILE: bool>(
                     .program()
                     .transform(callee_name)
                     .expect("callee checked at compile time");
+                // Scalar helper callees with a precomputed binding plan
+                // skip the generic store round-trip entirely.
+                if let Some(out) = call_transform_planned(
+                    interp,
+                    chunk,
+                    callee_name,
+                    callee,
+                    args,
+                    regs,
+                    slots,
+                    &resolved[*name as usize].sub_prefix,
+                    ctx,
+                    depth,
+                )? {
+                    slots[*dst as usize] = out;
+                    pc += 1;
+                    continue;
+                }
                 // Argument values borrow straight out of the slot bank
                 // (the callee clones what it keeps), so array arguments
                 // are cloned once — into the callee's store — instead
@@ -728,4 +857,108 @@ fn exec_loop<const PROFILE: bool>(
         pc += 1;
     }
     Ok(())
+}
+
+/// The `CallTransform` fast path: executes a scalar helper callee
+/// through its precomputed [`BindingPlan`] — arguments bind straight
+/// into a pooled frame as scalars, the single producing rule's chunk
+/// runs, and the scalar output comes back, with no `HashMap` store,
+/// no per-call name re-resolution, and no schema re-validation beyond
+/// the cached table's cheap revalidation.
+///
+/// Returns `Ok(None)` when the plan does not apply — no plan for this
+/// callee, an argument slot currently holding an array, a caller chunk
+/// below `O3` — in which case the caller takes the generic
+/// `run_prefixed` path, which reproduces every error and resampling
+/// behavior exactly. When the plan applies, execution is observably
+/// identical to the generic path: same depth limit (and message), same
+/// zero-initialized output, same binding order (inputs first, output
+/// shadowing after), same chunk under the same sub-prefix.
+#[allow(clippy::too_many_arguments)]
+fn call_transform_planned(
+    interp: &Interpreter,
+    caller: &Chunk,
+    callee_name: &str,
+    callee: &crate::ast::Transform,
+    args: &[Operand],
+    regs: &[f64],
+    slots: &[Value],
+    sub_prefix: &str,
+    ctx: &mut ExecCtx<'_>,
+    depth: usize,
+) -> Result<Option<Value>, RuntimeError> {
+    if caller.opt < crate::opt::OptLevel::O3 {
+        return Ok(None);
+    }
+    let Some(plan) = interp.binding_plan(callee_name) else {
+        return Ok(None);
+    };
+    if args.len() != callee.inputs.len() {
+        return Ok(None);
+    }
+    // Every argument must currently be a scalar; a slot holding an
+    // array falls back so the generic path can report its dimension
+    // mismatch verbatim.
+    if !args.iter().all(|op| match op {
+        Operand::Reg(_) => true,
+        Operand::Slot(s) => matches!(&slots[*s as usize], Value::Num(_)),
+    }) {
+        return Ok(None);
+    }
+    let Some(sub_chunk) = interp
+        .compiled()
+        .and_then(|c| c.chunk(callee_name, plan.rule_idx))
+    else {
+        return Ok(None);
+    };
+    // Same guard (and error) `run_prefixed` raises first.
+    if depth + 1 > 8 {
+        return Err(RuntimeError {
+            message: "transform call depth exceeded".into(),
+            span: None,
+        });
+    }
+
+    let mut scratch = ctx.scratch().take::<VmScratch>();
+    let sub_resolved = scratch.resolve(sub_chunk, sub_prefix, ctx.schema());
+    let mut sub_frame = scratch.frames.pop().unwrap_or_default();
+    ctx.scratch().put(scratch);
+    sub_frame.reset(
+        sub_chunk.n_regs as usize,
+        sub_chunk.n_slots as usize,
+        sub_chunk.names.len(),
+    );
+
+    // Bind inputs, then zero the output slot after them (the generic
+    // path's output alias shadows same-named inputs).
+    for (slot_idx, &arg_pos) in sub_chunk.input_slots.iter().zip(&plan.arg_for_input) {
+        let v = match &args[arg_pos] {
+            Operand::Reg(r) => regs[*r as usize],
+            Operand::Slot(s) => match &slots[*s as usize] {
+                Value::Num(v) => *v,
+                _ => unreachable!("checked scalar above"),
+            },
+        };
+        sub_frame.slots[*slot_idx as usize] = Value::Num(v);
+    }
+    let out_slot = sub_chunk.output_slots[0] as usize;
+    sub_frame.slots[out_slot] = Value::Num(0.0);
+
+    let result = exec(
+        interp,
+        sub_chunk,
+        &sub_resolved,
+        &mut sub_frame,
+        ctx,
+        depth + 1,
+    );
+    let out = std::mem::replace(&mut sub_frame.slots[out_slot], Value::Num(0.0));
+
+    // Recycle the frame whatever the outcome.
+    sub_frame.release_values();
+    let mut scratch = ctx.scratch().take::<VmScratch>();
+    scratch.frames.push(sub_frame);
+    ctx.scratch().put(scratch);
+    result?;
+    Ok(Some(out))
 }

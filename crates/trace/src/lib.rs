@@ -55,7 +55,7 @@
 //! `tests/vm_alloc.rs` with profiling enabled).
 
 use serde::{Deserialize, Serialize};
-use std::cell::{OnceCell, UnsafeCell};
+use std::cell::{OnceCell, RefCell, UnsafeCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -87,6 +87,40 @@ fn parse_ring_cap(raw: Option<&str>) -> usize {
         None | Some(0) => DEFAULT_RING_CAP,
         Some(cap) => cap.next_power_of_two(),
     }
+}
+
+/// Environment variable selecting the VM profiling sample period: when
+/// profiling is on, only every `N`th execution of each chunk (per
+/// thread) is counted, cutting the per-execution table merge to `1/N`
+/// for long measurement runs. Read once per process, on the first
+/// sampling decision. Absent, unparsable, or zero values fall back to
+/// `1` — profile every execution, the exact pre-sampling behavior with
+/// no extra bookkeeping.
+pub const PROFILE_SAMPLE_ENV: &str = "PB_PROFILE_SAMPLE";
+
+/// The active sample period: [`PROFILE_SAMPLE_ENV`] if set, else 1.
+fn profile_sample() -> u64 {
+    static PERIOD: OnceLock<u64> = OnceLock::new();
+    *PERIOD.get_or_init(|| parse_profile_sample(std::env::var(PROFILE_SAMPLE_ENV).ok().as_deref()))
+}
+
+/// Pure parse half of [`profile_sample`]: a positive integer, or the
+/// every-execution default of 1 on anything else.
+fn parse_profile_sample(raw: Option<&str>) -> u64 {
+    match raw.and_then(|value| value.trim().parse::<u64>().ok()) {
+        None | Some(0) => 1,
+        Some(n) => n,
+    }
+}
+
+/// Pure sampling decision: bumps the per-chunk execution counter and
+/// reports whether this execution lands on the sample grid (the 1st,
+/// `n+1`th, `2n+1`th, ... executions are profiled, so a chunk that
+/// runs at all always profiles at least once).
+fn sample_due(counter: &mut u64, n: u64) -> bool {
+    let due = counter.is_multiple_of(n);
+    *counter += 1;
+    due
 }
 
 // ---------------------------------------------------------------------------
@@ -130,6 +164,38 @@ pub fn enabled() -> bool {
 #[inline]
 pub fn vm_profiling() -> bool {
     VMPROF.load(Ordering::Relaxed)
+}
+
+/// Should *this* execution of the chunk named `label` be profiled?
+///
+/// `false` whenever [`vm_profiling`] is off. When it is on, the
+/// [`PROFILE_SAMPLE_ENV`] period decides: at the default period of 1
+/// this is exactly `vm_profiling()` — no counters are touched — and at
+/// period `N > 1` each thread counts executions per chunk label and
+/// profiles every `N`th, starting with the first. The counter bump is
+/// allocation-free once a label has been seen on a thread (the first
+/// sighting allocates its table row, absorbed by warmup), preserving
+/// the VM's zero-alloc contract under sampled profiling.
+pub fn vm_profile_due(label: &str) -> bool {
+    if !VMPROF.load(Ordering::Relaxed) {
+        return false;
+    }
+    let n = profile_sample();
+    if n <= 1 {
+        return true;
+    }
+    SAMPLE_COUNTERS.with(|counters| {
+        let mut counters = counters.borrow_mut();
+        match counters.get_mut(label) {
+            Some(counter) => sample_due(counter, n),
+            None => {
+                let mut counter = 0;
+                let due = sample_due(&mut counter, n);
+                counters.insert(label.to_owned(), counter);
+                due
+            }
+        }
+    })
 }
 
 /// Toggles VM chunk profiling independently of event recording (used
@@ -345,6 +411,9 @@ static CHUNK_TABLES: Mutex<Vec<SharedChunkTable>> = Mutex::new(Vec::new());
 thread_local! {
     static RECORDER: OnceCell<Arc<Ring>> = const { OnceCell::new() };
     static CHUNK_TABLE: OnceCell<SharedChunkTable> = const { OnceCell::new() };
+    /// Per-chunk execution counters for sampled profiling
+    /// ([`vm_profile_due`]); purely thread-local, never collected.
+    static SAMPLE_COUNTERS: RefCell<HashMap<String, u64>> = RefCell::new(HashMap::new());
 }
 
 fn register_ring() -> Arc<Ring> {
@@ -770,6 +839,45 @@ mod tests {
             8192,
             "rounds up to a power of two"
         );
+    }
+
+    #[test]
+    fn profile_sample_parses_and_defaults() {
+        assert_eq!(parse_profile_sample(None), 1);
+        assert_eq!(parse_profile_sample(Some("")), 1);
+        assert_eq!(parse_profile_sample(Some("not a number")), 1);
+        assert_eq!(parse_profile_sample(Some("0")), 1);
+        assert_eq!(parse_profile_sample(Some("1")), 1);
+        assert_eq!(
+            parse_profile_sample(Some(" 16 ")),
+            16,
+            "whitespace tolerated"
+        );
+        assert_eq!(parse_profile_sample(Some("1000")), 1000);
+    }
+
+    #[test]
+    fn sample_due_hits_every_nth_starting_with_the_first() {
+        let mut counter = 0;
+        let hits: Vec<bool> = (0..7).map(|_| sample_due(&mut counter, 3)).collect();
+        assert_eq!(hits, [true, false, false, true, false, false, true]);
+        assert_eq!(counter, 7);
+
+        // Period 1 profiles everything.
+        let mut counter = 0;
+        assert!((0..4).all(|_| sample_due(&mut counter, 1)));
+    }
+
+    #[test]
+    fn vm_profile_due_mirrors_the_profiling_switch_at_default_period() {
+        // PB_PROFILE_SAMPLE is unset in the test process, so the
+        // period is 1 and the decision is exactly the global switch.
+        set_vm_profiling(false);
+        assert!(!vm_profile_due("t::r0"));
+        set_vm_profiling(true);
+        assert!(vm_profile_due("t::r0"));
+        assert!(vm_profile_due("t::r0"), "period 1 samples every execution");
+        set_vm_profiling(false);
     }
 
     #[test]

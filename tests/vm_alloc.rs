@@ -11,6 +11,13 @@
 //! same bound is then re-pinned with `pb_trace` VM chunk profiling
 //! enabled — observability must not cost the hot path its guarantee.
 //!
+//! Pinned at `OptLevel::O3` (the default): the hot loop executes the
+//! typed-specialized unchecked forms and hoisted shape reads, and the
+//! guarantee must survive them. Profiling runs under a sampling
+//! period (`PB_PROFILE_SAMPLE=4`), so the per-(thread, chunk) sample
+//! counters are exercised too — steady-state counter bumps are
+//! `HashMap::get_mut` on warmed entries, not inserts.
+//!
 //! This file holds exactly one test so no concurrent test thread
 //! pollutes the global allocation counter.
 
@@ -78,6 +85,18 @@ fn run_hot(interp: &Interpreter, schema: &petabricks::config::Schema, iters: i64
 
 #[test]
 fn dispatch_loop_is_allocation_free_in_steady_state() {
+    // Fix the sampling period before anything touches `pb_trace` (the
+    // knob is read once per process). 4 means every 4th execution per
+    // chunk is profiled — the counter path must stay allocation-free.
+    std::env::set_var(petabricks::trace::PROFILE_SAMPLE_ENV, "4");
+
+    // The default pipeline is the full typed-specialization tier; this
+    // test pins the allocation contract at that level, not below it.
+    assert_eq!(
+        petabricks::lang::OptLevel::default(),
+        petabricks::lang::OptLevel::O3
+    );
+
     let program = parse_program(HOT).expect("parses");
     check_program(&program).expect("well-formed");
     let interp = Interpreter::new_compiled(program.clone());

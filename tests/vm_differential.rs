@@ -8,8 +8,8 @@
 //! configurations, input sizes, and RNG seeds.
 //!
 //! Every comparison runs at every [`OptLevel`] (unoptimized, folded,
-//! and fully fused bytecode) and additionally pins the RNG *draw
-//! count*: after each run both contexts draw one probe value, which
+//! fully fused, and typed-specialized bytecode) and additionally pins
+//! the RNG *draw count*: after each run both contexts draw one probe value, which
 //! only matches if the executors consumed exactly the same number of
 //! draws in the same order.
 
@@ -24,7 +24,7 @@ use rand::Rng;
 use std::collections::HashMap;
 
 /// Every optimization level the pipeline exposes.
-const OPT_LEVELS: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+const OPT_LEVELS: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
 
 /// Bitwise `f64` equality: stricter than `==` (distinguishes `-0.0`
 /// from `0.0`) and total over NaN, which random programs do produce.
