@@ -20,6 +20,12 @@
 //! `--require-phases` fails unless the trace carries per-phase pool
 //! deltas (a tuning-run trace); `--require-chunks` fails unless it
 //! carries a VM chunk profile (a VM workload trace).
+//!
+//! Diff mode: `tuner_trace diff <a.json> <b.json> [--top N]` compares
+//! two trace summaries — per-phase wall time / dispatch deltas and
+//! per-chunk instruction deltas, sorted by where the time (or work)
+//! moved — so a perf regression can be localized to a tuning phase or
+//! a VM chunk without opening either trace in a viewer.
 
 use pb_lang::{opcode_is_fused, opcode_is_specialized, OPCODE_NAMES};
 use pb_trace::{ChromeEvent, ChromeTrace};
@@ -58,9 +64,125 @@ fn validate(events: &[ChromeEvent]) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads, parses, and structurally validates one trace file.
+fn load(path: &str) -> Result<ChromeTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let trace: ChromeTrace = serde_json::from_str(&text)
+        .map_err(|e| format!("{path} is not a valid Chrome trace: {e:?}"))?;
+    validate(&trace.traceEvents).map_err(|msg| format!("{path}: {msg}"))?;
+    Ok(trace)
+}
+
+/// `diff a b`: where did the wall time (and the VM work) move?
+fn diff(path_a: &str, path_b: &str, top: usize) -> ExitCode {
+    let (a, b) = match (load(path_a), load(path_b)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    println!("# diff {path_a} -> {path_b}");
+
+    // Per-phase movement: union of phase names, sorted by absolute
+    // wall-time delta so the biggest mover tops the report.
+    let index = |t: &ChromeTrace| -> BTreeMap<String, pb_trace::PhaseDelta> {
+        t.otherData
+            .phases
+            .iter()
+            .map(|p| (p.phase.clone(), p.clone()))
+            .collect()
+    };
+    let (pa, pb) = (index(&a), index(&b));
+    if pa.is_empty() && pb.is_empty() {
+        println!("\n(no per-phase pool deltas in either trace)");
+    } else {
+        let mut names: Vec<&String> = pa.keys().chain(pb.keys()).collect();
+        names.sort();
+        names.dedup();
+        let mut rows: Vec<(&str, pb_trace::PhaseDelta, pb_trace::PhaseDelta)> = names
+            .into_iter()
+            .map(|name| {
+                let da = pa.get(name).cloned().unwrap_or_default();
+                let db = pb.get(name).cloned().unwrap_or_default();
+                (name.as_str(), da, db)
+            })
+            .collect();
+        rows.sort_by_key(|(_, da, db)| std::cmp::Reverse(da.wall_ns.abs_diff(db.wall_ns)));
+        let (total_a, total_b): (u64, u64) = rows.iter().fold((0, 0), |(x, y), (_, da, db)| {
+            (x + da.wall_ns, y + db.wall_ns)
+        });
+        println!(
+            "\n## per-phase wall time ({:.2} ms -> {:.2} ms, {:+.2} ms)",
+            total_a as f64 / 1e6,
+            total_b as f64 / 1e6,
+            (total_b as f64 - total_a as f64) / 1e6
+        );
+        println!(
+            "{:>14} {:>10} {:>10} {:>10} {:>8} {:>10} {:>9}",
+            "phase", "a ms", "b ms", "delta ms", "spans", "dispatched", "tasks"
+        );
+        for (name, da, db) in &rows {
+            println!(
+                "{:>14} {:>10.2} {:>10.2} {:>+10.2} {:>+8} {:>+10} {:>+9}",
+                name,
+                da.wall_ns as f64 / 1e6,
+                db.wall_ns as f64 / 1e6,
+                (db.wall_ns as f64 - da.wall_ns as f64) / 1e6,
+                db.count as i64 - da.count as i64,
+                db.dispatched as i64 - da.dispatched as i64,
+                db.tasks as i64 - da.tasks as i64
+            );
+        }
+    }
+
+    // Per-chunk movement by instructions retired. Each chunk maps to
+    // its `(executions, instructions)` pair per trace.
+    type ExecInstr = (u64, u64);
+    let chunk_index = |t: &ChromeTrace| -> BTreeMap<String, ExecInstr> {
+        t.otherData
+            .chunks
+            .iter()
+            .map(|c| (c.label.clone(), (c.executions, c.instructions())))
+            .collect()
+    };
+    let (ca, cb) = (chunk_index(&a), chunk_index(&b));
+    if ca.is_empty() && cb.is_empty() {
+        println!("\n(no VM chunk profile in either trace)");
+    } else {
+        let mut labels: Vec<&String> = ca.keys().chain(cb.keys()).collect();
+        labels.sort();
+        labels.dedup();
+        let mut rows: Vec<(&str, ExecInstr, ExecInstr)> = labels
+            .into_iter()
+            .map(|l| {
+                (
+                    l.as_str(),
+                    ca.get(l).copied().unwrap_or_default(),
+                    cb.get(l).copied().unwrap_or_default(),
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(_, (_, ia), (_, ib))| std::cmp::Reverse(ia.abs_diff(ib)));
+        println!("\n## per-chunk instructions (top {top} movers)");
+        println!(
+            "{:>24} {:>14} {:>14} {:>14} {:>10}",
+            "chunk", "a instr", "b instr", "delta", "exec delta"
+        );
+        for (label, (ea, ia), (eb, ib)) in rows.iter().take(top) {
+            println!(
+                "{:>24} {:>14} {:>14} {:>+14} {:>+10}",
+                label,
+                ia,
+                ib,
+                *ib as i64 - *ia as i64,
+                *eb as i64 - *ea as i64
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut path = None;
+    let mut free = Vec::new();
     let mut top = 10usize;
     let mut require_phases = false;
     let mut require_chunks = false;
@@ -73,27 +195,28 @@ fn main() -> ExitCode {
             },
             "--require-phases" => require_phases = true,
             "--require-chunks" => require_chunks = true,
-            other if path.is_none() => path = Some(other.to_string()),
-            other => return fail(&format!("unexpected argument {other:?}")),
+            other => free.push(other.to_string()),
         }
     }
-    let Some(path) = path else {
-        return fail(
-            "usage: tuner_trace <trace.json> [--top N] [--require-phases] [--require-chunks]",
-        );
+    if free.first().map(String::as_str) == Some("diff") {
+        return match &free[1..] {
+            [a, b] => diff(a, b, top),
+            _ => fail("usage: tuner_trace diff <a.json> <b.json> [--top N]"),
+        };
+    }
+    let path = match &free[..] {
+        [p] => p.clone(),
+        _ => {
+            return fail(
+                "usage: tuner_trace <trace.json> [--top N] [--require-phases] [--require-chunks]\n       tuner_trace diff <a.json> <b.json> [--top N]",
+            )
+        }
     };
 
-    let text = match std::fs::read_to_string(&path) {
+    let trace = match load(&path) {
         Ok(t) => t,
-        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        Err(e) => return fail(&e),
     };
-    let trace: ChromeTrace = match serde_json::from_str(&text) {
-        Ok(t) => t,
-        Err(e) => return fail(&format!("{path} is not a valid Chrome trace: {e:?}")),
-    };
-    if let Err(msg) = validate(&trace.traceEvents) {
-        return fail(&format!("{path}: {msg}"));
-    }
     let meta = &trace.otherData;
     if require_phases && meta.phases.is_empty() {
         return fail(&format!("{path}: no per-phase pool deltas recorded"));
@@ -218,11 +341,16 @@ fn main() -> ExitCode {
             .map(|e| e.ts + e.dur)
             .fold(0.0f64, f64::max);
         let span = (span_end - span_start).max(1e-9);
-        let steals = trace
-            .traceEvents
-            .iter()
-            .filter(|e| e.name == "pool_steal")
-            .count();
+        // `pool_steal` args.c is the locality bit: 0 = within-shard
+        // (an own-shard peer's deque), 1 = cross-shard.
+        let (mut local_steals, mut remote_steals) = (0u64, 0u64);
+        for e in trace.traceEvents.iter().filter(|e| e.name == "pool_steal") {
+            if e.args.c == 0 {
+                local_steals += 1;
+            } else {
+                remote_steals += 1;
+            }
+        }
         let mut per_tid: BTreeMap<u32, (u64, f64)> = BTreeMap::new();
         for j in &jobs {
             let slot = per_tid.entry(j.tid).or_insert((0, 0.0));
@@ -230,7 +358,7 @@ fn main() -> ExitCode {
             slot.1 += j.dur;
         }
         println!(
-            "\n## pool utilization ({} jobs, {steals} steals, {:.1} ms trace span)",
+            "\n## pool utilization ({} jobs, {local_steals} local + {remote_steals} remote steals, {:.1} ms trace span)",
             jobs.len(),
             span / 1e3
         );

@@ -257,12 +257,15 @@ pub enum EventKind {
     /// batch. `a`=input size, `b`=trial seed, `c`=virtual cost.
     Trial,
     /// One pool batch. `a`=items, `b`=job chunks, `c`=1 if dispatched
-    /// to workers, 0 if inline.
+    /// to workers, 0 if inline; `d`=active shard count when dispatched.
     PoolBatch,
     /// One executed pool job (contiguous item range). `idx`=`a`=range
     /// start, `b`=range end.
     PoolJob,
-    /// A job taken from another worker's deque (instant event).
+    /// A job taken by stealing rather than from the thread's own
+    /// shard injector (instant event). `a`=range start, `b`=range
+    /// end, `c`=locality: 0 = within-shard (an own-shard peer's
+    /// deque), 1 = cross-shard (a remote injector or remote deque).
     PoolSteal,
 }
 
@@ -668,7 +671,7 @@ pub struct ChromeEvent {
 
 /// Per-phase pool-batch delta summary, precomputed at export time so
 /// trace consumers need no event-model knowledge.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhaseDelta {
     /// Phase name (`phase_test`, `phase_mutate`, ...).
     pub phase: String,

@@ -72,9 +72,19 @@ impl ArenaReport {
 /// batch. Implementations must keep querying every independent stalled
 /// comparison before giving up the round (that is what makes rounds
 /// wide) and must be idempotent across calls.
+///
+/// `cands` is a read-only view of the candidates at the moment of the
+/// call, so a contest whose decision rule consults statistics beyond
+/// the time verdict (the merge chain's Welch accuracy test, say) can
+/// evaluate it at exactly the point its verdict lands — the same
+/// statistics the blocking sequential procedure would have seen.
 pub trait Contest {
     /// Advances as far as the comparator can decide; `true` = done.
-    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool;
+    fn advance(
+        &mut self,
+        cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>,
+        cands: &[Candidate],
+    ) -> bool;
 }
 
 /// The simplest contest: one head-to-head verdict between candidates
@@ -102,7 +112,11 @@ impl PairContest {
 }
 
 impl Contest for PairContest {
-    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+    fn advance(
+        &mut self,
+        cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>,
+        _cands: &[Candidate],
+    ) -> bool {
         if self.verdict.is_none() {
             self.verdict = cmp(self.a, self.b);
         }
@@ -191,7 +205,7 @@ impl<'a, 'r> Arena<'a, 'r> {
                     }
                 };
                 for contest in contests.iter_mut() {
-                    all_done &= contest.advance(&mut cmp);
+                    all_done &= contest.advance(&mut cmp, cands_ro);
                 }
             }
             if all_done {

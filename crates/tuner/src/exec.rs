@@ -486,6 +486,16 @@ impl<'a> Evaluator<'a> {
     /// unique trials run on the pool in parallel mode or in order in
     /// sequential mode. Identical results and identical final cache
     /// state either way.
+    ///
+    /// **Sharding contract.** Callers submit requests in candidate-
+    /// index order (the arena plans demands through a `BTreeMap`), the
+    /// miss batch preserves that order, and the pool routes contiguous
+    /// chunk spans of it to shard-local injectors — so each shard
+    /// executes a contiguous per-shard sub-batch of the round's
+    /// candidate range. Outcomes merge back strictly by request index
+    /// below, which is what keeps decisions bit-identical at any
+    /// `PB_POOL_SHARDS` setting: sharding moves *where* a trial runs,
+    /// never which outcome lands in which slot.
     pub fn run_batch(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
         let tracing = pb_trace::enabled();
         let (batch_seq, batch_start) = if tracing {
@@ -588,8 +598,12 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Executes every request (no cache involvement), parallel or
-    /// sequential per the mode, windowing the pool's batch stats into
-    /// [`Evaluator::pool_trial_stats`].
+    /// sequential per the mode, windowing the pool's batch stats —
+    /// including the shard steal counters — into
+    /// [`Evaluator::pool_trial_stats`]. In parallel mode the request
+    /// range fans out through `run_indexed`, whose chunk→shard routing
+    /// turns the (candidate-index-ordered) range into contiguous
+    /// per-shard sub-batches.
     fn execute(&self, requests: &[TrialRequest]) -> Vec<TrialOutcome> {
         if requests.is_empty() {
             return Vec::new();

@@ -20,13 +20,13 @@
 //! execute as one [`Evaluator`] batch per round on the work-stealing
 //! pool, and pair verdicts memoize for the duration of the prune call.
 
-use crate::arena::{Arena, ArenaReport, PairContest};
+use crate::arena::{Arena, ArenaReport, Contest, PairContest};
 use crate::candidate::Candidate;
 use crate::exec::Evaluator;
 use crate::tournament::{PruneReport, Selection};
 use pb_config::AccuracyBins;
 use pb_stats::{total_cmp_nan_first, total_cmp_nan_last, welch_t_test, Comparator, CompareOutcome};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The tuner's population of candidate algorithms.
 #[derive(Debug, Default)]
@@ -176,12 +176,17 @@ impl Population {
     /// rejected children (see
     /// [`retain_indexed`](Population::retain_indexed)).
     ///
-    /// Pairs are decided in *waves* of plan-order pairs with pairwise-
-    /// distinct parents: every child is new and wave parents are
-    /// distinct, so a wave's comparisons are fully disjoint and their
-    /// comparator draws execute as shared [`Evaluator`] batches, while
-    /// pairs sharing a parent stay strictly ordered across waves.
-    /// Each comparison therefore sees exactly the statistics the old
+    /// Pairs are grouped by parent into plan-order *chains* and every
+    /// chain runs as one [`MergeChain`] contest in a single arena
+    /// session — the demand-merge rule: within a chain, pair `k + 1`
+    /// only starts demanding draws once pair `k`'s verdict and accept
+    /// decision are recorded (a later pair must see the parent's
+    /// statistics exactly as the earlier comparison left them), while
+    /// *across* chains every stalled pair deposits its draws into the
+    /// same round batch. Same-parent pairs therefore no longer force
+    /// whole-population waves: a chain never waits on unrelated
+    /// parents' pairs, so rounds are wider and fewer, and each
+    /// comparison still sees exactly the statistics the old
     /// one-blocking-comparison-at-a-time merge produced — identical
     /// draws, identical verdicts, just batched.
     pub fn merge_children(
@@ -195,37 +200,21 @@ impl Population {
         assert!(parent_of.len() <= self.candidates.len());
         let base = self.candidates.len() - parent_of.len();
         let mut accepted = vec![false; parent_of.len()];
+        // Group plan indices by parent, preserving plan order within
+        // each chain; BTreeMap keeps the contest order deterministic.
+        let mut chains: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (k, &parent) in parent_of.iter().enumerate() {
+            chains.entry(parent).or_default().push(k);
+        }
+        let mut contests: Vec<MergeChain> = chains
+            .into_iter()
+            .map(|(parent, links)| MergeChain::new(parent, links, base, n, alpha))
+            .collect();
         let mut arena = Arena::new(evaluator, comparator);
-        let mut remaining: Vec<usize> = (0..parent_of.len()).collect();
-        while !remaining.is_empty() {
-            // Greedy wave: plan-order pairs, each parent at most once.
-            let mut wave: Vec<usize> = Vec::new();
-            let mut wave_parents: BTreeSet<usize> = BTreeSet::new();
-            remaining.retain(|&k| {
-                let claimed = wave_parents.insert(parent_of[k]);
-                if claimed {
-                    wave.push(k);
-                }
-                !claimed
-            });
-            let mut contests: Vec<PairContest> = wave
-                .iter()
-                .map(|&k| PairContest::new(base + k, parent_of[k]))
-                .collect();
-            arena.run(&mut self.candidates, n, &mut contests);
-            for (&k, contest) in wave.iter().zip(&contests) {
-                let faster = contest.verdict == Some(CompareOutcome::Less);
-                let more_accurate = {
-                    let child = self.candidates[base + k]
-                        .stats(n)
-                        .expect("child was tested");
-                    let parent = self.candidates[parent_of[k]]
-                        .stats(n)
-                        .expect("parent was tested");
-                    let test = welch_t_test(&child.accuracy, &parent.accuracy);
-                    test.rejects_equality(alpha) && child.accuracy.mean() > parent.accuracy.mean()
-                };
-                accepted[k] = faster || more_accurate;
+        arena.run(&mut self.candidates, n, &mut contests);
+        for chain in contests {
+            for (k, accept) in chain.into_decisions() {
+                accepted[k] = accept;
             }
         }
         (accepted, arena.report())
@@ -284,6 +273,80 @@ impl Population {
         self.retain_indexed(|idx| keep.contains(&idx));
         report.removed = (before - self.candidates.len()) as u64;
         report
+    }
+}
+
+/// One parent's plan-order chain of child-vs-parent merge pairs,
+/// resumable as a [`Contest`] (see
+/// [`merge_children`](Population::merge_children)).
+///
+/// The chain is the unit of the demand-merge rule: pair `k + 1` is
+/// gated on pair `k`'s complete decision, because both the comparator
+/// (more parent time samples) and the Welch accuracy test (more parent
+/// accuracy samples) are sensitive to the trials earlier pairs drew on
+/// the shared parent. Everything *between* chains is free to
+/// interleave — chains touch disjoint candidates, so their draw
+/// demands batch together without affecting any decision.
+struct MergeChain {
+    /// Population index of the shared parent.
+    parent: usize,
+    /// Plan indices `k` of this parent's children, in plan order.
+    links: Vec<usize>,
+    /// Accept decisions for `links[..decided.len()]`, recorded at the
+    /// moment each pair's verdict landed.
+    decided: Vec<bool>,
+    /// First index of the children block in the population.
+    base: usize,
+    n: u64,
+    alpha: f64,
+}
+
+impl MergeChain {
+    fn new(parent: usize, links: Vec<usize>, base: usize, n: u64, alpha: f64) -> Self {
+        let decided = Vec::with_capacity(links.len());
+        MergeChain {
+            parent,
+            links,
+            decided,
+            base,
+            n,
+            alpha,
+        }
+    }
+
+    /// `(plan index, accepted)` per link, once the chain completed.
+    fn into_decisions(self) -> impl Iterator<Item = (usize, bool)> {
+        debug_assert_eq!(self.decided.len(), self.links.len());
+        self.links.into_iter().zip(self.decided)
+    }
+}
+
+impl Contest for MergeChain {
+    fn advance(
+        &mut self,
+        cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>,
+        cands: &[Candidate],
+    ) -> bool {
+        while self.decided.len() < self.links.len() {
+            let k = self.links[self.decided.len()];
+            let child = self.base + k;
+            let Some(verdict) = cmp(child, self.parent) else {
+                return false;
+            };
+            // Decide acceptance *now*: the statistics visible at this
+            // instant are exactly what the blocking sequential merge
+            // saw after deciding this pair, before any later pair drew
+            // more trials on the parent.
+            let faster = verdict == CompareOutcome::Less;
+            let more_accurate = {
+                let child = cands[child].stats(self.n).expect("child was tested");
+                let parent = cands[self.parent].stats(self.n).expect("parent was tested");
+                let test = welch_t_test(&child.accuracy, &parent.accuracy);
+                test.rejects_equality(self.alpha) && child.accuracy.mean() > parent.accuracy.mean()
+            };
+            self.decided.push(faster || more_accurate);
+        }
+        true
     }
 }
 

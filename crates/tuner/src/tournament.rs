@@ -198,7 +198,11 @@ impl Selection {
 impl Contest for Selection {
     /// Advances through the phases as far as `cmp` can decide;
     /// returns `true` once the selection is done.
-    fn advance(&mut self, cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>) -> bool {
+    fn advance(
+        &mut self,
+        cmp: &mut dyn FnMut(usize, usize) -> Option<CompareOutcome>,
+        _cands: &[Candidate],
+    ) -> bool {
         loop {
             match &mut self.phase {
                 Phase::Done(_) => return true,

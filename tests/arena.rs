@@ -57,8 +57,8 @@ fn comparator() -> Comparator {
 
 /// Builds a tested population: one candidate per parent level, then
 /// one untested child per `(parent, level)` pair appended in order.
-fn build_population(
-    runner: &TransformRunner<NoisyLevels>,
+fn build_population<T: Transform>(
+    runner: &TransformRunner<T>,
     evaluator: &Evaluator<'_>,
     parent_levels: &[i64],
     children: &[(usize, i64)],
@@ -159,7 +159,9 @@ proptest! {
         let min_trials = comparator.config().min_trials;
         let runner = TransformRunner::new(NoisyLevels, CostModel::Virtual);
 
-        // Production path: one arena session in parent-disjoint waves.
+        // Production path: one arena session of per-parent chains
+        // (same-parent pairs gated in plan order, chains for
+        // different parents batching their draws together).
         let eval_arena = Evaluator::new(&runner, EvalMode::Sequential, true);
         let mut pop_arena = build_population(
             &runner, &eval_arena, &parent_levels, &children, n, min_trials,
@@ -191,6 +193,90 @@ proptest! {
             prop_assert!(report.rounds > 0);
         }
     }
+}
+
+/// The demand-merge widening: a same-parent pair no longer waits for
+/// unrelated parents' pairs. Two chains — parent P with a decisive
+/// first child and an ambiguous second, parent Q with one ambiguous
+/// child — run jointly and solo. The joint session must do exactly
+/// the solo draws (chains are disjoint, decisions unchanged) in
+/// strictly fewer rounds, because P's *second* link batches its draws
+/// into the same rounds as Q's chain instead of into waves of its own.
+/// Like [`NoisyLevels`] but with ±10% noise: adjacent levels overlap,
+/// so the comparator genuinely needs repeated draws to separate them.
+/// (At ±1% every distinct-level t-test decides from the minimum fill,
+/// and equal levels share bitwise-identical samples — trial seeds are
+/// candidate-independent — so nothing ever draws.)
+#[derive(Clone, Copy)]
+struct WideNoise;
+
+impl Transform for WideNoise {
+    type Input = f64;
+    type Output = f64;
+    fn name(&self) -> &str {
+        "wide_noise"
+    }
+    fn schema(&self) -> Schema {
+        let mut s = Schema::new("wide_noise");
+        s.add_accuracy_variable("level", 1, 64);
+        s
+    }
+    fn generate_input(&self, _n: u64, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(0.9..1.1)
+    }
+    fn execute(&self, noise: &f64, ctx: &mut ExecCtx<'_>) -> f64 {
+        let level = ctx.param("level").unwrap() as f64;
+        ctx.charge(level * ctx.size() as f64 * noise);
+        level / 64.0
+    }
+    fn accuracy(&self, _i: &f64, o: &f64) -> f64 {
+        *o
+    }
+}
+
+#[test]
+fn same_parent_chains_share_rounds_across_parents() {
+    let n = 8;
+    let comparator = comparator();
+    let min_trials = comparator.config().min_trials;
+    let runner = TransformRunner::new(WideNoise, CostModel::Virtual);
+    let parents = [8i64, 32];
+    // (parent index, level): the 56-level child is decisively slower
+    // than parent 8; the 9-vs-8 and 33-vs-32 pairs sit inside the ±10%
+    // noise band, so both chains draw repeated comparator trials.
+    let chain_p = [(0usize, 56i64), (0, 9)];
+    let chain_q = [(1usize, 33i64)];
+    let joint: Vec<(usize, i64)> = chain_p.iter().chain(&chain_q).copied().collect();
+
+    let run = |children: &[(usize, i64)]| {
+        let evaluator = Evaluator::new(&runner, EvalMode::Sequential, true);
+        let mut pop = build_population(&runner, &evaluator, &parents, children, n, min_trials);
+        let parent_of: Vec<usize> = children.iter().map(|&(p, _)| p).collect();
+        pop.merge_children(&parent_of, n, &evaluator, &comparator, 0.05)
+    };
+
+    let (accepted_joint, joint_report) = run(&joint);
+    let (accepted_p, p_report) = run(&chain_p);
+    let (accepted_q, q_report) = run(&chain_q);
+
+    // Chains are disjoint, so joining them changes no decision and
+    // re-draws no trial...
+    assert_eq!(accepted_joint[..2], accepted_p[..]);
+    assert_eq!(accepted_joint[2..], accepted_q[..]);
+    assert_eq!(joint_report.draws, p_report.draws + q_report.draws);
+    // ...but the joint session interleaves the chains' rounds. Both
+    // ambiguous pairs draw repeatedly, so round sharing must show up
+    // as strictly fewer rounds than running the chains back to back
+    // (which is what parent-disjoint waves degenerated to here: C2
+    // could not enter a wave until Q's whole chain finished its own).
+    assert!(
+        p_report.rounds > 0 && q_report.rounds > 0,
+        "both chains must really draw: {p_report:?} {q_report:?}"
+    );
+    assert!(
+        joint_report.rounds < p_report.rounds + q_report.rounds,
+        "chains must share rounds: joint {joint_report:?} vs {p_report:?} + {q_report:?}"
+    );
 }
 
 /// Cost = `level` (size-independent), accuracy = `level / 1000`.
